@@ -1,0 +1,101 @@
+// Command flexcl-dse explores the optimization design space of a
+// benchmark kernel: it evaluates every configuration (work-group size ×
+// pipelining × PE × CU × communication mode) with the FlexCL analytical
+// model — within seconds, as §4.3 demonstrates — and optionally validates
+// the ranking against the cycle-level simulator.
+//
+// Usage:
+//
+//	flexcl-dse -bench hotspot -kernel hotspot [-sim] [-top 10]
+//	flexcl-dse -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/dse"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark name (e.g. hotspot)")
+		kernel    = flag.String("kernel", "", "kernel name (e.g. hotspot)")
+		platform  = flag.String("platform", "virtex7", "virtex7 or ku060")
+		sim       = flag.Bool("sim", false, "validate against the cycle-level simulator")
+		top       = flag.Int("top", 10, "show the N best designs")
+		list      = flag.Bool("list", false, "list available kernels and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		t := report.New("Available kernels", "Suite", "Benchmark", "Kernel", "#WIs", "WG sizes")
+		for _, k := range bench.All() {
+			t.Add(k.Suite, k.Bench, k.Name, k.NWI(), fmt.Sprint(k.WGSizes()))
+		}
+		t.Write(os.Stdout)
+		return
+	}
+	if *benchName == "" || *kernel == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	k := bench.Find(*benchName, *kernel)
+	if k == nil {
+		fmt.Fprintf(os.Stderr, "flexcl-dse: kernel %s/%s not found (use -list)\n", *benchName, *kernel)
+		os.Exit(1)
+	}
+	p, ok := device.Platforms()[*platform]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "flexcl-dse: unknown platform %q\n", *platform)
+		os.Exit(1)
+	}
+
+	t0 := time.Now()
+	r, err := core.Explore(k, p, !*sim)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexcl-dse:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("explored %d designs of %s on %s in %v (model time %v)\n",
+		len(r.Points), k.ID(), p.Name, time.Since(t0).Round(time.Millisecond),
+		r.ModelTime.Round(time.Millisecond))
+
+	t := report.New("Best designs by FlexCL estimate",
+		"Design", "FlexCL cycles", "Simulated cycles", "Err(%)")
+	best := append([]dse.Point{}, r.Points...)
+	sort.SliceStable(best, func(i, j int) bool { return best[i].Est < best[j].Est })
+	n := *top
+	if n > len(best) {
+		n = len(best)
+	}
+	for _, pt := range best[:n] {
+		actual, errPct := "-", "-"
+		if pt.Actual > 0 {
+			actual = fmt.Sprintf("%.0f", pt.Actual)
+			errPct = fmt.Sprintf("%.1f", abs(pt.Est-pt.Actual)/pt.Actual*100)
+		}
+		t.Add(pt.Design.String(), fmt.Sprintf("%.0f", pt.Est), actual, errPct)
+	}
+	t.Write(os.Stdout)
+
+	if *sim {
+		fe, _ := r.AvgErrors()
+		fmt.Printf("\navg |error| %.1f%%  selected-design gap to optimum %.1f%%  speedup over unoptimized %.0fx\n",
+			fe, r.GapToOptimum(), r.SpeedupOverBaseline())
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

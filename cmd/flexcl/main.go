@@ -1,0 +1,175 @@
+// Command flexcl estimates the performance of an OpenCL kernel on an
+// FPGA platform at one design point, printing the full model breakdown —
+// the FlexCL flow of Figure 2 as a CLI.
+//
+// Usage:
+//
+//	flexcl -file kernel.cl [-kernel name] [-platform virtex7|ku060]
+//	       [-global 4096] [-wg 64] [-pipeline] [-pe 4] [-cu 2]
+//	       [-mode barrier|pipeline] [-arg name=value]...
+//
+// Pointer arguments are bound to synthetic buffers sized from -global;
+// integer scalar arguments default to the global size and can be set
+// explicitly with -arg.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/ir"
+)
+
+type argList map[string]int64
+
+func (a argList) String() string { return fmt.Sprint(map[string]int64(a)) }
+
+func (a argList) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("bad -arg %q (want name=value)", s)
+	}
+	v, err := strconv.ParseInt(val, 0, 64)
+	if err != nil {
+		return err
+	}
+	a[name] = v
+	return nil
+}
+
+func main() {
+	var (
+		file     = flag.String("file", "", "OpenCL source file (required)")
+		kernel   = flag.String("kernel", "", "kernel name (default: first kernel)")
+		platform = flag.String("platform", "virtex7", "target platform: virtex7 or ku060")
+		global   = flag.Int64("global", 4096, "global work size (1D)")
+		wg       = flag.Int64("wg", 64, "work-group size")
+		pipeline = flag.Bool("pipeline", true, "enable work-item pipelining")
+		pe       = flag.Int("pe", 1, "PE parallelism per compute unit")
+		cu       = flag.Int("cu", 1, "compute units")
+		mode     = flag.String("mode", "pipeline", "communication mode: barrier or pipeline")
+		simulate = flag.Bool("sim", false, "also run the cycle-level simulator for comparison")
+	)
+	args := argList{}
+	flag.Var(args, "arg", "scalar kernel argument name=value (repeatable)")
+	flag.Parse()
+
+	if *file == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*file)
+	fatal(err)
+
+	prog, err := core.Compile(*file, src, map[string]string{"WG": fmt.Sprint(*wg)})
+	fatal(err)
+	f := prog.Kernels[0]
+	if *kernel != "" {
+		if f = prog.Kernel(*kernel); f == nil {
+			fatal(fmt.Errorf("kernel %s not found", *kernel))
+		}
+	}
+
+	p, ok := device.Platforms()[*platform]
+	if !ok {
+		fatal(fmt.Errorf("unknown platform %q", *platform))
+	}
+
+	launch := makeLaunch(f, *global, *wg, args)
+	an, err := core.Analyze(f, p, launch)
+	fatal(err)
+
+	d := core.Design{
+		WGSize: *wg, WIPipeline: *pipeline, PE: *pe, CU: *cu,
+		Mode: core.ModeBarrier,
+	}
+	if *mode == "pipeline" {
+		d.Mode = core.ModePipeline
+	}
+	est := an.Predict(d)
+
+	fmt.Printf("kernel      %s (%s)\n", f.Name, p.Name)
+	fmt.Printf("design      %v (effective mode: %v)\n", d, est.Mode)
+	fmt.Printf("II_comp^wi  %d   (RecMII %d, ResMII %d)\n", est.IIComp, est.RecMII, est.ResMII)
+	fmt.Printf("D_comp^PE   %d cycles\n", est.Depth)
+	fmt.Printf("N_PE        %d   N_CU %d\n", est.NPE, est.NCU)
+	fmt.Printf("L_mem^wi    %.2f cycles\n", est.LMemWI)
+	fmt.Printf("L_comp^CU   %.0f cycles\n", est.LCompCU)
+	fmt.Printf("T_kernel    %.0f cycles = %.3f ms @ %.0f MHz\n",
+		est.Cycles, est.Seconds*1e3, p.ClockMHz)
+
+	res := an.ResourceUsage(d)
+	feas := "fits"
+	if !res.Feasible {
+		feas = "DOES NOT FIT"
+	}
+	fmt.Printf("resources   %d DSP slices, %d Kb BRAM (%s on %s)\n",
+		res.DSPs, res.BRAMKb, feas, p.Name)
+
+	diag := an.Diagnose(est)
+	fmt.Printf("bottleneck  %v\n", diag.Bottleneck)
+	for _, h := range diag.Hints {
+		fmt.Printf("  hint: %s\n", h)
+	}
+
+	if *simulate {
+		launch2 := makeLaunch(f, *global, *wg, args)
+		sim, err := core.Simulate(f, p, launch2, d, 8)
+		fatal(err)
+		errPct := 0.0
+		if sim.Cycles > 0 {
+			errPct = (est.Cycles - sim.Cycles) / sim.Cycles * 100
+		}
+		fmt.Printf("simulated   %.0f cycles (model error %+.1f%%)\n", sim.Cycles, errPct)
+	}
+}
+
+// makeLaunch synthesizes buffers and scalars for an arbitrary kernel:
+// pointer parameters get deterministic pseudo-noise buffers sized from
+// the global work size; integer scalars default to the problem size.
+func makeLaunch(f *ir.Func, global, wg int64, args argList) *core.Launch {
+	launch := &core.Launch{
+		Range:   core.NDRange{Global: [3]int64{global}, Local: [3]int64{wg}},
+		Buffers: map[string]*core.Buffer{},
+		Scalars: map[string]core.Arg{},
+	}
+	for _, prm := range f.Params {
+		if prm.T.Ptr {
+			elem := prm.T.Elem()
+			n := int(global) * 16 * elem.Lanes()
+			if elem.Base.IsFloat() {
+				b := core.NewFloatBuffer(elem.Base, n)
+				for i := range b.F {
+					h := uint64(i) * 0x9e3779b97f4a7c15
+					b.F[i] = float64(h%1000) / 1000
+				}
+				launch.Buffers[prm.PName] = b
+			} else {
+				b := core.NewIntBuffer(elem.Base, n)
+				for i := range b.I {
+					b.I[i] = int64(i % 97)
+				}
+				launch.Buffers[prm.PName] = b
+			}
+			continue
+		}
+		v, ok := args[prm.PName]
+		if !ok {
+			v = global // int scalars default to the problem size
+		}
+		launch.Scalars[prm.PName] = core.IntArg(v)
+	}
+	return launch
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexcl:", err)
+		os.Exit(1)
+	}
+}

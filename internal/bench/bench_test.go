@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+func TestCorpusComplete(t *testing.T) {
+	rod := Suite("rodinia")
+	if len(rod) != 45 {
+		t.Errorf("rodinia kernels = %d, want 45 (Table 2)", len(rod))
+	}
+	poly := Suite("polybench")
+	if len(poly) != 15 {
+		t.Errorf("polybench kernels = %d, want 15", len(poly))
+	}
+	if len(All()) != 60 {
+		t.Errorf("total = %d, want 60", len(All()))
+	}
+	// Table 2 benchmark groups.
+	wantBenches := map[string]int{
+		"backprop": 2, "bfs": 2, "b+tree": 2, "cfd": 4, "dwt2d": 4,
+		"gaussian": 2, "hotspot": 1, "hotspot3D": 1, "hybridsort": 3,
+		"kmeans": 2, "lavaMD": 1, "leukocyte": 3, "lud": 2, "nn": 1,
+		"nw": 2, "particlefilter": 4, "pathfinder": 1, "srad": 6,
+		"streamcluster": 2,
+	}
+	got := map[string]int{}
+	for _, k := range rod {
+		got[k.Bench]++
+	}
+	for b, n := range wantBenches {
+		if got[b] != n {
+			t.Errorf("bench %s: %d kernels, want %d", b, got[b], n)
+		}
+	}
+}
+
+// TestEveryKernelCompilesAndRuns is the corpus smoke test: every kernel
+// must compile and execute its first two work-groups at the smallest and
+// largest work-group sizes of its sweep.
+func TestEveryKernelCompilesAndRuns(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.ID(), func(t *testing.T) {
+			sizes := k.WGSizes()
+			for _, wg := range []int64{sizes[0], sizes[len(sizes)-1]} {
+				f, err := k.Compile(wg)
+				if err != nil {
+					t.Fatalf("wg=%d compile: %v", wg, err)
+				}
+				cfg := k.Config(wg)
+				if _, err := interp.ProfileKernel(f, cfg, 2); err != nil {
+					t.Fatalf("wg=%d run: %v", wg, err)
+				}
+			}
+		})
+	}
+}
+
+// TestEveryKernelFullRun executes every kernel over its whole NDRange at
+// one medium work-group size — catches out-of-bounds accesses in late
+// work-groups.
+func TestEveryKernelFullRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus run")
+	}
+	for _, k := range All() {
+		k := k
+		t.Run(k.ID(), func(t *testing.T) {
+			sizes := k.WGSizes()
+			wg := sizes[len(sizes)/2]
+			f, err := k.Compile(wg)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if err := interp.Run(f, k.Config(wg)); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		})
+	}
+}
+
+func TestGemmMatchesReference(t *testing.T) {
+	k := Find("gemm", "gemm")
+	if k == nil {
+		t.Fatal("gemm missing")
+	}
+	const wg = 64
+	f, err := k.Compile(wg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := k.Config(wg)
+	// Snapshot inputs.
+	n := int(k.Scalars["ni"])
+	A := append([]float64(nil), cfg.Buffers["A"].F...)
+	B := append([]float64(nil), cfg.Buffers["B"].F...)
+	C := append([]float64(nil), cfg.Buffers["C"].F...)
+	if err := interp.Run(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := C[i*n+j] * 0.5
+			for kk := 0; kk < n; kk++ {
+				want += 1.5 * float64(float32(A[i*n+kk])) * float64(float32(B[kk*n+j]))
+			}
+			got := cfg.Buffers["C"].F[i*n+j]
+			if math.Abs(got-want) > 1e-2*(math.Abs(want)+1) {
+				t.Fatalf("C[%d][%d] = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestKmeansCenterMatchesReference(t *testing.T) {
+	k := Find("kmeans", "center")
+	if k == nil {
+		t.Fatal("kmeans/center missing")
+	}
+	f, err := k.Compile(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := k.Config(64)
+	feat := append([]float64(nil), cfg.Buffers["feature"].F...)
+	clus := append([]float64(nil), cfg.Buffers["clusters"].F...)
+	if err := interp.Run(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	npoints, nclusters, nfeatures := 2048, 5, 8
+	for p := 0; p < npoints; p += 97 {
+		best, bestd := 0, math.Inf(1)
+		for c := 0; c < nclusters; c++ {
+			d := 0.0
+			for ft := 0; ft < nfeatures; ft++ {
+				diff := feat[p*nfeatures+ft] - clus[c*nfeatures+ft]
+				d += diff * diff
+			}
+			if d < bestd {
+				bestd, best = d, c
+			}
+		}
+		if got := cfg.Buffers["membership"].I[p]; got != int64(best) {
+			t.Fatalf("membership[%d] = %d, want %d", p, got, best)
+		}
+	}
+}
+
+func TestPathfinderMatchesReference(t *testing.T) {
+	k := Find("pathfinder", "dynproc")
+	if k == nil {
+		t.Fatal("pathfinder missing")
+	}
+	const wg = 64
+	f, err := k.Compile(wg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := k.Config(wg)
+	cols, iters := 2048, 8
+	wall := append([]int64(nil), cfg.Buffers["wall"].I...)
+	src := append([]int64(nil), cfg.Buffers["src"].I...)
+	if err := interp.Run(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Reference: same wavefront with WG-local neighborhoods.
+	prev := append([]int64(nil), src...)
+	for it := 0; it < iters; it++ {
+		next := make([]int64, cols)
+		for g := 0; g < cols; g++ {
+			l := g % wg
+			left, right := prev[g], prev[g]
+			if l > 0 {
+				left = prev[g-1]
+			}
+			if l < wg-1 {
+				right = prev[g+1]
+			}
+			best := prev[g]
+			if left < best {
+				best = left
+			}
+			if right < best {
+				best = right
+			}
+			next[g] = best + wall[it*cols+g]
+		}
+		prev = next
+	}
+	for g := 0; g < cols; g += 131 {
+		if got := cfg.Buffers["dst"].I[g]; got != prev[g] {
+			t.Fatalf("dst[%d] = %d, want %d", g, got, prev[g])
+		}
+	}
+}
+
+func TestLocalSplit2D(t *testing.T) {
+	k := &Kernel{TwoD: true}
+	cases := map[int64][3]int64{
+		16:  {4, 4, 1},
+		64:  {8, 8, 1},
+		256: {16, 16, 1},
+	}
+	for wg, want := range cases {
+		if got := k.Local(wg); got != want {
+			t.Errorf("Local(%d) = %v, want %v", wg, got, want)
+		}
+	}
+	k1 := &Kernel{}
+	if got := k1.Local(128); got != [3]int64{128, 1, 1} {
+		t.Errorf("1D Local = %v", got)
+	}
+}
+
+func TestConfigDeterministic(t *testing.T) {
+	k := Find("hotspot", "hotspot")
+	a := k.Config(64)
+	b := k.Config(64)
+	for name, buf := range a.Buffers {
+		other := b.Buffers[name]
+		for i := range buf.F {
+			if buf.F[i] != other.F[i] {
+				t.Fatalf("%s differs at %d", name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package bench
+
+// PolyBench/GPU kernels (Grauer-Gray et al., InPar'12): the 15 benchmarks
+// of the OpenCL suite, one representative kernel each. PolyBench kernels
+// have simpler, regular structures than Rodinia (§4.2).
+
+func init() {
+	const n = 64 // matrix dimension; launches are n×n = 4096 work-items
+
+	matrix := func(name string, fill Fill) Buf {
+		return Buf{Name: name, Float: true, Len: n * n, Fill: fill}
+	}
+	vector := func(name string, fill Fill) Buf {
+		return Buf{Name: name, Float: true, Len: n, Fill: fill}
+	}
+
+	register(&Kernel{
+		Suite: "polybench", Bench: "2dconv", Name: "conv2d", Fn: "Convolution2D_kernel",
+		TwoD: true,
+		Source: `
+__kernel void Convolution2D_kernel(__global const float* A,
+                                   __global float* B, int ni, int nj) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    if (i > 0 && i < ni - 1 && j > 0 && j < nj - 1) {
+        B[i * nj + j] = 0.2f * A[(i - 1) * nj + j - 1] + 0.5f * A[(i - 1) * nj + j]
+                      - 0.8f * A[(i - 1) * nj + j + 1] - 0.3f * A[i * nj + j - 1]
+                      + 0.6f * A[i * nj + j] - 0.9f * A[i * nj + j + 1]
+                      + 0.4f * A[(i + 1) * nj + j - 1] + 0.7f * A[(i + 1) * nj + j]
+                      + 0.1f * A[(i + 1) * nj + j + 1];
+    }
+}`,
+		Global:  [3]int64{n, n},
+		Bufs:    []Buf{matrix("A", FillNoise), matrix("B", FillZero)},
+		Scalars: map[string]int64{"ni": n, "nj": n},
+	})
+
+	register(&Kernel{
+		Suite: "polybench", Bench: "3dconv", Name: "conv3d", Fn: "Convolution3D_kernel",
+		TwoD: true,
+		Source: `
+__kernel void Convolution3D_kernel(__global const float* A,
+                                   __global float* B,
+                                   int ni, int nj, int nk) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    if (i > 0 && i < ni - 1 && j > 0 && j < nj - 1) {
+        for (int k = 1; k < nk - 1; k++) {
+            int c = i * nj * nk + j * nk + k;
+            B[c] = 0.2f * A[c - nj * nk - nk - 1] + 0.5f * A[c - nj * nk]
+                 - 0.8f * A[c - nk] + 0.6f * A[c] - 0.9f * A[c + nk]
+                 + 0.4f * A[c + nj * nk] + 0.1f * A[c + nj * nk + nk + 1];
+        }
+    }
+}`,
+		Global: [3]int64{32, 32},
+		Bufs: []Buf{
+			{Name: "A", Float: true, Len: 32 * 32 * 8, Fill: FillNoise},
+			{Name: "B", Float: true, Len: 32 * 32 * 8},
+		},
+		Scalars: map[string]int64{"ni": 32, "nj": 32, "nk": 8},
+	})
+
+	register(&Kernel{
+		Suite: "polybench", Bench: "2mm", Name: "mm2", Fn: "mm2_kernel1",
+		TwoD: true,
+		Source: `
+__kernel void mm2_kernel1(__global const float* A,
+                          __global const float* B,
+                          __global float* C, int ni, int nj, int nk) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    if (i < ni && j < nj) {
+        float acc = 0.0f;
+        for (int k = 0; k < nk; k++) {
+            acc += A[i * nk + k] * B[k * nj + j];
+        }
+        C[i * nj + j] = acc;
+    }
+}`,
+		Global:  [3]int64{n, n},
+		Bufs:    []Buf{matrix("A", FillNoise), matrix("B", FillMod), matrix("C", FillZero)},
+		Scalars: map[string]int64{"ni": n, "nj": n, "nk": n},
+	})
+
+	register(&Kernel{
+		Suite: "polybench", Bench: "3mm", Name: "mm3", Fn: "mm3_kernel1",
+		TwoD: true,
+		Source: `
+__kernel void mm3_kernel1(__global const float* A,
+                          __global const float* B,
+                          __global const float* C,
+                          __global float* E, int ni, int nj, int nk) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    if (i < ni && j < nj) {
+        float ab = 0.0f;
+        for (int k = 0; k < nk; k++) {
+            ab += A[i * nk + k] * B[k * nj + j];
+        }
+        float abc = 0.0f;
+        for (int k = 0; k < nk; k++) {
+            abc += ab * C[k * nj + j] * 0.125f;
+        }
+        E[i * nj + j] = abc;
+    }
+}`,
+		Global: [3]int64{n, n},
+		Bufs: []Buf{
+			matrix("A", FillNoise), matrix("B", FillMod),
+			matrix("C", FillNoise), matrix("E", FillZero),
+		},
+		Scalars: map[string]int64{"ni": n, "nj": n, "nk": n},
+	})
+
+	register(&Kernel{
+		Suite: "polybench", Bench: "atax", Name: "atax", Fn: "atax_kernel1",
+		Source: `
+__kernel void atax_kernel1(__global const float* A,
+                           __global const float* x,
+                           __global float* tmp, int nx, int ny) {
+    int i = get_global_id(0);
+    if (i < nx) {
+        float acc = 0.0f;
+        for (int j = 0; j < ny; j++) {
+            acc += A[i * ny + j] * x[j];
+        }
+        tmp[i] = acc;
+    }
+}`,
+		Global:  [3]int64{n * 8},
+		Bufs:    []Buf{{Name: "A", Float: true, Len: 8 * n * n, Fill: FillNoise}, vector("x", FillMod), {Name: "tmp", Float: true, Len: 8 * n}},
+		Scalars: map[string]int64{"nx": 8 * n, "ny": n},
+	})
+
+	register(&Kernel{
+		Suite: "polybench", Bench: "bicg", Name: "bicg", Fn: "bicg_kernel1",
+		Source: `
+__kernel void bicg_kernel1(__global const float* A,
+                           __global const float* p,
+                           __global float* q, int nx, int ny) {
+    int i = get_global_id(0);
+    if (i < nx) {
+        float acc = 0.0f;
+        for (int j = 0; j < ny; j++) {
+            acc += A[i * ny + j] * p[j];
+        }
+        q[i] = acc;
+    }
+}`,
+		Global:  [3]int64{n * 8},
+		Bufs:    []Buf{{Name: "A", Float: true, Len: 8 * n * n, Fill: FillMod}, vector("p", FillNoise), {Name: "q", Float: true, Len: 8 * n}},
+		Scalars: map[string]int64{"nx": 8 * n, "ny": n},
+	})
+
+	register(&Kernel{
+		Suite: "polybench", Bench: "correlation", Name: "corr", Fn: "corr_kernel",
+		Source: `
+__kernel void corr_kernel(__global const float* data,
+                          __global const float* mean,
+                          __global const float* stddev,
+                          __global float* symmat, int m, int npts) {
+    int j1 = get_global_id(0);
+    if (j1 < m) {
+        for (int j2 = j1; j2 < m; j2++) {
+            float acc = 0.0f;
+            for (int i = 0; i < npts; i++) {
+                acc += (data[i * m + j1] - mean[j1]) * (data[i * m + j2] - mean[j2]);
+            }
+            symmat[j1 * m + j2] = acc / ((float)npts * stddev[j1] * stddev[j2] + 0.001f);
+        }
+    }
+}`,
+		Global: [3]int64{n},
+		MaxWG:  64,
+		Bufs: []Buf{
+			matrix("data", FillNoise), vector("mean", FillMod),
+			vector("stddev", FillOne), matrix("symmat", FillZero),
+		},
+		Scalars: map[string]int64{"m": n, "npts": n},
+	})
+
+	register(&Kernel{
+		Suite: "polybench", Bench: "covariance", Name: "covar", Fn: "covar_kernel",
+		Source: `
+__kernel void covar_kernel(__global const float* data,
+                           __global const float* mean,
+                           __global float* symmat, int m, int npts) {
+    int j1 = get_global_id(0);
+    if (j1 < m) {
+        for (int j2 = j1; j2 < m; j2++) {
+            float acc = 0.0f;
+            for (int i = 0; i < npts; i++) {
+                acc += (data[i * m + j1] - mean[j1]) * (data[i * m + j2] - mean[j2]);
+            }
+            symmat[j1 * m + j2] = acc / ((float)npts - 1.0f);
+        }
+    }
+}`,
+		Global: [3]int64{n},
+		MaxWG:  64,
+		Bufs: []Buf{
+			matrix("data", FillNoise), vector("mean", FillMod), matrix("symmat", FillZero),
+		},
+		Scalars: map[string]int64{"m": n, "npts": n},
+	})
+
+	register(&Kernel{
+		Suite: "polybench", Bench: "fdtd2d", Name: "fdtd", Fn: "fdtd_kernel",
+		TwoD: true,
+		Source: `
+__kernel void fdtd_kernel(__global float* ex,
+                          __global float* ey,
+                          __global float* hz, int nx, int ny) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    if (i < nx - 1 && j < ny - 1) {
+        float dhz = hz[(i + 1) * ny + j] - hz[i * ny + j];
+        ey[i * ny + j] = ey[i * ny + j] - 0.5f * dhz;
+        float dhz2 = hz[i * ny + j + 1] - hz[i * ny + j];
+        ex[i * ny + j] = ex[i * ny + j] - 0.5f * dhz2;
+        hz[i * ny + j] = hz[i * ny + j]
+            - 0.7f * (ex[i * ny + j + 1] - ex[i * ny + j]
+                    + ey[(i + 1) * ny + j] - ey[i * ny + j]);
+    }
+}`,
+		Global:  [3]int64{n, n},
+		Bufs:    []Buf{matrix("ex", FillNoise), matrix("ey", FillMod), matrix("hz", FillNoise)},
+		Scalars: map[string]int64{"nx": n, "ny": n},
+	})
+
+	register(&Kernel{
+		Suite: "polybench", Bench: "gemm", Name: "gemm", Fn: "gemm_kernel",
+		TwoD: true,
+		Source: `
+__kernel void gemm_kernel(__global const float* A,
+                          __global const float* B,
+                          __global float* C, int ni, int nj, int nk) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    if (i < ni && j < nj) {
+        float acc = C[i * nj + j] * 0.5f;
+        for (int k = 0; k < nk; k++) {
+            acc += 1.5f * A[i * nk + k] * B[k * nj + j];
+        }
+        C[i * nj + j] = acc;
+    }
+}`,
+		Global:  [3]int64{n, n},
+		Bufs:    []Buf{matrix("A", FillNoise), matrix("B", FillMod), matrix("C", FillNoise)},
+		Scalars: map[string]int64{"ni": n, "nj": n, "nk": n},
+	})
+
+	register(&Kernel{
+		Suite: "polybench", Bench: "gesummv", Name: "gesummv", Fn: "gesummv_kernel",
+		Source: `
+__kernel void gesummv_kernel(__global const float* A,
+                             __global const float* B,
+                             __global const float* x,
+                             __global float* y, int nn) {
+    int i = get_global_id(0);
+    if (i < nn) {
+        float tmp = 0.0f;
+        float yv = 0.0f;
+        for (int j = 0; j < nn; j++) {
+            tmp += A[i * nn + j] * x[j];
+            yv += B[i * nn + j] * x[j];
+        }
+        y[i] = 1.5f * tmp + 2.5f * yv;
+    }
+}`,
+		Global:  [3]int64{n},
+		MaxWG:   64,
+		Bufs:    []Buf{matrix("A", FillNoise), matrix("B", FillMod), vector("x", FillNoise), vector("y", FillZero)},
+		Scalars: map[string]int64{"nn": n},
+	})
+
+	register(&Kernel{
+		Suite: "polybench", Bench: "gramschmidt", Name: "gramschmidt", Fn: "gramschmidt_kernel",
+		Source: `
+__kernel void gramschmidt_kernel(__global float* A,
+                                 __global float* R,
+                                 __global float* Q,
+                                 int k, int nrows, int ncols) {
+    int i = get_global_id(0);
+    if (i < nrows) {
+        float nrm = 0.0f;
+        for (int r = 0; r < nrows; r++) {
+            nrm += A[r * ncols + k] * A[r * ncols + k];
+        }
+        R[k * ncols + k] = sqrt(nrm);
+        Q[i * ncols + k] = A[i * ncols + k] / (sqrt(nrm) + 0.001f);
+    }
+}`,
+		Global:  [3]int64{n},
+		MaxWG:   64,
+		Bufs:    []Buf{matrix("A", FillNoise), matrix("R", FillZero), matrix("Q", FillZero)},
+		Scalars: map[string]int64{"k": 3, "nrows": n, "ncols": n},
+	})
+
+	register(&Kernel{
+		Suite: "polybench", Bench: "mvt", Name: "mvt", Fn: "mvt_kernel1",
+		Source: `
+__kernel void mvt_kernel1(__global const float* a,
+                          __global float* x1,
+                          __global const float* y1, int nn) {
+    int i = get_global_id(0);
+    if (i < nn) {
+        float acc = x1[i];
+        for (int j = 0; j < nn; j++) {
+            acc += a[i * nn + j] * y1[j];
+        }
+        x1[i] = acc;
+    }
+}`,
+		Global:  [3]int64{n},
+		MaxWG:   64,
+		Bufs:    []Buf{matrix("a", FillNoise), vector("x1", FillMod), vector("y1", FillNoise)},
+		Scalars: map[string]int64{"nn": n},
+	})
+
+	register(&Kernel{
+		Suite: "polybench", Bench: "syrk", Name: "syrk", Fn: "syrk_kernel",
+		TwoD: true,
+		Source: `
+__kernel void syrk_kernel(__global const float* A,
+                          __global float* C, int nn, int m) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    if (i < nn && j < nn) {
+        float acc = C[i * nn + j] * 0.5f;
+        for (int k = 0; k < m; k++) {
+            acc += 2.0f * A[i * m + k] * A[j * m + k];
+        }
+        C[i * nn + j] = acc;
+    }
+}`,
+		Global:  [3]int64{n, n},
+		Bufs:    []Buf{matrix("A", FillNoise), matrix("C", FillMod)},
+		Scalars: map[string]int64{"nn": n, "m": n},
+	})
+
+	register(&Kernel{
+		Suite: "polybench", Bench: "syr2k", Name: "syr2k", Fn: "syr2k_kernel",
+		TwoD: true,
+		Source: `
+__kernel void syr2k_kernel(__global const float* A,
+                           __global const float* B,
+                           __global float* C, int nn, int m) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    if (i < nn && j < nn) {
+        float acc = C[i * nn + j] * 0.5f;
+        for (int k = 0; k < m; k++) {
+            acc += 2.0f * A[i * m + k] * B[j * m + k];
+            acc += 2.0f * B[i * m + k] * A[j * m + k];
+        }
+        C[i * nn + j] = acc;
+    }
+}`,
+		Global:  [3]int64{n, n},
+		Bufs:    []Buf{matrix("A", FillNoise), matrix("B", FillMod), matrix("C", FillNoise)},
+		Scalars: map[string]int64{"nn": n, "m": n},
+	})
+}

@@ -1,0 +1,420 @@
+package bench
+
+// Rodinia kernels, part 1: backprop, bfs, b+tree, cfd, dwt2d, gaussian.
+// Each kernel mirrors the structure of the original Rodinia OpenCL code
+// (loop nests, local-memory staging, barriers, access patterns) within
+// the supported language subset. The WG macro is bound to the swept
+// work-group size at compile time.
+
+func init() {
+	register(&Kernel{
+		Suite: "rodinia", Bench: "backprop", Name: "layer", Fn: "bpnn_layerforward",
+		Source: `
+__kernel void bpnn_layerforward(__global const float* input,
+                                __global const float* weights,
+                                __global float* hidden,
+                                int in_n, int hid_n) {
+    int j = get_global_id(0);
+    if (j < hid_n) {
+        float sum = 0.0f;
+        for (int i = 0; i < in_n; i++) {
+            sum += input[i] * weights[i * hid_n + j];
+        }
+        hidden[j] = 1.0f / (1.0f + exp(-sum));
+    }
+}`,
+		Global: [3]int64{2048},
+		Bufs: []Buf{
+			{Name: "input", Float: true, Len: 64, Fill: FillMod},
+			{Name: "weights", Float: true, Len: 64 * 2048, Fill: FillNoise},
+			{Name: "hidden", Float: true, Len: 2048},
+		},
+		Scalars: map[string]int64{"in_n": 64, "hid_n": 2048},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "backprop", Name: "adjust", Fn: "bpnn_adjust_weights",
+		Source: `
+__kernel void bpnn_adjust_weights(__global float* w,
+                                  __global const float* delta,
+                                  __global const float* ly,
+                                  int hid_n, int out_n) {
+    int i = get_global_id(0);
+    if (i < hid_n * out_n) {
+        int r = i / out_n;
+        int c = i % out_n;
+        float grad = 0.3f * delta[c] * ly[r];
+        w[i] = w[i] + grad + 0.0001f * w[i];
+    }
+}`,
+		Global: [3]int64{4096},
+		Bufs: []Buf{
+			{Name: "w", Float: true, Len: 4096, Fill: FillNoise},
+			{Name: "delta", Float: true, Len: 64, Fill: FillMod},
+			{Name: "ly", Float: true, Len: 64, Fill: FillNoise},
+		},
+		Scalars: map[string]int64{"hid_n": 64, "out_n": 64},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "bfs", Name: "bfs_1", Fn: "bfs_kernel_1",
+		Source: `
+__kernel void bfs_kernel_1(__global const int* row_start,
+                           __global const int* row_len,
+                           __global const int* edges,
+                           __global int* mask,
+                           __global int* updating,
+                           __global int* cost,
+                           int n) {
+    int tid = get_global_id(0);
+    if (tid < n && mask[tid] != 0) {
+        mask[tid] = 0;
+        int start = row_start[tid];
+        int len = row_len[tid];
+        for (int e = start; e < start + len; e++) {
+            int id = edges[e];
+            if (cost[id] < 0) {
+                cost[id] = cost[tid] + 1;
+                updating[id] = 1;
+            }
+        }
+    }
+}`,
+		Global: [3]int64{2048},
+		Bufs: []Buf{
+			{Name: "row_start", Len: 2048, Fill: FillRowPtr, Aux: 4},
+			{Name: "row_len", Len: 2048, Fill: FillConst, Aux: 4},
+			{Name: "edges", Len: 8192, Fill: FillPerm, Mod: 2048},
+			{Name: "mask", Len: 2048, Fill: FillPerm, Mod: 2},
+			{Name: "updating", Len: 2048},
+			{Name: "cost", Len: 2048, Fill: FillConst, Aux: -1, Mod: 0},
+		},
+		Scalars: map[string]int64{"n": 2048},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "bfs", Name: "bfs_2", Fn: "bfs_kernel_2",
+		Source: `
+__kernel void bfs_kernel_2(__global int* mask,
+                           __global int* updating,
+                           __global int* over,
+                           int n) {
+    int tid = get_global_id(0);
+    if (tid < n && updating[tid] != 0) {
+        mask[tid] = 1;
+        updating[tid] = 0;
+        atomic_max(over, 1);
+    }
+}`,
+		Global: [3]int64{2048},
+		Bufs: []Buf{
+			{Name: "mask", Len: 2048},
+			{Name: "updating", Len: 2048, Fill: FillPerm, Mod: 2},
+			{Name: "over", Len: 1},
+		},
+		Scalars: map[string]int64{"n": 2048},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "b+tree", Name: "findK", Fn: "findK",
+		Source: `
+__kernel void findK(__global const int* knodes,
+                    __global const int* keys,
+                    __global int* ans,
+                    int n, int height) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        int key = keys[tid];
+        int lo = 0;
+        int hi = n - 1;
+        for (int d = 0; d < height; d++) {
+            int mid = (lo + hi) / 2;
+            if (knodes[mid] < key) { lo = mid + 1; } else { hi = mid; }
+        }
+        ans[tid] = lo;
+    }
+}`,
+		Global: [3]int64{2048},
+		Bufs: []Buf{
+			{Name: "knodes", Len: 2048, Fill: FillRamp},
+			{Name: "keys", Len: 2048, Fill: FillPerm, Mod: 2048},
+			{Name: "ans", Len: 2048},
+		},
+		Scalars: map[string]int64{"n": 2048, "height": 11},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "b+tree", Name: "rangeK", Fn: "findRangeK",
+		Source: `
+__kernel void findRangeK(__global const int* knodes,
+                         __global const int* start,
+                         __global const int* end,
+                         __global int* recstart,
+                         __global int* reclen,
+                         int n, int height) {
+    int tid = get_global_id(0);
+    if (tid < n) {
+        int ks = start[tid];
+        int ke = end[tid];
+        int lo = 0;
+        int hi = n - 1;
+        for (int d = 0; d < height; d++) {
+            int mid = (lo + hi) / 2;
+            if (knodes[mid] < ks) { lo = mid + 1; } else { hi = mid; }
+        }
+        int lo2 = lo;
+        int hi2 = n - 1;
+        for (int d = 0; d < height; d++) {
+            int mid = (lo2 + hi2) / 2;
+            if (knodes[mid] < ke) { lo2 = mid + 1; } else { hi2 = mid; }
+        }
+        recstart[tid] = lo;
+        reclen[tid] = lo2 - lo;
+    }
+}`,
+		Global: [3]int64{2048},
+		Bufs: []Buf{
+			{Name: "knodes", Len: 2048, Fill: FillRamp},
+			{Name: "start", Len: 2048, Fill: FillPerm, Mod: 1024},
+			{Name: "end", Len: 2048, Fill: FillPerm, Mod: 2048},
+			{Name: "recstart", Len: 2048},
+			{Name: "reclen", Len: 2048},
+		},
+		Scalars: map[string]int64{"n": 2048, "height": 11},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "cfd", Name: "memset", Fn: "memset_kernel",
+		Source: `
+__kernel void memset_kernel(__global float* mem, int n) {
+    int i = get_global_id(0);
+    if (i < n) { mem[i] = 0.0f; }
+}`,
+		Global:  [3]int64{4096},
+		Bufs:    []Buf{{Name: "mem", Float: true, Len: 4096, Fill: FillNoise}},
+		Scalars: map[string]int64{"n": 4096},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "cfd", Name: "initialize", Fn: "initialize_variables",
+		Source: `
+__kernel void initialize_variables(__global float* variables,
+                                   __global const float* ff_variable,
+                                   int nelr) {
+    int i = get_global_id(0);
+    if (i < nelr) {
+        for (int j = 0; j < 5; j++) {
+            variables[j * nelr + i] = ff_variable[j];
+        }
+    }
+}`,
+		Global: [3]int64{2048},
+		Bufs: []Buf{
+			{Name: "variables", Float: true, Len: 5 * 2048},
+			{Name: "ff_variable", Float: true, Len: 5, Fill: FillSmall},
+		},
+		Scalars: map[string]int64{"nelr": 2048},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "cfd", Name: "compute", Fn: "compute_flux",
+		Source: `
+__kernel void compute_flux(__global const int* neighbors,
+                           __global const float* variables,
+                           __global float* fluxes,
+                           int nelr) {
+    int i = get_global_id(0);
+    if (i < nelr) {
+        float density = variables[i];
+        float momentum = variables[nelr + i];
+        float energy = variables[2 * nelr + i];
+        float flux_d = 0.0f;
+        float flux_m = 0.0f;
+        for (int j = 0; j < 4; j++) {
+            int nb = neighbors[i * 4 + j];
+            float dn = variables[nb];
+            float mn = variables[nelr + nb];
+            float factor = 0.5f * (dn - density);
+            flux_d += factor;
+            flux_m += 0.5f * (mn - momentum) + sqrt(fabs(dn * density)) * 0.01f;
+        }
+        fluxes[i] = flux_d + 0.1f * energy;
+        fluxes[nelr + i] = flux_m;
+    }
+}`,
+		Global: [3]int64{2048},
+		Bufs: []Buf{
+			{Name: "neighbors", Len: 4 * 2048, Fill: FillPerm, Mod: 2048},
+			{Name: "variables", Float: true, Len: 3 * 2048, Fill: FillNoise},
+			{Name: "fluxes", Float: true, Len: 2 * 2048},
+		},
+		Scalars: map[string]int64{"nelr": 2048},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "cfd", Name: "time_step", Fn: "time_step",
+		Source: `
+__kernel void time_step(__global float* variables,
+                        __global const float* old_variables,
+                        __global const float* fluxes,
+                        int nelr) {
+    int i = get_global_id(0);
+    if (i < nelr) {
+        float factor = 0.5f;
+        variables[i] = old_variables[i] + factor * fluxes[i];
+        variables[nelr + i] = old_variables[nelr + i] + factor * fluxes[nelr + i];
+    }
+}`,
+		Global: [3]int64{2048},
+		Bufs: []Buf{
+			{Name: "variables", Float: true, Len: 2 * 2048},
+			{Name: "old_variables", Float: true, Len: 2 * 2048, Fill: FillNoise},
+			{Name: "fluxes", Float: true, Len: 2 * 2048, Fill: FillMod},
+		},
+		Scalars: map[string]int64{"nelr": 2048},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "dwt2d", Name: "components", Fn: "c_copy_components",
+		Source: `
+__kernel void c_copy_components(__global const int* src,
+                                __global int* r,
+                                __global int* g,
+                                __global int* b,
+                                int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        r[i] = src[3 * i] - 128;
+        g[i] = src[3 * i + 1] - 128;
+        b[i] = src[3 * i + 2] - 128;
+    }
+}`,
+		Global: [3]int64{2048},
+		Bufs: []Buf{
+			{Name: "src", Len: 3 * 2048, Fill: FillNoise, Mod: 256},
+			{Name: "r", Len: 2048}, {Name: "g", Len: 2048}, {Name: "b", Len: 2048},
+		},
+		Scalars: map[string]int64{"n": 2048},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "dwt2d", Name: "component", Fn: "c_copy_component",
+		Source: `
+__kernel void c_copy_component(__global const int* src,
+                               __global int* dst,
+                               int n) {
+    int i = get_global_id(0);
+    if (i < n) { dst[i] = src[i] - 128; }
+}`,
+		Global: [3]int64{4096},
+		Bufs: []Buf{
+			{Name: "src", Len: 4096, Fill: FillNoise, Mod: 256},
+			{Name: "dst", Len: 4096},
+		},
+		Scalars: map[string]int64{"n": 4096},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "dwt2d", Name: "fdwt", Fn: "fdwt53",
+		Source: `
+// 5/3 lifting wavelet over work-group tiles staged in local memory.
+__kernel void fdwt53(__global const float* in, __global float* out, int n) {
+    __local float t[WG];
+    int l = get_local_id(0);
+    int g = get_global_id(0);
+    int lw = get_local_size(0);
+    t[l] = (g < n) ? in[g] : 0.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    // Predict: odd samples.
+    if ((l & 1) == 1 && l + 1 < lw) {
+        t[l] = t[l] - 0.5f * (t[l - 1] + t[l + 1]);
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    // Update: even samples.
+    if ((l & 1) == 0 && l > 0 && l + 1 < lw) {
+        t[l] = t[l] + 0.25f * (t[l - 1] + t[l + 1]);
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (g < n) { out[g] = t[l]; }
+}`,
+		Global: [3]int64{4096},
+		Bufs: []Buf{
+			{Name: "in", Float: true, Len: 4096, Fill: FillNoise},
+			{Name: "out", Float: true, Len: 4096},
+		},
+		Scalars: map[string]int64{"n": 4096},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "dwt2d", Name: "compute", Fn: "dwt_vertical",
+		TwoD: true,
+		Source: `
+__kernel void dwt_vertical(__global const float* in, __global float* out,
+                           int w, int h) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    if (x < w && y < h) {
+        int yu = (y > 0) ? y - 1 : y;
+        int yd = (y < h - 1) ? y + 1 : y;
+        float c = in[y * w + x];
+        float up = in[yu * w + x];
+        float dn = in[yd * w + x];
+        out[y * w + x] = c - 0.5f * (up + dn);
+    }
+}`,
+		Global: [3]int64{64, 64},
+		Bufs: []Buf{
+			{Name: "in", Float: true, Len: 64 * 64, Fill: FillNoise},
+			{Name: "out", Float: true, Len: 64 * 64},
+		},
+		Scalars: map[string]int64{"w": 64, "h": 64},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "gaussian", Name: "fan1", Fn: "Fan1",
+		Source: `
+__kernel void Fan1(__global float* m_dev,
+                   __global const float* a_dev,
+                   int size, int t) {
+    int i = get_global_id(0);
+    if (i < size - 1 - t) {
+        m_dev[(i + t + 1) * size + t] = a_dev[(i + t + 1) * size + t] / a_dev[t * size + t];
+    }
+}`,
+		// The host launches one work-item per remaining row (size−1−t),
+		// rounded up to the work-group size, as the Rodinia driver does.
+		Global: [3]int64{64},
+		MaxWG:  64,
+		Bufs: []Buf{
+			{Name: "m_dev", Float: true, Len: 64 * 64},
+			{Name: "a_dev", Float: true, Len: 64 * 64, Fill: FillDiagDom, Aux: 64},
+		},
+		Scalars: map[string]int64{"size": 64, "t": 2},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "gaussian", Name: "fan2", Fn: "Fan2",
+		TwoD: true,
+		Source: `
+__kernel void Fan2(__global float* a_dev,
+                   __global float* b_dev,
+                   __global const float* m_dev,
+                   int size, int t) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    if (x < size - 1 - t && y < size - t) {
+        a_dev[(x + t + 1) * size + (y + t)] -= m_dev[(x + t + 1) * size + t] * a_dev[t * size + (y + t)];
+        if (y == 0) {
+            b_dev[x + t + 1] -= m_dev[(x + t + 1) * size + t] * b_dev[t];
+        }
+    }
+}`,
+		Global: [3]int64{64, 64},
+		Bufs: []Buf{
+			{Name: "a_dev", Float: true, Len: 64 * 64, Fill: FillDiagDom, Aux: 64},
+			{Name: "b_dev", Float: true, Len: 64, Fill: FillSmall},
+			{Name: "m_dev", Float: true, Len: 64 * 64, Fill: FillNoise},
+		},
+		Scalars: map[string]int64{"size": 64, "t": 2},
+	})
+}

@@ -1,0 +1,423 @@
+package bench
+
+// Rodinia kernels, part 2: hotspot, hotspot3D, hybridsort, kmeans,
+// lavaMD, leukocyte, lud.
+
+func init() {
+	register(&Kernel{
+		Suite: "rodinia", Bench: "hotspot", Name: "hotspot", Fn: "hotspot",
+		TwoD: true,
+		Source: `
+// Thermal stencil with the tile staged in local memory (as the Rodinia
+// original does) and a barrier separating load and compute phases.
+__kernel void hotspot(__global const float* temp,
+                      __global const float* power,
+                      __global float* dst,
+                      int w, int h) {
+    __local float t[WG];
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int lw = get_local_size(0);
+    int lh = get_local_size(1);
+    int idx = y * w + x;
+    int lidx = ly * lw + lx;
+    if (x < w && y < h) { t[lidx] = temp[idx]; }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (x > 0 && x < w - 1 && y > 0 && y < h - 1) {
+        float c = t[lidx];
+        float up;
+        float dn;
+        float lf;
+        float rt;
+        if (ly > 0) { up = t[lidx - lw]; } else { up = temp[idx - w]; }
+        if (ly < lh - 1) { dn = t[lidx + lw]; } else { dn = temp[idx + w]; }
+        if (lx > 0) { lf = t[lidx - 1]; } else { lf = temp[idx - 1]; }
+        if (lx < lw - 1) { rt = t[lidx + 1]; } else { rt = temp[idx + 1]; }
+        dst[idx] = c + 0.2f * (up + dn + lf + rt - 4.0f * c) + 0.1f * power[idx];
+    }
+}`,
+		Global: [3]int64{64, 64},
+		Bufs: []Buf{
+			{Name: "temp", Float: true, Len: 64 * 64, Fill: FillNoise},
+			{Name: "power", Float: true, Len: 64 * 64, Fill: FillMod},
+			{Name: "dst", Float: true, Len: 64 * 64},
+		},
+		Scalars: map[string]int64{"w": 64, "h": 64},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "hotspot3D", Name: "hotspot3D", Fn: "hotspotOpt1",
+		TwoD: true,
+		Source: `
+__kernel void hotspotOpt1(__global const float* tIn,
+                          __global const float* pIn,
+                          __global float* tOut,
+                          int nx, int ny, int nz) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    if (i < nx && j < ny) {
+        for (int k = 0; k < nz; k++) {
+            int c = i + nx * (j + ny * k);
+            int iw = (i > 0) ? c - 1 : c;
+            int ie = (i < nx - 1) ? c + 1 : c;
+            int jn = (j > 0) ? c - nx : c;
+            int js = (j < ny - 1) ? c + nx : c;
+            int kb = (k > 0) ? c - nx * ny : c;
+            int kt = (k < nz - 1) ? c + nx * ny : c;
+            float cc = tIn[c];
+            float sum = tIn[iw] + tIn[ie] + tIn[jn] + tIn[js] + tIn[kb] + tIn[kt];
+            tOut[c] = 0.4f * cc + 0.0833f * sum + 0.05f * pIn[c];
+        }
+    }
+}`,
+		Global: [3]int64{32, 32},
+		MaxWG:  256,
+		Bufs: []Buf{
+			{Name: "tIn", Float: true, Len: 32 * 32 * 8, Fill: FillNoise},
+			{Name: "pIn", Float: true, Len: 32 * 32 * 8, Fill: FillMod},
+			{Name: "tOut", Float: true, Len: 32 * 32 * 8},
+		},
+		Scalars: map[string]int64{"nx": 32, "ny": 32, "nz": 8},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "hybridsort", Name: "count", Fn: "bucketcount",
+		Source: `
+__kernel void bucketcount(__global const float* input,
+                          __global int* indice,
+                          __global int* d_prefixoffsets,
+                          int n, int nbuckets) {
+    int i = get_global_id(0);
+    if (i < n) {
+        float v = input[i];
+        int b = (int)(v * (float)nbuckets);
+        if (b >= nbuckets) { b = nbuckets - 1; }
+        if (b < 0) { b = 0; }
+        indice[i] = b;
+        atomic_add(d_prefixoffsets + b, 1);
+    }
+}`,
+		Global: [3]int64{2048},
+		Bufs: []Buf{
+			{Name: "input", Float: true, Len: 2048, Fill: FillNoise},
+			{Name: "indice", Len: 2048},
+			{Name: "d_prefixoffsets", Len: 64},
+		},
+		Scalars: map[string]int64{"n": 2048, "nbuckets": 64},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "hybridsort", Name: "prefix", Fn: "prefixsum",
+		Source: `
+// Hillis–Steele scan within each work-group, staged in local memory.
+__kernel void prefixsum(__global int* d, int n) {
+    __local int t[WG];
+    __local int s[WG];
+    int l = get_local_id(0);
+    int g = get_global_id(0);
+    int lw = get_local_size(0);
+    t[l] = (g < n) ? d[g] : 0;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int off = 1; off < lw; off = off * 2) {
+        int v = t[l];
+        if (l >= off) { v = v + t[l - off]; }
+        barrier(CLK_LOCAL_MEM_FENCE);
+        s[l] = v;
+        barrier(CLK_LOCAL_MEM_FENCE);
+        t[l] = s[l];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (g < n) { d[g] = t[l]; }
+}`,
+		Global:  [3]int64{2048},
+		Bufs:    []Buf{{Name: "d", Len: 2048, Fill: FillSmall}},
+		Scalars: map[string]int64{"n": 2048},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "hybridsort", Name: "sort", Fn: "bitonicSort",
+		Source: `
+__kernel void bitonicSort(__global float* d, int n, int j, int k) {
+    int i = get_global_id(0);
+    int ixj = i ^ j;
+    if (i < n && ixj > i && ixj < n) {
+        float a = d[i];
+        float b = d[ixj];
+        int ascending = ((i & k) == 0);
+        int swap = 0;
+        if (ascending != 0) {
+            if (a > b) { swap = 1; }
+        } else {
+            if (a < b) { swap = 1; }
+        }
+        if (swap != 0) { d[i] = b; d[ixj] = a; }
+    }
+}`,
+		Global: [3]int64{2048},
+		Bufs: []Buf{
+			{Name: "d", Float: true, Len: 2048, Fill: FillPerm, Mod: 2048},
+		},
+		Scalars: map[string]int64{"n": 2048, "j": 2, "k": 8},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "kmeans", Name: "center", Fn: "kmeans_kernel_c",
+		Source: `
+__kernel void kmeans_kernel_c(__global const float* feature,
+                              __global const float* clusters,
+                              __global int* membership,
+                              int npoints, int nclusters, int nfeatures) {
+    int point_id = get_global_id(0);
+    if (point_id < npoints) {
+        int index = 0;
+        float min_dist = 3.4e37f;
+        for (int i = 0; i < nclusters; i++) {
+            float dist = 0.0f;
+            for (int l = 0; l < nfeatures; l++) {
+                float diff = feature[point_id * nfeatures + l] - clusters[i * nfeatures + l];
+                dist += diff * diff;
+            }
+            if (dist < min_dist) {
+                min_dist = dist;
+                index = i;
+            }
+        }
+        membership[point_id] = index;
+    }
+}`,
+		Global: [3]int64{2048},
+		Bufs: []Buf{
+			{Name: "feature", Float: true, Len: 2048 * 8, Fill: FillNoise},
+			{Name: "clusters", Float: true, Len: 5 * 8, Fill: FillMod},
+			{Name: "membership", Len: 2048},
+		},
+		Scalars: map[string]int64{"npoints": 2048, "nclusters": 5, "nfeatures": 8},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "kmeans", Name: "swap", Fn: "kmeans_swap",
+		Source: `
+__kernel void kmeans_swap(__global const float* feature,
+                          __global float* feature_swap,
+                          int npoints, int nfeatures) {
+    int tid = get_global_id(0);
+    if (tid < npoints) {
+        for (int i = 0; i < nfeatures; i++) {
+            feature_swap[i * npoints + tid] = feature[tid * nfeatures + i];
+        }
+    }
+}`,
+		Global: [3]int64{2048},
+		Bufs: []Buf{
+			{Name: "feature", Float: true, Len: 2048 * 8, Fill: FillNoise},
+			{Name: "feature_swap", Float: true, Len: 2048 * 8},
+		},
+		Scalars: map[string]int64{"npoints": 2048, "nfeatures": 8},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "lavaMD", Name: "lavaMD", Fn: "kernel_gpu_opencl",
+		Source: `
+// Particle interactions between a home box and its neighbor boxes.
+__kernel void kernel_gpu_opencl(__global const float* rv,
+                                __global const float* qv,
+                                __global float* fv,
+                                __global const int* nn,
+                                int nboxes, int perbox) {
+    int i = get_global_id(0);
+    int box = i / perbox;
+    if (box < nboxes) {
+        float xi = rv[i];
+        float qi = qv[i];
+        float acc = 0.0f;
+        for (int nb = 0; nb < 4; nb++) {
+            int obox = nn[box * 4 + nb];
+            for (int j = 0; j < perbox; j++) {
+                float xj = rv[obox * perbox + j];
+                float r2 = (xi - xj) * (xi - xj) + 1.0f;
+                float u2 = 0.5f * r2;
+                float vij = exp(-u2);
+                acc += qi * qv[obox * perbox + j] * vij * (xi - xj);
+            }
+        }
+        fv[i] = acc;
+    }
+}`,
+		Global: [3]int64{2048},
+		MaxWG:  128,
+		Bufs: []Buf{
+			{Name: "rv", Float: true, Len: 2048, Fill: FillNoise},
+			{Name: "qv", Float: true, Len: 2048, Fill: FillMod},
+			{Name: "fv", Float: true, Len: 2048},
+			{Name: "nn", Len: 64 * 4, Fill: FillPerm, Mod: 64},
+		},
+		Scalars: map[string]int64{"nboxes": 64, "perbox": 32},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "leukocyte", Name: "gicov", Fn: "GICOV_kernel",
+		Source: `
+__kernel void GICOV_kernel(__global const float* grad_x,
+                           __global const float* grad_y,
+                           __global float* gicov,
+                           int w, int h) {
+    int i = get_global_id(0);
+    int x = i % w;
+    int y = i / w;
+    if (x < w && y < h) {
+        float sum = 0.0f;
+        float sum2 = 0.0f;
+        for (int k = 0; k < 16; k++) {
+            float gx = grad_x[y * w + (x + k) % w];
+            float gy = grad_y[((y + k) % h) * w + x];
+            float g = gx * 0.7f + gy * 0.3f;
+            sum += g;
+            sum2 += g * g;
+        }
+        float mean = sum / 16.0f;
+        float var = sum2 / 16.0f - mean * mean;
+        gicov[y * w + x] = (var > 0.0001f) ? mean * mean / var : 0.0f;
+    }
+}`,
+		Global: [3]int64{4096},
+		Bufs: []Buf{
+			{Name: "grad_x", Float: true, Len: 4096, Fill: FillNoise},
+			{Name: "grad_y", Float: true, Len: 4096, Fill: FillMod},
+			{Name: "gicov", Float: true, Len: 4096},
+		},
+		Scalars: map[string]int64{"w": 64, "h": 64},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "leukocyte", Name: "dilate", Fn: "dilate_kernel",
+		Source: `
+__kernel void dilate_kernel(__global const float* img,
+                            __global float* dilated,
+                            int w, int h) {
+    int i = get_global_id(0);
+    int x = i % w;
+    int y = i / w;
+    if (x < w && y < h) {
+        float mx = 0.0f;
+        for (int dy = -2; dy <= 2; dy++) {
+            for (int dx = -2; dx <= 2; dx++) {
+                int xx = x + dx;
+                int yy = y + dy;
+                if (xx >= 0 && xx < w && yy >= 0 && yy < h) {
+                    mx = fmax(mx, img[yy * w + xx]);
+                }
+            }
+        }
+        dilated[y * w + x] = mx;
+    }
+}`,
+		Global: [3]int64{4096},
+		Bufs: []Buf{
+			{Name: "img", Float: true, Len: 4096, Fill: FillNoise},
+			{Name: "dilated", Float: true, Len: 4096},
+		},
+		Scalars: map[string]int64{"w": 64, "h": 64},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "leukocyte", Name: "imgvf", Fn: "IMGVF_kernel",
+		Source: `
+__kernel void IMGVF_kernel(__global float* imgvf,
+                           __global const float* img,
+                           int w, int h, int iters) {
+    int i = get_global_id(0);
+    int x = i % w;
+    int y = i / w;
+    if (x > 0 && x < w - 1 && y > 0 && y < h - 1) {
+        float v = imgvf[y * w + x];
+        for (int it = 0; it < iters; it++) {
+            float up = imgvf[(y - 1) * w + x];
+            float dn = imgvf[(y + 1) * w + x];
+            float lf = imgvf[y * w + x - 1];
+            float rt = imgvf[y * w + x + 1];
+            v = 0.6f * v + 0.0875f * (up + dn + lf + rt) + 0.05f * img[y * w + x];
+        }
+        imgvf[y * w + x] = v;
+    }
+}`,
+		Global: [3]int64{4096},
+		Bufs: []Buf{
+			{Name: "imgvf", Float: true, Len: 4096, Fill: FillNoise},
+			{Name: "img", Float: true, Len: 4096, Fill: FillMod},
+		},
+		Scalars: map[string]int64{"w": 64, "h": 64, "iters": 4},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "lud", Name: "diagonal", Fn: "lud_diagonal",
+		Source: `
+// LU factorization of one 16×16 diagonal block per work-group, staged in
+// local memory.
+__kernel void lud_diagonal(__global float* m, int matrix_dim, int offset) {
+    __local float shadow[16 * 16];
+    int l = get_local_id(0);
+    int blk = offset + get_group_id(0) * 16;
+    int valid = (blk + 16 <= matrix_dim) ? 1 : 0;
+    if (l < 16 && valid != 0) {
+        for (int j = 0; j < 16; j++) {
+            shadow[l * 16 + j] = m[(blk + l) * matrix_dim + blk + j];
+        }
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < 15; k++) {
+        if (l > k && l < 16 && valid != 0) {
+            shadow[l * 16 + k] = shadow[l * 16 + k] / shadow[k * 16 + k];
+            for (int j = k + 1; j < 16; j++) {
+                shadow[l * 16 + j] -= shadow[l * 16 + k] * shadow[k * 16 + j];
+            }
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (l < 16 && valid != 0) {
+        for (int j = 0; j < 16; j++) {
+            m[(blk + l) * matrix_dim + blk + j] = shadow[l * 16 + j];
+        }
+    }
+}`,
+		Global: [3]int64{64},
+		MinWG:  16, MaxWG: 64,
+		Bufs: []Buf{
+			{Name: "m", Float: true, Len: 64 * 64, Fill: FillDiagDom, Aux: 64},
+		},
+		Scalars: map[string]int64{"matrix_dim": 64, "offset": 0},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "lud", Name: "perimeter", Fn: "lud_perimeter",
+		Source: `
+__kernel void lud_perimeter(__global float* m, int matrix_dim, int offset) {
+    __local float dia[16 * 16];
+    int l = get_local_id(0);
+    int chunk = get_group_id(0);
+    if (l < 16) {
+        for (int j = 0; j < 16; j++) {
+            dia[l * 16 + j] = m[(offset + l) * matrix_dim + offset + j];
+        }
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    int row = offset + 16 + chunk * 16 + l;
+    if (l < 16 && row < matrix_dim) {
+        for (int k = 0; k < 16; k++) {
+            float sum = m[row * matrix_dim + offset + k];
+            for (int j = 0; j < k; j++) {
+                sum -= m[row * matrix_dim + offset + j] * dia[j * 16 + k];
+            }
+            m[row * matrix_dim + offset + k] = sum / dia[k * 16 + k];
+        }
+    }
+}`,
+		Global: [3]int64{64},
+		MinWG:  16, MaxWG: 64,
+		Bufs: []Buf{
+			{Name: "m", Float: true, Len: 64 * 64, Fill: FillDiagDom, Aux: 64},
+		},
+		Scalars: map[string]int64{"matrix_dim": 64, "offset": 0},
+	})
+}

@@ -1,0 +1,451 @@
+package bench
+
+// Rodinia kernels, part 3: nn, nw, particlefilter, pathfinder, srad,
+// streamcluster.
+
+func init() {
+	register(&Kernel{
+		Suite: "rodinia", Bench: "nn", Name: "nn", Fn: "NearestNeighbor",
+		Source: `
+__kernel void NearestNeighbor(__global const float* d_locations_lat,
+                              __global const float* d_locations_lng,
+                              __global float* d_distances,
+                              int numRecords, int lat_q, int lng_q) {
+    int globalId = get_global_id(0);
+    if (globalId < numRecords) {
+        float lat = d_locations_lat[globalId] - (float)lat_q;
+        float lng = d_locations_lng[globalId] - (float)lng_q;
+        d_distances[globalId] = sqrt(lat * lat + lng * lng);
+    }
+}`,
+		Global: [3]int64{4096},
+		Bufs: []Buf{
+			{Name: "d_locations_lat", Float: true, Len: 4096, Fill: FillNoise},
+			{Name: "d_locations_lng", Float: true, Len: 4096, Fill: FillMod},
+			{Name: "d_distances", Float: true, Len: 4096},
+		},
+		Scalars: map[string]int64{"numRecords": 4096, "lat_q": 30, "lng_q": 50},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "nw", Name: "nw1", Fn: "nw_kernel1",
+		Source: `
+// Needleman–Wunsch forward wave over work-group tiles: the running score
+// propagates left-to-right through local memory between barriers.
+__kernel void nw_kernel1(__global const int* reference,
+                         __global int* input_itemsets,
+                         int dim, int penalty) {
+    __local int t[WG];
+    int l = get_local_id(0);
+    int g = get_global_id(0);
+    if (g < dim) { t[l] = input_itemsets[g]; }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int step = 0; step < 8; step++) {
+        int v = t[l];
+        if (l > 0 && g < dim) {
+            int diag = t[l - 1] + reference[g];
+            int left = t[l - 1] - penalty;
+            int up = v - penalty;
+            v = max(max(diag, left), up);
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+        t[l] = v;
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (g < dim) { input_itemsets[g] = t[l]; }
+}`,
+		Global: [3]int64{2048},
+		Bufs: []Buf{
+			{Name: "reference", Len: 2048, Fill: FillSmall},
+			{Name: "input_itemsets", Len: 2048, Fill: FillPerm, Mod: 64},
+		},
+		Scalars: map[string]int64{"dim": 2048, "penalty": 1},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "nw", Name: "nw2", Fn: "nw_kernel2",
+		Source: `
+// Backward wave (right-to-left) of the NW dynamic program.
+__kernel void nw_kernel2(__global const int* reference,
+                         __global int* input_itemsets,
+                         int dim, int penalty) {
+    __local int t[WG];
+    int l = get_local_id(0);
+    int g = get_global_id(0);
+    int lw = get_local_size(0);
+    if (g < dim) { t[l] = input_itemsets[g]; }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int step = 0; step < 8; step++) {
+        int v = t[l];
+        if (l < lw - 1 && g < dim) {
+            int diag = t[l + 1] + reference[g];
+            int right = t[l + 1] - penalty;
+            int up = v - penalty;
+            v = max(max(diag, right), up);
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+        t[l] = v;
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (g < dim) { input_itemsets[g] = t[l]; }
+}`,
+		Global: [3]int64{2048},
+		Bufs: []Buf{
+			{Name: "reference", Len: 2048, Fill: FillSmall},
+			{Name: "input_itemsets", Len: 2048, Fill: FillPerm, Mod: 64},
+		},
+		Scalars: map[string]int64{"dim": 2048, "penalty": 1},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "particlefilter", Name: "find_index", Fn: "find_index_kernel",
+		Source: `
+__kernel void find_index_kernel(__global const float* CDF,
+                                __global const float* u,
+                                __global int* indices,
+                                int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        int index = n - 1;
+        for (int x = 0; x < n; x++) {
+            if (CDF[x] >= u[i]) {
+                index = x;
+                break;
+            }
+        }
+        indices[i] = index;
+    }
+}`,
+		Global: [3]int64{512},
+		Bufs: []Buf{
+			{Name: "CDF", Float: true, Len: 512, Fill: FillRamp},
+			{Name: "u", Float: true, Len: 512, Fill: FillPerm, Mod: 512},
+			{Name: "indices", Len: 512},
+		},
+		Scalars: map[string]int64{"n": 512},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "particlefilter", Name: "normalize", Fn: "normalize_weights",
+		Source: `
+__kernel void normalize_weights(__global float* weights,
+                                __global const float* sum_weights,
+                                int n) {
+    int i = get_global_id(0);
+    if (i < n) { weights[i] = weights[i] / sum_weights[0]; }
+}`,
+		Global: [3]int64{4096},
+		Bufs: []Buf{
+			{Name: "weights", Float: true, Len: 4096, Fill: FillNoise},
+			{Name: "sum_weights", Float: true, Len: 1, Fill: FillOne},
+		},
+		Scalars: map[string]int64{"n": 4096},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "particlefilter", Name: "sum", Fn: "sum_kernel",
+		Source: `
+// Tree reduction of partial weights within each work-group.
+__kernel void sum_kernel(__global float* partial_sums, int n) {
+    __local float t[WG];
+    int l = get_local_id(0);
+    int g = get_global_id(0);
+    int lw = get_local_size(0);
+    t[l] = (g < n) ? partial_sums[g] : 0.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int s = lw / 2; s > 0; s = s / 2) {
+        if (l < s) { t[l] += t[l + s]; }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (l == 0) { partial_sums[get_group_id(0)] = t[0]; }
+}`,
+		Global:  [3]int64{4096},
+		Bufs:    []Buf{{Name: "partial_sums", Float: true, Len: 4096, Fill: FillNoise}},
+		Scalars: map[string]int64{"n": 4096},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "particlefilter", Name: "likelihood", Fn: "likelihood_kernel",
+		Source: `
+__kernel void likelihood_kernel(__global const float* arrayX,
+                                __global const float* arrayY,
+                                __global float* likelihood,
+                                __global const int* objxy,
+                                int n, int countOnes) {
+    int i = get_global_id(0);
+    if (i < n) {
+        float acc = 0.0f;
+        for (int j = 0; j < countOnes; j++) {
+            float x = arrayX[i] + (float)objxy[j * 2];
+            float y = arrayY[i] + (float)objxy[j * 2 + 1];
+            float d = x * x + y * y;
+            acc += (d - 100.0f) * 0.005f - (d - 228.0f) * 0.005f;
+        }
+        likelihood[i] = acc / (float)countOnes;
+    }
+}`,
+		Global: [3]int64{2048},
+		Bufs: []Buf{
+			{Name: "arrayX", Float: true, Len: 2048, Fill: FillNoise},
+			{Name: "arrayY", Float: true, Len: 2048, Fill: FillMod},
+			{Name: "likelihood", Float: true, Len: 2048},
+			{Name: "objxy", Len: 2 * 24, Fill: FillSmall},
+		},
+		Scalars: map[string]int64{"n": 2048, "countOnes": 24},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "pathfinder", Name: "dynproc", Fn: "dynproc_kernel",
+		Source: `
+// Dynamic-programming wavefront: each iteration consumes the previous
+// row held in local memory.
+__kernel void dynproc_kernel(__global const int* wall,
+                             __global const int* src,
+                             __global int* dst,
+                             int cols, int iters) {
+    __local int prev[WG];
+    int l = get_local_id(0);
+    int g = get_global_id(0);
+    int lw = get_local_size(0);
+    if (g < cols) { prev[l] = src[g]; }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int it = 0; it < iters; it++) {
+        int ll = (l > 0) ? l - 1 : l;
+        int lr = (l < lw - 1) ? l + 1 : l;
+        int center = prev[l];
+        int left = prev[ll];
+        int right = prev[lr];
+        int best = min(min(left, center), right);
+        barrier(CLK_LOCAL_MEM_FENCE);
+        if (g < cols) { prev[l] = best + wall[it * cols + g]; }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (g < cols) { dst[g] = prev[l]; }
+}`,
+		Global: [3]int64{2048},
+		Bufs: []Buf{
+			{Name: "wall", Len: 8 * 2048, Fill: FillSmall},
+			{Name: "src", Len: 2048, Fill: FillSmall},
+			{Name: "dst", Len: 2048},
+		},
+		Scalars: map[string]int64{"cols": 2048, "iters": 8},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "srad", Name: "extract", Fn: "extract_kernel",
+		Source: `
+__kernel void extract_kernel(__global float* d_I, int ne) {
+    int i = get_global_id(0);
+    if (i < ne) { d_I[i] = exp(d_I[i] / 255.0f); }
+}`,
+		Global:  [3]int64{4096},
+		Bufs:    []Buf{{Name: "d_I", Float: true, Len: 4096, Fill: FillNoise}},
+		Scalars: map[string]int64{"ne": 4096},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "srad", Name: "prepare", Fn: "prepare_kernel",
+		Source: `
+__kernel void prepare_kernel(__global const float* d_I,
+                             __global float* d_sums,
+                             __global float* d_sums2,
+                             int ne) {
+    int i = get_global_id(0);
+    if (i < ne) {
+        float v = d_I[i];
+        d_sums[i] = v;
+        d_sums2[i] = v * v;
+    }
+}`,
+		Global: [3]int64{4096},
+		Bufs: []Buf{
+			{Name: "d_I", Float: true, Len: 4096, Fill: FillNoise},
+			{Name: "d_sums", Float: true, Len: 4096},
+			{Name: "d_sums2", Float: true, Len: 4096},
+		},
+		Scalars: map[string]int64{"ne": 4096},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "srad", Name: "reduce", Fn: "reduce_kernel",
+		Source: `
+__kernel void reduce_kernel(__global float* d_sums,
+                            __global float* d_sums2,
+                            int ne) {
+    __local float ps[WG];
+    __local float ps2[WG];
+    int l = get_local_id(0);
+    int g = get_global_id(0);
+    int lw = get_local_size(0);
+    ps[l] = (g < ne) ? d_sums[g] : 0.0f;
+    ps2[l] = (g < ne) ? d_sums2[g] : 0.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int s = lw / 2; s > 0; s = s / 2) {
+        if (l < s) {
+            ps[l] += ps[l + s];
+            ps2[l] += ps2[l + s];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (l == 0) {
+        d_sums[get_group_id(0)] = ps[0];
+        d_sums2[get_group_id(0)] = ps2[0];
+    }
+}`,
+		Global: [3]int64{4096},
+		Bufs: []Buf{
+			{Name: "d_sums", Float: true, Len: 4096, Fill: FillNoise},
+			{Name: "d_sums2", Float: true, Len: 4096, Fill: FillMod},
+		},
+		Scalars: map[string]int64{"ne": 4096},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "srad", Name: "srad", Fn: "srad_kernel",
+		Source: `
+// Diffusion-coefficient stencil (first SRAD pass).
+__kernel void srad_kernel(__global const float* d_I,
+                          __global float* d_c,
+                          __global float* d_dN,
+                          __global float* d_dS,
+                          __global float* d_dW,
+                          __global float* d_dE,
+                          int rows, int cols, int q0) {
+    int i = get_global_id(0);
+    int r = i / cols;
+    int c = i % cols;
+    if (r < rows && c < cols) {
+        int iN = (r > 0) ? i - cols : i;
+        int iS = (r < rows - 1) ? i + cols : i;
+        int iW = (c > 0) ? i - 1 : i;
+        int iE = (c < cols - 1) ? i + 1 : i;
+        float Jc = d_I[i];
+        float dN = d_I[iN] - Jc;
+        float dS = d_I[iS] - Jc;
+        float dW = d_I[iW] - Jc;
+        float dE = d_I[iE] - Jc;
+        float G2 = (dN * dN + dS * dS + dW * dW + dE * dE) / (Jc * Jc + 0.001f);
+        float L = (dN + dS + dW + dE) / (Jc + 0.001f);
+        float num = (0.5f * G2) - ((1.0f / 16.0f) * (L * L));
+        float den = 1.0f + 0.25f * L;
+        float qsqr = num / (den * den + 0.001f);
+        den = (qsqr - (float)q0) / ((float)q0 * (1.0f + (float)q0) + 0.001f);
+        float cv = 1.0f / (1.0f + den);
+        if (cv < 0.0f) { cv = 0.0f; }
+        if (cv > 1.0f) { cv = 1.0f; }
+        d_c[i] = cv;
+        d_dN[i] = dN;
+        d_dS[i] = dS;
+        d_dW[i] = dW;
+        d_dE[i] = dE;
+    }
+}`,
+		Global: [3]int64{4096},
+		Bufs: []Buf{
+			{Name: "d_I", Float: true, Len: 4096, Fill: FillNoise},
+			{Name: "d_c", Float: true, Len: 4096},
+			{Name: "d_dN", Float: true, Len: 4096},
+			{Name: "d_dS", Float: true, Len: 4096},
+			{Name: "d_dW", Float: true, Len: 4096},
+			{Name: "d_dE", Float: true, Len: 4096},
+		},
+		Scalars: map[string]int64{"rows": 64, "cols": 64, "q0": 1},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "srad", Name: "srad2", Fn: "srad2_kernel",
+		Source: `
+// Second SRAD pass: apply the diffusion update.
+__kernel void srad2_kernel(__global float* d_I,
+                           __global const float* d_c,
+                           __global const float* d_dN,
+                           __global const float* d_dS,
+                           __global const float* d_dW,
+                           __global const float* d_dE,
+                           int rows, int cols) {
+    int i = get_global_id(0);
+    int r = i / cols;
+    int c = i % cols;
+    if (r < rows && c < cols) {
+        int iS = (r < rows - 1) ? i + cols : i;
+        int iE = (c < cols - 1) ? i + 1 : i;
+        float cN = d_c[i];
+        float cS = d_c[iS];
+        float cW = cN;
+        float cE = d_c[iE];
+        float D = cN * d_dN[i] + cS * d_dS[i] + cW * d_dW[i] + cE * d_dE[i];
+        d_I[i] = d_I[i] + 0.25f * 0.5f * D;
+    }
+}`,
+		Global: [3]int64{4096},
+		Bufs: []Buf{
+			{Name: "d_I", Float: true, Len: 4096, Fill: FillNoise},
+			{Name: "d_c", Float: true, Len: 4096, Fill: FillNoise},
+			{Name: "d_dN", Float: true, Len: 4096, Fill: FillMod},
+			{Name: "d_dS", Float: true, Len: 4096, Fill: FillMod},
+			{Name: "d_dW", Float: true, Len: 4096, Fill: FillMod},
+			{Name: "d_dE", Float: true, Len: 4096, Fill: FillMod},
+		},
+		Scalars: map[string]int64{"rows": 64, "cols": 64},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "srad", Name: "compress", Fn: "compress_kernel",
+		Source: `
+__kernel void compress_kernel(__global float* d_I, int ne) {
+    int i = get_global_id(0);
+    if (i < ne) { d_I[i] = log(d_I[i] + 1.0f) * 255.0f; }
+}`,
+		Global:  [3]int64{4096},
+		Bufs:    []Buf{{Name: "d_I", Float: true, Len: 4096, Fill: FillNoise}},
+		Scalars: map[string]int64{"ne": 4096},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "streamcluster", Name: "memset", Fn: "memset_kernel",
+		Source: `
+__kernel void memset_kernel(__global int* mem, int val, int n) {
+    int i = get_global_id(0);
+    if (i < n) { mem[i] = val; }
+}`,
+		Global:  [3]int64{4096},
+		Bufs:    []Buf{{Name: "mem", Len: 4096}},
+		Scalars: map[string]int64{"val": 7, "n": 4096},
+	})
+
+	register(&Kernel{
+		Suite: "rodinia", Bench: "streamcluster", Name: "pgain", Fn: "pgain_kernel",
+		Source: `
+// Cost of reassigning each point to a candidate center.
+__kernel void pgain_kernel(__global const float* p_x,
+                           __global const float* p_y,
+                           __global const float* p_weight,
+                           __global const int* p_assign,
+                           __global const float* p_cost,
+                           __global float* lower,
+                           int num, int K) {
+    int i = get_global_id(0);
+    if (i < num) {
+        float dx = p_x[i] - p_x[K];
+        float dy = p_y[i] - p_y[K];
+        float x_cost = (dx * dx + dy * dy) * p_weight[i];
+        float current_cost = p_cost[i];
+        if (x_cost < current_cost) {
+            lower[i] = current_cost - x_cost;
+        } else {
+            lower[p_assign[i]] += current_cost - x_cost;
+        }
+    }
+}`,
+		Global: [3]int64{2048},
+		Bufs: []Buf{
+			{Name: "p_x", Float: true, Len: 2048, Fill: FillNoise},
+			{Name: "p_y", Float: true, Len: 2048, Fill: FillMod},
+			{Name: "p_weight", Float: true, Len: 2048, Fill: FillOne},
+			{Name: "p_assign", Len: 2048, Fill: FillPerm, Mod: 2048},
+			{Name: "p_cost", Float: true, Len: 2048, Fill: FillNoise},
+			{Name: "lower", Float: true, Len: 2048},
+		},
+		Scalars: map[string]int64{"num": 2048, "K": 5},
+	})
+}

@@ -1,0 +1,181 @@
+package cdfg_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/device"
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/sched"
+)
+
+func compileKernel(t *testing.T, src, name string) *ir.Func {
+	t.Helper()
+	m, err := irgen.Compile("test.cl", []byte(src), nil)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	k := m.Kernel(name)
+	if k == nil {
+		t.Fatalf("kernel %s not found", name)
+	}
+	return k
+}
+
+func cfg() *sched.Config {
+	p := device.Virtex7()
+	return &sched.Config{
+		Table: device.Profile(p, 64),
+		Res: sched.Resources{
+			LocalRead:  p.LocalReadPorts(),
+			LocalWrite: p.LocalWritePorts(),
+			Global:     2,
+			DSPSlots:   8,
+		},
+	}
+}
+
+func TestDepthGrowsWithLoopTrips(t *testing.T) {
+	mk := func(n string) *ir.Func {
+		return compileKernel(t, `
+__kernel void k(__global float* x) {
+    int i = get_global_id(0);
+    float v = x[i];
+    for (int j = 0; j < `+n+`; j++) { v = v * 1.5f + 1.0f; }
+    x[i] = v;
+}`, "k")
+	}
+	c := cfg()
+	g8 := cdfg.Build(mk("8"), nil, c)
+	g64 := cdfg.Build(mk("64"), nil, c)
+	if g64.Depth <= g8.Depth {
+		t.Errorf("depth(64 trips)=%d should exceed depth(8 trips)=%d", g64.Depth, g8.Depth)
+	}
+	// Rough linearity: 64-trip loop should be several times deeper.
+	if g64.Depth < 4*g8.Depth/2 {
+		t.Errorf("depth scaling too weak: %d vs %d", g64.Depth, g8.Depth)
+	}
+}
+
+func TestEffectiveFreqNested(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void k(__global float* x) {
+    float s = 0.0f;
+    for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 8; j++) { s += x[i*8+j]; }
+    }
+    x[0] = s;
+}`, "k")
+	k.AnalyzeLoops()
+	freq := cdfg.EffectiveFreq(k, 16)
+	// Inner body runs 4*8 = 32 times per work-item.
+	var innerBody float64
+	for b, f := range freq {
+		if strings.Contains(b.BName, "for.body") && f > innerBody {
+			innerBody = f
+		}
+	}
+	if innerBody != 32 {
+		t.Errorf("inner body freq = %v, want 32", innerBody)
+	}
+}
+
+func TestUnrollReducesDepth(t *testing.T) {
+	mk := func(pragma string) *ir.Func {
+		return compileKernel(t, `
+__kernel void k(__global float* x) {
+    int i = get_global_id(0);
+    float v = x[i];
+    `+pragma+`
+    for (int j = 0; j < 64; j++) { v = v * 1.5f; }
+    x[i] = v;
+}`, "k")
+	}
+	c := cfg()
+	plain := cdfg.Build(mk(""), nil, c)
+	unrolled := cdfg.Build(mk("#pragma unroll 8"), nil, c)
+	if unrolled.Depth >= plain.Depth {
+		t.Errorf("unrolled depth %d should be < plain depth %d", unrolled.Depth, plain.Depth)
+	}
+}
+
+func TestLoopNodesCollapsed(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void k(__global float* x, int n) {
+    int i = get_global_id(0);
+    float v = 0.0f;
+    for (int j = 0; j < n; j++) { v += x[j]; }
+    x[i] = v;
+}`, "k")
+	g := cdfg.Build(k, nil, cfg())
+	var loopNodes int
+	for _, n := range g.Nodes {
+		if n.Loop != nil {
+			loopNodes++
+		}
+	}
+	if loopNodes != 1 {
+		t.Errorf("loop nodes = %d, want 1", loopNodes)
+	}
+	// Merged graph must be smaller than the raw block list.
+	if len(g.Nodes) >= len(k.Blocks) {
+		t.Errorf("merged nodes %d should be < blocks %d", len(g.Nodes), len(k.Blocks))
+	}
+}
+
+func TestBranchTakesHeavierPath(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void k(__global float* x, int n) {
+    int i = get_global_id(0);
+    float v = x[i];
+    if (n > 0) {
+        v = sqrt(v) + sqrt(v + 1.0f) + sqrt(v + 2.0f);
+    } else {
+        v = v + 1.0f;
+    }
+    x[i] = v;
+}`, "k")
+	g := cdfg.Build(k, nil, cfg())
+	// Depth must cover the expensive branch (3 sqrt ≈ 84+ cycles).
+	if g.Depth < 60 {
+		t.Errorf("depth %d too small to cover heavy branch", g.Depth)
+	}
+}
+
+func TestBlockOffsetsMonotone(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void k(__global float* x) {
+    int i = get_global_id(0);
+    float a = x[i] * 2.0f;
+    if (a > 0.0f) { a = a + 1.0f; }
+    x[i] = a;
+}`, "k")
+	g := cdfg.Build(k, nil, cfg())
+	k.BuildCFG()
+	idom := k.Dominators()
+	for _, b := range k.Blocks {
+		for _, s := range b.Succs {
+			if ir.Dominates(idom, s, b) {
+				continue // back edge
+			}
+			if g.BlockOffsets[s] < g.BlockOffsets[b] {
+				t.Errorf("offset(%s)=%d < offset(%s)=%d on forward edge",
+					s.Label(), g.BlockOffsets[s], b.Label(), g.BlockOffsets[b])
+			}
+		}
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void k(__global float* x) {
+    for (int j = 0; j < 8; j++) { x[j] = x[j] + 1.0f; }
+}`, "k")
+	g := cdfg.Build(k, nil, cfg())
+	s := g.String()
+	if !strings.Contains(s, "depth=") || !strings.Contains(s, "loop@") {
+		t.Errorf("unexpected dump:\n%s", s)
+	}
+}

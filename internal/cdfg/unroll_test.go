@@ -1,0 +1,59 @@
+package cdfg_test
+
+import (
+	"testing"
+
+	"repro/internal/cdfg"
+)
+
+func TestApplyUnrollRescalesProfiledFreq(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void k(__global float* x) {
+    int i = get_global_id(0);
+    float v = x[i];
+    #pragma unroll 4
+    for (int j = 0; j < 32; j++) { v = v * 1.01f; }
+    x[i] = v;
+}`, "k")
+	k.AnalyzeLoops()
+	// A profiled frequency of 32 on the loop body must shrink to 8 under
+	// the unroll-by-4 hint.
+	profiled := map[string]float64{}
+	freq := cdfg.EffectiveFreq(k, 16)
+	for b := range freq {
+		profiled[b.BName] += freq[b]
+	}
+	var body float64
+	for b, f := range freq {
+		if b.BName == "for.body" {
+			body = f
+		}
+	}
+	if body != 8 {
+		t.Errorf("unrolled body freq = %v, want 8 (32/4)", body)
+	}
+}
+
+func TestFullUnrollCollapsesLoop(t *testing.T) {
+	mk := func(pragma string) float64 {
+		k := compileKernel(t, `
+__kernel void k(__global float* x) {
+    int i = get_global_id(0);
+    float v = x[i];
+    `+pragma+`
+    for (int j = 0; j < 16; j++) { v = v + 1.0f; }
+    x[i] = v;
+}`, "k")
+		g := cdfg.Build(k, nil, cfg())
+		return float64(g.Depth)
+	}
+	plain := mk("")
+	full := mk("#pragma unroll")
+	if full >= plain {
+		t.Errorf("full unroll depth %v should be < rolled %v", full, plain)
+	}
+	// Full unroll executes the body once (spatially replicated).
+	if full > plain/4 {
+		t.Errorf("full unroll depth %v not collapsed enough vs %v", full, plain)
+	}
+}

@@ -1,0 +1,163 @@
+// Package core is the public facade of the FlexCL library: compile an
+// OpenCL kernel, analyze it for a platform and launch geometry, predict
+// its performance at any design point analytically, validate against the
+// cycle-level simulator, and explore whole design spaces.
+//
+// Typical use:
+//
+//	prog, _ := core.Compile("vadd.cl", src, nil)
+//	k := prog.Kernel("vadd")
+//	an, _ := core.Analyze(k, core.Virtex7(), launch)
+//	est := an.Predict(core.Design{WGSize: 64, WIPipeline: true, PE: 4, CU: 2,
+//	    Mode: core.ModePipeline})
+//	fmt.Println(est.Cycles, est.Seconds)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/dse"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/model"
+	"repro/internal/opencl/ast"
+	"repro/internal/rtlsim"
+)
+
+// Re-exported types: the facade's vocabulary.
+type (
+	// Design is one optimization configuration (work-group size,
+	// pipelining, PE/CU parallelism, communication mode).
+	Design = model.Design
+	// Estimate is an analytical prediction with its full breakdown.
+	Estimate = model.Estimate
+	// Analysis is the per-kernel analysis reused across design points.
+	Analysis = model.Analysis
+	// Platform describes an FPGA board.
+	Platform = device.Platform
+	// Launch binds buffers, scalars and the NDRange for profiling.
+	Launch = interp.Config
+	// Buffer is a global-memory buffer.
+	Buffer = interp.Buffer
+	// NDRange is the launch geometry.
+	NDRange = interp.NDRange
+	// Workload is a kernel bundled with its workload definition, as used
+	// by the design-space explorer (the benchmark corpus is built from
+	// these; custom kernels can construct them directly).
+	Workload = bench.Kernel
+	// BufSpec declares one of a Workload's buffers.
+	BufSpec = bench.Buf
+	// Exploration is a fully evaluated design space.
+	Exploration = dse.Result
+	// SimResult is one ground-truth simulation.
+	SimResult = rtlsim.Result
+)
+
+// Communication modes (§3.5).
+const (
+	ModeBarrier  = model.ModeBarrier
+	ModePipeline = model.ModePipeline
+)
+
+// Arg is a scalar kernel-argument value.
+type Arg = interp.Val
+
+// IntArg builds an integer scalar argument.
+func IntArg(v int64) Arg { return interp.IntVal(v) }
+
+// FloatArg builds a floating scalar argument.
+func FloatArg(v float64) Arg { return interp.FloatVal(v) }
+
+// NewFloatBuffer allocates a float buffer of n elements.
+func NewFloatBuffer(k ast.BaseKind, n int) *Buffer { return interp.NewFloatBuffer(k, n) }
+
+// NewIntBuffer allocates an integer buffer of n elements.
+func NewIntBuffer(k ast.BaseKind, n int) *Buffer { return interp.NewIntBuffer(k, n) }
+
+// Float and Int are the common element kinds for buffer construction.
+const (
+	Float = ast.KFloat
+	Int   = ast.KInt
+)
+
+// Workload buffer fill patterns (see bench.Fill).
+const (
+	FillZero  = bench.FillZero
+	FillRamp  = bench.FillRamp
+	FillNoise = bench.FillNoise
+	FillOne   = bench.FillOne
+)
+
+// Virtex7 returns the paper's primary platform.
+func Virtex7() *Platform { return device.Virtex7() }
+
+// KU060 returns the UltraScale robustness platform.
+func KU060() *Platform { return device.KU060() }
+
+// Program is a compiled OpenCL translation unit.
+type Program struct {
+	Kernels []*ir.Func
+}
+
+// Compile parses, checks and lowers OpenCL source. defines predefines
+// object-like macros (like -D on a compiler command line).
+func Compile(name string, src []byte, defines map[string]string) (*Program, error) {
+	m, err := irgen.Compile(name, src, defines)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Kernels) == 0 {
+		return nil, fmt.Errorf("core: no __kernel functions in %s", name)
+	}
+	return &Program{Kernels: m.Kernels}, nil
+}
+
+// Kernel returns the kernel with the given name, or nil.
+func (p *Program) Kernel(name string) *ir.Func {
+	for _, k := range p.Kernels {
+		if k.Name == name {
+			return k
+		}
+	}
+	return nil
+}
+
+// Analyze runs FlexCL's kernel analysis (§3.2) for one launch: dynamic
+// profiling of a few work-groups for trip counts and the memory trace,
+// plus platform micro-benchmark profiling. The launch's buffers are
+// mutated (profiling executes the kernel).
+func Analyze(f *ir.Func, p *Platform, launch *Launch) (*Analysis, error) {
+	return model.Analyze(f, p, launch, model.AnalysisOptions{})
+}
+
+// Simulate runs the cycle-level ground-truth simulator ("System Run") at
+// one design point. maxGroups caps the simulated work-groups (0 = all).
+func Simulate(f *ir.Func, p *Platform, launch *Launch, d Design, maxGroups int) (*SimResult, error) {
+	return rtlsim.Simulate(f, p, launch, d, rtlsim.Options{MaxGroups: maxGroups})
+}
+
+// Run executes the kernel functionally over the whole NDRange (no
+// timing), mutating the launch buffers. Useful for validating kernels.
+func Run(f *ir.Func, launch *Launch) error {
+	return interp.Run(f, launch)
+}
+
+// Explore evaluates a workload's full design space with the analytical
+// model and (unless modelOnly) the ground-truth simulator.
+func Explore(w *Workload, p *Platform, modelOnly bool) (*Exploration, error) {
+	return dse.Explore(w, dse.Options{
+		Platform:     p,
+		SimMaxGroups: 8,
+		SkipActual:   modelOnly,
+		SkipBaseline: true,
+	})
+}
+
+// DesignSpace enumerates the default design space for a work-group size
+// range on a platform.
+func DesignSpace(maxWG int64, p *Platform) []Design {
+	return model.DefaultSpace(maxWG, p.MaxPE, p.MaxCU)
+}

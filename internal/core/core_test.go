@@ -1,0 +1,108 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+const vadd = `
+__kernel void vadd(__global const float* a, __global const float* b,
+                   __global float* c, int n) {
+    int i = get_global_id(0);
+    if (i < n) { c[i] = a[i] + b[i]; }
+}`
+
+func vaddLaunch(n int64, wg int64) *core.Launch {
+	a := core.NewFloatBuffer(core.Float, int(n))
+	b := core.NewFloatBuffer(core.Float, int(n))
+	c := core.NewFloatBuffer(core.Float, int(n))
+	for i := int64(0); i < n; i++ {
+		a.F[i] = float64(i)
+		b.F[i] = float64(2 * i)
+	}
+	return &core.Launch{
+		Range:   core.NDRange{Global: [3]int64{n}, Local: [3]int64{wg}},
+		Buffers: map[string]*core.Buffer{"a": a, "b": b, "c": c},
+		Scalars: map[string]core.Arg{"n": core.IntArg(n)},
+	}
+}
+
+func TestCompile(t *testing.T) {
+	prog, err := core.Compile("vadd.cl", []byte(vadd), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Kernel("vadd") == nil {
+		t.Fatal("kernel lookup failed")
+	}
+	if prog.Kernel("nothere") != nil {
+		t.Fatal("phantom kernel")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := core.Compile("bad.cl", []byte("__kernel void k( {"), nil); err == nil {
+		t.Fatal("expected syntax error")
+	}
+	if _, err := core.Compile("empty.cl", []byte("float f(float x) { return x; }"), nil); err == nil ||
+		!strings.Contains(err.Error(), "no __kernel") {
+		t.Fatalf("expected no-kernel error, got %v", err)
+	}
+}
+
+func TestRunFunctional(t *testing.T) {
+	prog, err := core.Compile("vadd.cl", []byte(vadd), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	launch := vaddLaunch(256, 64)
+	if err := core.Run(prog.Kernel("vadd"), launch); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		if launch.Buffers["c"].F[i] != float64(3*i) {
+			t.Fatalf("c[%d] = %v", i, launch.Buffers["c"].F[i])
+		}
+	}
+}
+
+func TestAnalyzePredictSimulateRoundTrip(t *testing.T) {
+	prog, err := core.Compile("vadd.cl", []byte(vadd), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := prog.Kernel("vadd")
+	p := core.Virtex7()
+	an, err := core.Analyze(k, p, vaddLaunch(4096, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.Design{WGSize: 64, WIPipeline: true, PE: 2, CU: 2, Mode: core.ModePipeline}
+	est := an.Predict(d)
+	if est.Cycles <= 0 || est.Seconds <= 0 {
+		t.Fatalf("bad estimate %+v", est)
+	}
+	sim, err := core.Simulate(k, p, vaddLaunch(4096, 64), d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := est.Cycles / sim.Cycles
+	if ratio < 0.6 || ratio > 1.6 {
+		t.Errorf("model far from simulator: est %v sim %v", est.Cycles, sim.Cycles)
+	}
+}
+
+func TestDesignSpaceHelper(t *testing.T) {
+	ds := core.DesignSpace(256, core.Virtex7())
+	if len(ds) == 0 {
+		t.Fatal("empty design space")
+	}
+}
+
+func TestPlatformsDistinct(t *testing.T) {
+	if core.Virtex7().Name == core.KU060().Name {
+		t.Fatal("platforms aliased")
+	}
+}

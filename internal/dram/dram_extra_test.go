@@ -1,0 +1,78 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestAvgLatencyTracksCounts(t *testing.T) {
+	s := NewSim(params())
+	now := int64(0)
+	for i := 0; i < 64; i++ {
+		done, _ := s.AccessAt(now, 0, false) // same address: RAR hits after first
+		now = done
+	}
+	if s.Count[RARHit] != 63 {
+		t.Errorf("RAR hits = %d, want 63", s.Count[RARHit])
+	}
+	if s.Count[RARMiss] != 1 {
+		t.Errorf("RAR misses = %d, want 1", s.Count[RARMiss])
+	}
+	if avg := s.AvgLatency(RARHit); avg <= 0 {
+		t.Errorf("avg RAR hit latency = %v", avg)
+	}
+	if s.AvgLatency(WAWMiss) != 0 {
+		t.Error("unobserved pattern should have zero average")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	s := NewSim(params())
+	s.AccessAt(0, 0, true)
+	s.Reset()
+	if s.Count[WAWMiss]+s.Count[WARMiss] != 0 {
+		t.Error("counters survive Reset")
+	}
+	// After reset the same access must be a cold miss again and start at
+	// time zero (no stale chanFree).
+	done, pat := s.AccessAt(0, 0, true)
+	if pat.Hit() {
+		t.Error("row buffer survived Reset")
+	}
+	if done > 200 {
+		t.Errorf("stale channel state after Reset: done = %d", done)
+	}
+}
+
+func TestRowMappingWithinBank(t *testing.T) {
+	s := NewSim(params())
+	// Addresses one full row apart within the same bank map to adjacent
+	// rows.
+	stride := int64(s.P.RowBytes) * int64(s.P.Banks)
+	if s.BankOf(0) != s.BankOf(stride) {
+		t.Fatal("row stride changed bank")
+	}
+	if s.RowOf(stride) != s.RowOf(0)+1 {
+		t.Errorf("row(%d) = %d, want %d", stride, s.RowOf(stride), s.RowOf(0)+1)
+	}
+}
+
+func TestDifferentPlatformsDifferentLatencies(t *testing.T) {
+	a := ProfilePatterns(device.Virtex7().DRAM, 2048, 1)
+	b := ProfilePatterns(device.KU060().DRAM, 2048, 1)
+	if a == b {
+		t.Error("two different DRAM configurations profiled identically")
+	}
+}
+
+func TestWriteRecoveryOnlyOnMisses(t *testing.T) {
+	s := NewSim(params())
+	// WAW hit avoids the TWR+precharge penalty that WAW miss pays.
+	hit := s.serviceTime(WAWHit)
+	miss := s.serviceTime(WAWMiss)
+	if miss-hit < int64(s.P.TWR) {
+		t.Errorf("WAW miss (%d) should exceed hit (%d) by at least TWR (%d)",
+			miss, hit, s.P.TWR)
+	}
+}

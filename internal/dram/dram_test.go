@@ -1,0 +1,189 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+func params() device.DRAMParams { return device.Virtex7().DRAM }
+
+func TestHitFasterThanMiss(t *testing.T) {
+	s := NewSim(params())
+	lat := func(p Pattern) int64 { return s.serviceTime(p) }
+	pairs := [][2]Pattern{
+		{RARHit, RARMiss}, {RAWHit, RAWMiss}, {WARHit, WARMiss}, {WAWHit, WAWMiss},
+	}
+	for _, pr := range pairs {
+		if lat(pr[0]) >= lat(pr[1]) {
+			t.Errorf("%v (%d) should be faster than %v (%d)", pr[0], lat(pr[0]), pr[1], lat(pr[1]))
+		}
+	}
+}
+
+func TestTurnaroundPenalty(t *testing.T) {
+	s := NewSim(params())
+	if s.serviceTime(RAWHit) <= s.serviceTime(RARHit) {
+		t.Error("read-after-write should cost more than read-after-read")
+	}
+	if s.serviceTime(WARHit) <= s.serviceTime(WAWHit) {
+		t.Error("write-after-read should cost more than write-after-write")
+	}
+}
+
+func TestSequentialReadsMostlyHit(t *testing.T) {
+	s := NewSim(params())
+	now := int64(0)
+	var hits, total int64
+	addr := int64(0)
+	for i := 0; i < 1024; i++ {
+		done, pat := s.AccessAt(now, addr, false)
+		now = done
+		if pat.Hit() {
+			hits++
+		}
+		total++
+		addr += int64(s.P.BurstBytes)
+	}
+	if float64(hits)/float64(total) < 0.8 {
+		t.Errorf("sequential stream hit rate %d/%d too low", hits, total)
+	}
+}
+
+func TestRowHoppingMisses(t *testing.T) {
+	s := NewSim(params())
+	now := int64(0)
+	rowStride := int64(s.P.RowBytes) * int64(s.P.Banks)
+	var misses, total int64
+	for i := 0; i < 256; i++ {
+		// Jump two rows each time within the same bank.
+		addr := int64(i) * 2 * rowStride
+		done, pat := s.AccessAt(now, addr, false)
+		now = done
+		if !pat.Hit() {
+			misses++
+		}
+		total++
+	}
+	if misses < total-1 {
+		t.Errorf("row hopping should almost always miss: %d/%d", misses, total)
+	}
+}
+
+func TestBankInterleaving(t *testing.T) {
+	s := NewSim(params())
+	seen := map[int]bool{}
+	for i := 0; i < s.P.Banks; i++ {
+		seen[s.BankOf(int64(i)*int64(s.P.BurstBytes))] = true
+	}
+	if len(seen) != s.P.Banks {
+		t.Errorf("consecutive bursts hit %d distinct banks, want %d", len(seen), s.P.Banks)
+	}
+}
+
+func TestChannelSerialization(t *testing.T) {
+	s := NewSim(params())
+	// The in-order channel admits one transaction at a time: a second
+	// access issued at the same instant queues behind the first,
+	// regardless of its bank.
+	done1, _ := s.AccessAt(0, 0, false)
+	done2, _ := s.AccessAt(0, int64(s.P.BurstBytes), false) // different bank
+	if done2 <= done1 {
+		t.Errorf("channel should serialize: done2 %d vs done1 %d", done2, done1)
+	}
+	// But bank row buffers are still per bank: returning to bank 0's open
+	// row is a hit even after visiting bank 1.
+	_, pat := s.AccessAt(done2, 0, false)
+	if pat != RARHit {
+		t.Errorf("bank 0 reuse = %v, want RAR/hit", pat)
+	}
+}
+
+func TestPatternClassificationSequence(t *testing.T) {
+	s := NewSim(params())
+	a0 := int64(0)
+	_, p1 := s.AccessAt(0, a0, false) // first read: miss (no open row)
+	if p1 != RARMiss {
+		t.Errorf("first access = %v, want RAR/miss", p1)
+	}
+	_, p2 := s.AccessAt(100, a0, false) // same row read: RAR hit
+	if p2 != RARHit {
+		t.Errorf("second access = %v, want RAR/hit", p2)
+	}
+	_, p3 := s.AccessAt(200, a0, true) // write after read, same row
+	if p3 != WARHit {
+		t.Errorf("third access = %v, want WAR/hit", p3)
+	}
+	_, p4 := s.AccessAt(300, a0, true) // write after write
+	if p4 != WAWHit {
+		t.Errorf("fourth access = %v, want WAW/hit", p4)
+	}
+	_, p5 := s.AccessAt(400, a0, false) // read after write
+	if p5 != RAWHit {
+		t.Errorf("fifth access = %v, want RAW/hit", p5)
+	}
+}
+
+func TestProfilePatternsComplete(t *testing.T) {
+	lat := ProfilePatterns(params(), 2048, 42)
+	for p := Pattern(0); p < NumPatterns; p++ {
+		if lat.Get(p) <= 0 {
+			t.Errorf("pattern %v has no latency", p)
+		}
+	}
+	// Structural expectations on the profiled table.
+	if lat.Get(RARHit) >= lat.Get(RARMiss) {
+		t.Error("profiled RAR hit should be cheaper than miss")
+	}
+	if lat.Get(WAWHit) >= lat.Get(WAWMiss) {
+		t.Error("profiled WAW hit should be cheaper than miss")
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	a := ProfilePatterns(params(), 1024, 7)
+	b := ProfilePatterns(params(), 1024, 7)
+	if a != b {
+		t.Error("profiling is not deterministic")
+	}
+}
+
+func TestMonotoneTimeProperty(t *testing.T) {
+	// Property: completion time never precedes issue time, and repeated
+	// accesses to one bank have non-decreasing completion times.
+	f := func(addrs []uint16, writes []bool) bool {
+		s := NewSim(params())
+		now := int64(0)
+		var lastDone int64
+		for i, a := range addrs {
+			w := i < len(writes) && writes[i]
+			done, _ := s.AccessAt(now, int64(a), w)
+			if done < now {
+				return false
+			}
+			if done < lastDone && s.BankOf(int64(a)) == 0 {
+				// only enforce per-bank monotonicity loosely via bank 0
+				return false
+			}
+			lastDone = done
+			now = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPatternPredicates(t *testing.T) {
+	if !RARHit.Read() || !RAWMiss.Read() || WARHit.Read() || WAWMiss.Read() {
+		t.Error("Read() predicate wrong")
+	}
+	if !RARHit.Hit() || RARMiss.Hit() {
+		t.Error("Hit() predicate wrong")
+	}
+	if RARHit.String() != "RAR/hit" || WAWMiss.String() != "WAW/miss" {
+		t.Error("String() wrong")
+	}
+}

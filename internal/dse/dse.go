@@ -1,0 +1,319 @@
+// Package dse implements the design-space exploration of §4.3: exhaustive
+// search driven by the FlexCL analytical model, the step-by-step heuristic
+// search of Wang et al. [16] driven by a coarse model, and the metrics the
+// paper reports (optimality rate, distance to optimum, speedup over the
+// unoptimized baseline design, exploration time).
+package dse
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/model"
+	"repro/internal/rtlsim"
+)
+
+// Point is one evaluated design.
+type Point struct {
+	Design model.Design
+	// Est is the FlexCL model estimate in cycles.
+	Est float64
+	// Actual is the ground-truth ("System Run") cycles; 0 until measured.
+	Actual float64
+	// Baseline is the SDAccel estimate; negative when the tool failed.
+	Baseline float64
+}
+
+// Space enumerates the kernel's design space: work-group sizes within the
+// kernel's bounds × pipeline × PE × CU × communication mode.
+func Space(k *bench.Kernel, p *device.Platform) []model.Design {
+	var out []model.Design
+	for _, wg := range k.WGSizes() {
+		for _, d := range model.DefaultSpace(wg, p.MaxPE, p.MaxCU) {
+			if d.WGSize == wg {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Result is a full exploration of one kernel.
+type Result struct {
+	Kernel *bench.Kernel
+	Points []Point
+
+	// ModelTime is the wall time spent on FlexCL analysis + prediction.
+	ModelTime time.Duration
+	// SimTime is the wall time spent on ground-truth simulation.
+	SimTime time.Duration
+
+	// BaselineFailures counts design points the SDAccel estimator
+	// rejected.
+	BaselineFailures int
+}
+
+// Options tunes exploration.
+type Options struct {
+	Platform *device.Platform
+	// SimMaxGroups caps ground-truth simulation (0 = all groups).
+	SimMaxGroups int
+	// SkipActual skips ground-truth simulation (model-only exploration).
+	SkipActual bool
+	// SkipBaseline skips the SDAccel baseline.
+	SkipBaseline bool
+	// PruneInfeasible drops design points whose estimated resource usage
+	// (DSPs, BRAM) exceeds the platform — they could never be placed.
+	PruneInfeasible bool
+}
+
+// Explore evaluates every design point of the kernel with the FlexCL
+// model, the SDAccel baseline and (optionally) ground-truth simulation.
+func Explore(k *bench.Kernel, opts Options) (*Result, error) {
+	p := opts.Platform
+	if p == nil {
+		p = device.Virtex7()
+	}
+	res := &Result{Kernel: k}
+
+	// One analysis per work-group size serves every design at that size.
+	analyses := map[int64]*model.Analysis{}
+	t0 := time.Now()
+	for _, wg := range k.WGSizes() {
+		f, err := k.Compile(wg)
+		if err != nil {
+			return nil, err
+		}
+		an, err := model.Analyze(f, p, k.Config(wg), model.AnalysisOptions{ProfileGroups: 8})
+		if err != nil {
+			return nil, fmt.Errorf("dse %s wg=%d: %w", k.ID(), wg, err)
+		}
+		analyses[wg] = an
+	}
+	prep := time.Since(t0)
+
+	designs := Space(k, p)
+	res.Points = make([]Point, 0, len(designs))
+
+	tModel := time.Duration(0)
+	tSim := time.Duration(0)
+	for _, d := range designs {
+		an := analyses[d.WGSize]
+		if opts.PruneInfeasible && !an.ResourceUsage(d).Feasible {
+			continue
+		}
+		pt := Point{Design: d}
+
+		m0 := time.Now()
+		pt.Est = an.Predict(d).Cycles
+		tModel += time.Since(m0)
+
+		if !opts.SkipBaseline {
+			if est, err := baseline.SDAccel(an, d); err == nil {
+				pt.Baseline = est
+			} else {
+				pt.Baseline = -1
+				res.BaselineFailures++
+			}
+		}
+
+		if !opts.SkipActual {
+			s0 := time.Now()
+			f, err := k.Compile(d.WGSize)
+			if err != nil {
+				return nil, err
+			}
+			sim, err := rtlsim.Simulate(f, p, k.Config(d.WGSize), d, rtlsim.Options{MaxGroups: opts.SimMaxGroups})
+			if err != nil {
+				return nil, fmt.Errorf("dse %s %v: %w", k.ID(), d, err)
+			}
+			pt.Actual = sim.Cycles
+			tSim += time.Since(s0)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	res.ModelTime = prep + tModel
+	res.SimTime = tSim
+	return res, nil
+}
+
+// AvgErrors returns the mean absolute relative error (percent) of the
+// FlexCL model and of the baseline (over the points the baseline
+// supported) against the ground truth.
+func (r *Result) AvgErrors() (flexcl, sdaccel float64) {
+	var fsum, fn, ssum, sn float64
+	for _, pt := range r.Points {
+		if pt.Actual <= 0 {
+			continue
+		}
+		fsum += rtlsim.ErrorVs(pt.Est, pt.Actual)
+		fn++
+		if pt.Baseline > 0 {
+			ssum += rtlsim.ErrorVs(pt.Baseline, pt.Actual)
+			sn++
+		}
+	}
+	if fn > 0 {
+		flexcl = fsum / fn
+	}
+	if sn > 0 {
+		sdaccel = ssum / sn
+	}
+	return flexcl, sdaccel
+}
+
+// BestByModel returns the design the FlexCL model ranks fastest.
+func (r *Result) BestByModel() Point {
+	best := r.Points[0]
+	for _, pt := range r.Points[1:] {
+		if pt.Est < best.Est {
+			best = pt
+		}
+	}
+	return best
+}
+
+// BestActual returns the true optimum (requires measured points).
+func (r *Result) BestActual() Point {
+	best := r.Points[0]
+	for _, pt := range r.Points[1:] {
+		if pt.Actual > 0 && (best.Actual <= 0 || pt.Actual < best.Actual) {
+			best = pt
+		}
+	}
+	return best
+}
+
+// ActualOf looks up the measured cycles of a design.
+func (r *Result) ActualOf(d model.Design) float64 {
+	for _, pt := range r.Points {
+		if pt.Design == d {
+			return pt.Actual
+		}
+	}
+	return 0
+}
+
+// GapToOptimum returns how far (percent) the model-selected design is
+// from the true optimum, by actual performance (§4.3: 2.1 % average).
+func (r *Result) GapToOptimum() float64 {
+	sel := r.ActualOf(r.BestByModel().Design)
+	opt := r.BestActual().Actual
+	if opt <= 0 || sel <= 0 {
+		return 0
+	}
+	return (sel - opt) / opt * 100
+}
+
+// BaselineDesign is the unoptimized reference configuration (§4.3's
+// "baseline unoptimized design"): smallest work-group, no pipelining,
+// single PE and CU, barrier mode.
+func BaselineDesign(k *bench.Kernel) model.Design {
+	return model.Design{
+		WGSize: k.WGSizes()[0], WIPipeline: false, PE: 1, CU: 1,
+		Mode: model.ModeBarrier,
+	}
+}
+
+// SpeedupOverBaseline returns actual(baseline)/actual(selected).
+func (r *Result) SpeedupOverBaseline() float64 {
+	base := r.ActualOf(BaselineDesign(r.Kernel))
+	sel := r.ActualOf(r.BestByModel().Design)
+	if base <= 0 || sel <= 0 {
+		return 1
+	}
+	return base / sel
+}
+
+// HeuristicSearch reproduces the step-by-step search of [16]: starting
+// from the unoptimized design, optimize one parameter at a time with the
+// coarse model, assuming independence between optimizations. Returns the
+// chosen design and the number of coarse-model evaluations.
+func HeuristicSearch(k *bench.Kernel, analyses map[int64]*model.Analysis) (model.Design, int) {
+	cur := BaselineDesign(k)
+	evals := 0
+	score := func(d model.Design) float64 {
+		evals++
+		return baseline.Coarse(analyses[d.WGSize], d)
+	}
+	// 1. Work-group size.
+	bestS := score(cur)
+	for _, wg := range k.WGSizes() {
+		d := cur
+		d.WGSize = wg
+		if s := score(d); s < bestS {
+			bestS, cur = s, d
+		}
+	}
+	// 2. Pipelining.
+	for _, pipe := range []bool{false, true} {
+		d := cur
+		d.WIPipeline = pipe
+		if !pipe && d.PE > 1 {
+			continue
+		}
+		if s := score(d); s < bestS {
+			bestS, cur = s, d
+		}
+	}
+	// 3. PE parallelism (requires pipelining in the flow).
+	for pe := 1; pe <= 16; pe *= 2 {
+		d := cur
+		d.PE = pe
+		if pe > 1 {
+			d.WIPipeline = true
+		}
+		if s := score(d); s < bestS {
+			bestS, cur = s, d
+		}
+	}
+	// 4. CU count.
+	for cu := 1; cu <= 4; cu *= 2 {
+		d := cur
+		d.CU = cu
+		if s := score(d); s < bestS {
+			bestS, cur = s, d
+		}
+	}
+	// 5. Communication mode.
+	for _, m := range []model.CommMode{model.ModeBarrier, model.ModePipeline} {
+		d := cur
+		d.Mode = m
+		if s := score(d); s < bestS {
+			bestS, cur = s, d
+		}
+	}
+	return cur, evals
+}
+
+// NearOptimal reports whether design d's actual performance is within
+// tol percent of the optimum in r.
+func (r *Result) NearOptimal(d model.Design, tol float64) bool {
+	opt := r.BestActual().Actual
+	act := r.ActualOf(d)
+	if opt <= 0 || act <= 0 {
+		return false
+	}
+	return (act-opt)/opt*100 <= tol
+}
+
+// SortedByActual returns the points ordered fastest-first by measured
+// cycles (unmeasured points last).
+func (r *Result) SortedByActual() []Point {
+	pts := append([]Point(nil), r.Points...)
+	sort.SliceStable(pts, func(i, j int) bool {
+		ai, aj := pts[i].Actual, pts[j].Actual
+		if ai <= 0 {
+			return false
+		}
+		if aj <= 0 {
+			return true
+		}
+		return ai < aj
+	})
+	return pts
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fast bounds every suite experiment to its smallest useful size.
+var fast = Config{MaxKernels: 1, SimMaxGroups: 2}
+
+func TestTable1HasEightPatterns(t *testing.T) {
+	tab := Table1(Config{})
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(tab.Rows))
+	}
+	s := tab.String()
+	for _, pat := range []string{"RAR/hit", "WAW/miss"} {
+		if !strings.Contains(s, pat) {
+			t.Errorf("missing pattern %s", pat)
+		}
+	}
+}
+
+func TestTable2Slice(t *testing.T) {
+	tab, sum, err := Table2(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Kernels != 1 || len(tab.Rows) != 1 {
+		t.Fatalf("kernels = %d rows = %d", sum.Kernels, len(tab.Rows))
+	}
+	if sum.AvgFlexCLErr <= 0 || sum.AvgFlexCLErr > 50 {
+		t.Errorf("FlexCL err = %.1f%%", sum.AvgFlexCLErr)
+	}
+	if sum.AvgSDAccelErr <= sum.AvgFlexCLErr {
+		t.Errorf("baseline err (%.1f%%) should exceed FlexCL (%.1f%%)",
+			sum.AvgSDAccelErr, sum.AvgFlexCLErr)
+	}
+	if sum.TotalModelTime >= sum.TotalSimTime {
+		t.Error("model not faster than simulation")
+	}
+}
+
+func TestPolybenchSlice(t *testing.T) {
+	_, sum, err := PolybenchAccuracy(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.AvgFlexCLErr <= 0 || sum.AvgFlexCLErr > 50 {
+		t.Errorf("FlexCL err = %.1f%%", sum.AvgFlexCLErr)
+	}
+}
+
+func TestFig4Series(t *testing.T) {
+	series, err := Fig4(Config{SimMaxGroups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"hotspot3D", "nn"} {
+		s := series[name]
+		if s == nil || len(s.Points) < 100 {
+			t.Fatalf("%s: series missing or too short", name)
+		}
+		for _, p := range s.Points {
+			if p[1] <= 0 || p[2] <= 0 {
+				t.Fatalf("%s: non-positive point %v", name, p)
+			}
+		}
+	}
+}
+
+func TestRobustnessRows(t *testing.T) {
+	rows, err := Robustness(Config{SimMaxGroups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (HotSpot, pathfinder)", len(rows))
+	}
+	for _, r := range rows {
+		if r.AvgErr <= 0 || r.AvgErr > 40 {
+			t.Errorf("%s err = %.1f%%, outside plausible band", r.Kernel, r.AvgErr)
+		}
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	rows, err := AblationStudy(Config{SimMaxGroups: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("variants = %d, want 5", len(rows))
+	}
+	full := rows[0].AvgErr
+	// Removing the memory-pattern model or coalescing must hurt accuracy.
+	if rows[1].AvgErr <= full {
+		t.Errorf("A1 err %.1f%% not worse than full %.1f%%", rows[1].AvgErr, full)
+	}
+	if rows[4].AvgErr <= full {
+		t.Errorf("A4 err %.1f%% not worse than full %.1f%%", rows[4].AvgErr, full)
+	}
+}

@@ -1,0 +1,122 @@
+// Package gpumodel is a first-order analytical GPU performance model used
+// for the cross-architecture comparison the paper motivates in §1
+// ("make performance comparison across heterogeneous architecture (GPUs
+// v.s. FPGAs)"). It consumes the same kernel analysis FlexCL produces —
+// frequency-weighted operation counts and the coalesced global-memory
+// traffic — and applies a throughput (roofline) model of a streaming
+// multiprocessor array instead of a spatial pipeline.
+//
+// The model is deliberately coarse (no cache hierarchy, no divergence
+// penalty beyond branch serialization): its purpose is ranking FPGA
+// designs against a GPU ballpark, not predicting GPU cycles precisely.
+package gpumodel
+
+import (
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/model"
+)
+
+// GPU describes a GPU target for the comparison.
+type GPU struct {
+	Name     string
+	ClockMHz float64
+	// SMs × LanesPerSM scalar operations retire per cycle at peak.
+	SMs        int
+	LanesPerSM int
+	// MemBandwidthGBs is the DRAM bandwidth.
+	MemBandwidthGBs float64
+	// SFURatio divides throughput for transcendental ops.
+	SFURatio float64
+}
+
+// K20 returns an NVIDIA Tesla K20-class device — the contemporary GPU a
+// DAC'17 comparison would have used.
+func K20() *GPU {
+	return &GPU{
+		Name: "tesla-k20", ClockMHz: 706,
+		SMs: 13, LanesPerSM: 192,
+		MemBandwidthGBs: 208,
+		SFURatio:        6,
+	}
+}
+
+// EmbeddedGPU returns a small embedded-class GPU for low-power
+// comparisons.
+func EmbeddedGPU() *GPU {
+	return &GPU{
+		Name: "embedded-gpu", ClockMHz: 600,
+		SMs: 2, LanesPerSM: 128,
+		MemBandwidthGBs: 25.6,
+		SFURatio:        8,
+	}
+}
+
+// Estimate is the GPU-side prediction.
+type Estimate struct {
+	GPU     *GPU
+	Seconds float64
+	// ComputeSeconds and MemorySeconds are the roofline components.
+	ComputeSeconds float64
+	MemorySeconds  float64
+	// MemoryBound reports which side of the roofline binds.
+	MemoryBound bool
+}
+
+// Predict estimates the kernel launch time on the GPU from a FlexCL
+// analysis: total dynamic operations over peak throughput vs total
+// coalesced traffic over bandwidth.
+func Predict(a *model.Analysis, g *GPU) *Estimate {
+	// Dynamic scalar operations per work-item, weighting expensive ops
+	// by their throughput cost.
+	var opsPerWI float64
+	for _, b := range a.F.Blocks {
+		w, ok := a.Freq[b]
+		if !ok {
+			w = 1
+		}
+		for _, in := range b.Instrs {
+			lanes := float64(in.T.Lanes())
+			switch device.Classify(in) {
+			case device.ClassNop, device.ClassWorkItem, device.ClassVecShuffle,
+				device.ClassPrivLoad, device.ClassPrivStore, device.ClassBarrierOp:
+				// register traffic: free at this granularity
+			case device.ClassFSqrt, device.ClassFExp, device.ClassFTrig:
+				opsPerWI += w * lanes * g.SFURatio
+			case device.ClassIDiv, device.ClassFDiv:
+				opsPerWI += w * lanes * g.SFURatio
+			default:
+				opsPerWI += w * lanes
+			}
+		}
+	}
+
+	peakOps := float64(g.SMs) * float64(g.LanesPerSM) * g.ClockMHz * 1e6
+	e := &Estimate{GPU: g}
+	e.ComputeSeconds = opsPerWI * float64(a.NWI) / peakOps
+
+	// GPU DRAM traffic: raw word accesses (the GPU's caches service
+	// broadcasts and re-reads, unlike the FPGA's streaming port, so the
+	// FPGA-side burst count would overstate GPU traffic).
+	bytes := a.Mem.RawPerWI * 4 * float64(a.NWI)
+	e.MemorySeconds = bytes / (g.MemBandwidthGBs * 1e9)
+
+	e.Seconds = math.Max(e.ComputeSeconds, e.MemorySeconds)
+	e.MemoryBound = e.MemorySeconds >= e.ComputeSeconds
+	// Kernel launch overhead floor (~5 µs).
+	if e.Seconds < 5e-6 {
+		e.Seconds = 5e-6
+	}
+	return e
+}
+
+// Compare pits the best FPGA design estimate against the GPU estimate and
+// returns the FPGA/GPU speedup (> 1 means the FPGA wins).
+func Compare(a *model.Analysis, bestFPGA *model.Estimate, g *GPU) float64 {
+	gpu := Predict(a, g)
+	if bestFPGA.Seconds <= 0 {
+		return 0
+	}
+	return gpu.Seconds / bestFPGA.Seconds
+}

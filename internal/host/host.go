@@ -1,0 +1,205 @@
+// Package host provides an OpenCL-host-style API over the FlexCL stack:
+// contexts, programs, kernels with positional arguments, and command
+// queues that can execute a launch functionally, estimate it analytically
+// or simulate it cycle-accurately. It mirrors the host/kernel split of
+// Figure 1, so code written against the real OpenCL host API ports
+// directly.
+package host
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/model"
+	"repro/internal/rtlsim"
+)
+
+// Context owns a target platform, like a cl_context bound to one device.
+type Context struct {
+	Platform *device.Platform
+}
+
+// NewContext returns a context for the platform (nil = Virtex-7).
+func NewContext(p *device.Platform) *Context {
+	if p == nil {
+		p = device.Virtex7()
+	}
+	return &Context{Platform: p}
+}
+
+// Program is a compiled translation unit (cl_program).
+type Program struct {
+	ctx    *Context
+	module *irgen.Module
+}
+
+// CreateProgram compiles OpenCL source, like clCreateProgramWithSource +
+// clBuildProgram. defines plays the role of -D build options.
+func (c *Context) CreateProgram(name string, src []byte, defines map[string]string) (*Program, error) {
+	m, err := irgen.Compile(name, src, defines)
+	if err != nil {
+		return nil, fmt.Errorf("host: build failed: %w", err)
+	}
+	return &Program{ctx: c, module: m}, nil
+}
+
+// Kernel is a kernel object with bound arguments (cl_kernel).
+type Kernel struct {
+	prog *Program
+	f    *ir.Func
+	// args holds one entry per parameter, bound positionally.
+	bufs    map[string]*interp.Buffer
+	scalars map[string]interp.Val
+}
+
+// CreateKernel looks a kernel up by name, like clCreateKernel.
+func (p *Program) CreateKernel(name string) (*Kernel, error) {
+	f := p.module.Kernel(name)
+	if f == nil {
+		return nil, fmt.Errorf("host: kernel %q not found", name)
+	}
+	return &Kernel{
+		prog:    p,
+		f:       f,
+		bufs:    make(map[string]*interp.Buffer),
+		scalars: make(map[string]interp.Val),
+	}, nil
+}
+
+// NumArgs returns the kernel's parameter count.
+func (k *Kernel) NumArgs() int { return len(k.f.Params) }
+
+// ArgName returns the name of parameter idx.
+func (k *Kernel) ArgName(idx int) string {
+	if idx < 0 || idx >= len(k.f.Params) {
+		return ""
+	}
+	return k.f.Params[idx].PName
+}
+
+// SetArgBuffer binds a buffer to pointer parameter idx (clSetKernelArg
+// with a cl_mem).
+func (k *Kernel) SetArgBuffer(idx int, b *interp.Buffer) error {
+	if idx < 0 || idx >= len(k.f.Params) {
+		return fmt.Errorf("host: argument index %d out of range", idx)
+	}
+	prm := k.f.Params[idx]
+	if !prm.T.Ptr {
+		return fmt.Errorf("host: argument %d (%s) is not a pointer", idx, prm.PName)
+	}
+	k.bufs[prm.PName] = b
+	return nil
+}
+
+// SetArgInt binds an integer scalar to parameter idx.
+func (k *Kernel) SetArgInt(idx int, v int64) error {
+	if idx < 0 || idx >= len(k.f.Params) {
+		return fmt.Errorf("host: argument index %d out of range", idx)
+	}
+	prm := k.f.Params[idx]
+	if prm.T.Ptr {
+		return fmt.Errorf("host: argument %d (%s) is a pointer; use SetArgBuffer", idx, prm.PName)
+	}
+	k.scalars[prm.PName] = interp.IntVal(v)
+	return nil
+}
+
+// SetArgFloat binds a floating scalar to parameter idx.
+func (k *Kernel) SetArgFloat(idx int, v float64) error {
+	if idx < 0 || idx >= len(k.f.Params) {
+		return fmt.Errorf("host: argument index %d out of range", idx)
+	}
+	prm := k.f.Params[idx]
+	if prm.T.Ptr {
+		return fmt.Errorf("host: argument %d (%s) is a pointer; use SetArgBuffer", idx, prm.PName)
+	}
+	k.scalars[prm.PName] = interp.FloatVal(v)
+	return nil
+}
+
+// launch assembles the interp configuration, validating bindings.
+func (k *Kernel) launch(global, local [3]int64) (*interp.Config, error) {
+	for _, prm := range k.f.Params {
+		if prm.T.Ptr {
+			if k.bufs[prm.PName] == nil {
+				return nil, fmt.Errorf("host: buffer argument %s unset", prm.PName)
+			}
+		} else if _, ok := k.scalars[prm.PName]; !ok {
+			return nil, fmt.Errorf("host: scalar argument %s unset", prm.PName)
+		}
+	}
+	return &interp.Config{
+		Range:   interp.NDRange{Global: global, Local: local},
+		Buffers: k.bufs,
+		Scalars: k.scalars,
+	}, nil
+}
+
+// Queue executes launches (cl_command_queue). Queues are synchronous:
+// every enqueue completes before returning.
+type Queue struct {
+	ctx *Context
+}
+
+// CreateQueue returns a command queue on the context.
+func (c *Context) CreateQueue() *Queue { return &Queue{ctx: c} }
+
+// EnqueueNDRange executes the kernel functionally over the NDRange,
+// mutating its bound buffers (clEnqueueNDRangeKernel + clFinish).
+func (q *Queue) EnqueueNDRange(k *Kernel, global, local [3]int64) error {
+	cfg, err := k.launch(global, local)
+	if err != nil {
+		return err
+	}
+	return interp.Run(k.f, cfg)
+}
+
+// Estimate predicts the launch's cycle count at a design point with the
+// FlexCL analytical model. Buffers are snapshotted so the profiling run
+// does not disturb bound data.
+func (q *Queue) Estimate(k *Kernel, global, local [3]int64, d model.Design) (*model.Estimate, error) {
+	cfg, err := k.launch(global, local)
+	if err != nil {
+		return nil, err
+	}
+	cfg = snapshot(cfg)
+	an, err := model.Analyze(k.f, q.ctx.Platform, cfg, model.AnalysisOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return an.Predict(d), nil
+}
+
+// Simulate measures the launch cycle-accurately at a design point.
+// Buffers are snapshotted.
+func (q *Queue) Simulate(k *Kernel, global, local [3]int64, d model.Design, maxGroups int) (*rtlsim.Result, error) {
+	cfg, err := k.launch(global, local)
+	if err != nil {
+		return nil, err
+	}
+	cfg = snapshot(cfg)
+	return rtlsim.Simulate(k.f, q.ctx.Platform, cfg, d, rtlsim.Options{MaxGroups: maxGroups})
+}
+
+// snapshot deep-copies the launch buffers.
+func snapshot(cfg *interp.Config) *interp.Config {
+	out := &interp.Config{
+		Range:   cfg.Range,
+		Buffers: make(map[string]*interp.Buffer, len(cfg.Buffers)),
+		Scalars: cfg.Scalars,
+	}
+	for name, b := range cfg.Buffers {
+		nb := &interp.Buffer{Elem: b.Elem}
+		if b.I != nil {
+			nb.I = append([]int64(nil), b.I...)
+		}
+		if b.F != nil {
+			nb.F = append([]float64(nil), b.F...)
+		}
+		out.Buffers[name] = nb
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package host
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/model"
+	"repro/internal/opencl/ast"
+)
+
+const saxpySrc = `
+__kernel void saxpy(__global const float* x, __global float* y, int n) {
+    int i = get_global_id(0);
+    if (i < n) { y[i] = 2.0f * x[i] + y[i]; }
+}`
+
+func buildSaxpy(t *testing.T) (*Context, *Kernel) {
+	t.Helper()
+	ctx := NewContext(nil)
+	prog, err := ctx.CreateProgram("saxpy.cl", []byte(saxpySrc), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := prog.CreateKernel("saxpy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, k
+}
+
+func TestHostFlow(t *testing.T) {
+	ctx, k := buildSaxpy(t)
+	if k.NumArgs() != 3 || k.ArgName(0) != "x" || k.ArgName(2) != "n" {
+		t.Fatalf("arg reflection wrong: %d args", k.NumArgs())
+	}
+	const n = 128
+	x := interp.NewFloatBuffer(ast.KFloat, n)
+	y := interp.NewFloatBuffer(ast.KFloat, n)
+	for i := 0; i < n; i++ {
+		x.F[i] = float64(i)
+		y.F[i] = 1
+	}
+	if err := k.SetArgBuffer(0, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgBuffer(1, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgInt(2, n); err != nil {
+		t.Fatal(err)
+	}
+	q := ctx.CreateQueue()
+	if err := q.EnqueueNDRange(k, [3]int64{n}, [3]int64{32}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if y.F[i] != 2*float64(i)+1 {
+			t.Fatalf("y[%d] = %v", i, y.F[i])
+		}
+	}
+}
+
+func TestArgValidation(t *testing.T) {
+	_, k := buildSaxpy(t)
+	if err := k.SetArgInt(0, 1); err == nil || !strings.Contains(err.Error(), "pointer") {
+		t.Errorf("int into pointer slot: %v", err)
+	}
+	buf := interp.NewFloatBuffer(ast.KFloat, 4)
+	if err := k.SetArgBuffer(2, buf); err == nil || !strings.Contains(err.Error(), "not a pointer") {
+		t.Errorf("buffer into scalar slot: %v", err)
+	}
+	if err := k.SetArgBuffer(7, buf); err == nil {
+		t.Error("index out of range accepted")
+	}
+}
+
+func TestUnsetArgumentsRejected(t *testing.T) {
+	ctx, k := buildSaxpy(t)
+	q := ctx.CreateQueue()
+	err := q.EnqueueNDRange(k, [3]int64{32}, [3]int64{32})
+	if err == nil || !strings.Contains(err.Error(), "unset") {
+		t.Fatalf("launch with unset args: %v", err)
+	}
+}
+
+func TestEstimateAndSimulateDoNotMutate(t *testing.T) {
+	ctx, k := buildSaxpy(t)
+	const n = 256
+	x := interp.NewFloatBuffer(ast.KFloat, n)
+	y := interp.NewFloatBuffer(ast.KFloat, n)
+	for i := 0; i < n; i++ {
+		x.F[i], y.F[i] = float64(i), 7
+	}
+	_ = k.SetArgBuffer(0, x)
+	_ = k.SetArgBuffer(1, y)
+	_ = k.SetArgInt(2, n)
+
+	q := ctx.CreateQueue()
+	d := model.Design{WGSize: 64, WIPipeline: true, PE: 1, CU: 1, Mode: model.ModePipeline}
+	est, err := q.Estimate(k, [3]int64{n}, [3]int64{64}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Cycles <= 0 {
+		t.Fatal("bad estimate")
+	}
+	sim, err := q.Simulate(k, [3]int64{n}, [3]int64{64}, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Cycles <= 0 {
+		t.Fatal("bad simulation")
+	}
+	// The bound buffers must be untouched by estimation/simulation.
+	for i := 0; i < n; i++ {
+		if y.F[i] != 7 {
+			t.Fatalf("estimation mutated y[%d] = %v", i, y.F[i])
+		}
+	}
+}
+
+func TestCreateKernelUnknown(t *testing.T) {
+	ctx := NewContext(nil)
+	prog, err := ctx.CreateProgram("s.cl", []byte(saxpySrc), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.CreateKernel("nope"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestBuildError(t *testing.T) {
+	ctx := NewContext(nil)
+	if _, err := ctx.CreateProgram("bad.cl", []byte("__kernel void k( {"), nil); err == nil {
+		t.Fatal("build error not reported")
+	}
+}
+
+func TestFloatScalarArg(t *testing.T) {
+	ctx := NewContext(nil)
+	prog, err := ctx.CreateProgram("s.cl", []byte(`
+__kernel void scale(__global float* y, float a) {
+    int i = get_global_id(0);
+    y[i] = y[i] * a;
+}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := prog.CreateKernel("scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := interp.NewFloatBuffer(ast.KFloat, 8)
+	for i := range y.F {
+		y.F[i] = 2
+	}
+	_ = k.SetArgBuffer(0, y)
+	if err := k.SetArgFloat(1, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.CreateQueue().EnqueueNDRange(k, [3]int64{8}, [3]int64{8}); err != nil {
+		t.Fatal(err)
+	}
+	if y.F[0] != 3 {
+		t.Fatalf("y[0] = %v", y.F[0])
+	}
+}

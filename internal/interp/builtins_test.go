@@ -1,0 +1,208 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/opencl/ast"
+)
+
+// evalUnary runs a one-argument float builtin through the pipeline.
+func evalUnary(t *testing.T, fn string, arg float64) float64 {
+	t.Helper()
+	k := compileKernel(t, `
+__kernel void b(__global float* x) {
+    x[0] = `+fn+`(x[1]);
+}`, "b")
+	x := NewFloatBuffer(ast.KFloat, 2)
+	x.F[1] = arg
+	cfg := &Config{
+		Range:   NDRange{Global: [3]int64{1}, Local: [3]int64{1}},
+		Buffers: map[string]*Buffer{"x": x},
+	}
+	if err := Run(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return x.F[0]
+}
+
+func TestUnaryMathBuiltins(t *testing.T) {
+	cases := []struct {
+		fn   string
+		arg  float64
+		want float64
+	}{
+		{"sqrt", 9, 3},
+		{"native_sqrt", 16, 4},
+		{"rsqrt", 4, 0.5},
+		{"fabs", -2.5, 2.5},
+		{"exp", 0, 1},
+		{"native_exp", 1, math.E},
+		{"exp2", 3, 8},
+		{"log", math.E, 1},
+		{"native_log", 1, 0},
+		{"log2", 8, 3},
+		{"sin", 0, 0},
+		{"cos", 0, 1},
+		{"tan", 0, 0},
+		{"floor", 2.7, 2},
+		{"ceil", 2.1, 3},
+		{"round", 2.5, 3},
+	}
+	for _, c := range cases {
+		got := evalUnary(t, c.fn, c.arg)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s(%v) = %v, want %v", c.fn, c.arg, got, c.want)
+		}
+	}
+}
+
+func TestBinaryAndTernaryBuiltins(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void b(__global float* x, __global int* y) {
+    x[0] = fmod(7.5f, 2.0f);
+    x[1] = atan2(1.0f, 1.0f);
+    x[2] = hypot(3.0f, 4.0f);
+    x[3] = mad(2.0f, 3.0f, 4.0f);
+    x[4] = fma(2.0f, 3.0f, -1.0f);
+    x[5] = clamp(5.0f, 0.0f, 2.0f);
+    y[0] = min(3, 8);
+    y[1] = max(3, 8);
+    y[2] = clamp(-4, 0, 10);
+    y[3] = abs(-9);
+    x[6] = select(1.0f, 2.0f, y[1] > 5);
+}`, "b")
+	x := NewFloatBuffer(ast.KFloat, 8)
+	y := NewIntBuffer(ast.KInt, 4)
+	cfg := &Config{
+		Range:   NDRange{Global: [3]int64{1}, Local: [3]int64{1}},
+		Buffers: map[string]*Buffer{"x": x, "y": y},
+	}
+	if err := Run(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	wantF := []float64{1.5, math.Pi / 4, 5, 10, 5, 2, 2}
+	for i, w := range wantF {
+		if math.Abs(x.F[i]-w) > 1e-6 {
+			t.Errorf("x[%d] = %v, want %v", i, x.F[i], w)
+		}
+	}
+	wantI := []int64{3, 8, 0, 9}
+	for i, w := range wantI {
+		if y.I[i] != w {
+			t.Errorf("y[%d] = %d, want %d", i, y.I[i], w)
+		}
+	}
+}
+
+func TestDotBuiltin(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void d(__global float4* v, __global float* out) {
+    out[0] = dot(v[0], v[1]);
+}`, "d")
+	v := &Buffer{Elem: ast.Vector(ast.KFloat, 4), F: []float64{1, 2, 3, 4, 5, 6, 7, 8}}
+	out := NewFloatBuffer(ast.KFloat, 1)
+	cfg := &Config{
+		Range:   NDRange{Global: [3]int64{1}, Local: [3]int64{1}},
+		Buffers: map[string]*Buffer{"v": v, "out": out},
+	}
+	if err := Run(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if out.F[0] != 5+12+21+32 {
+		t.Fatalf("dot = %v, want 70", out.F[0])
+	}
+}
+
+func TestAllWorkItemQueries(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void q(__global int* out) {
+    int i = get_global_id(0) + get_global_id(1) * get_global_size(0);
+    out[i * 8 + 0] = get_global_id(1);
+    out[i * 8 + 1] = get_local_id(0);
+    out[i * 8 + 2] = get_group_id(0);
+    out[i * 8 + 3] = get_global_size(1);
+    out[i * 8 + 4] = get_local_size(0);
+    out[i * 8 + 5] = get_num_groups(0);
+    out[i * 8 + 6] = get_work_dim();
+    out[i * 8 + 7] = (int)get_global_offset(0);
+}`, "q")
+	out := NewIntBuffer(ast.KInt, 8*8)
+	cfg := &Config{
+		Range:   NDRange{Global: [3]int64{4, 2}, Local: [3]int64{2, 2}},
+		Buffers: map[string]*Buffer{"out": out},
+	}
+	if err := Run(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Work-item at global (3,1): flat index 3 + 1*4 = 7.
+	base := 7 * 8
+	checks := map[int]int64{
+		base + 0: 1, // global id dim1
+		base + 1: 1, // local id (3 % 2)
+		base + 2: 1, // group id (3 / 2)
+		base + 3: 2, // global size dim1
+		base + 4: 2, // local size
+		base + 5: 2, // num groups dim0
+		base + 6: 2, // work dim (2D launch)
+		base + 7: 0, // global offset
+	}
+	for idx, want := range checks {
+		if out.I[idx] != want {
+			t.Errorf("out[%d] = %d, want %d", idx, out.I[idx], want)
+		}
+	}
+}
+
+func TestAtomicVariants(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void a(__global int* x) {
+    atomic_sub(x + 0, 3);
+    atomic_dec(x + 1);
+    atomic_min(x + 2, 5);
+    atomic_max(x + 3, 5);
+    atomic_xchg(x + 4, 42);
+    atomic_cmpxchg(x + 5, 7, 99);
+    atomic_cmpxchg(x + 6, 0, 99);
+}`, "a")
+	x := NewIntBuffer(ast.KInt, 7)
+	x.I[0], x.I[1], x.I[2], x.I[3] = 10, 10, 10, 10
+	x.I[4], x.I[5], x.I[6] = 10, 7, 10
+	cfg := &Config{
+		Range:   NDRange{Global: [3]int64{1}, Local: [3]int64{1}},
+		Buffers: map[string]*Buffer{"x": x},
+	}
+	if err := Run(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{7, 9, 5, 10, 42, 99, 10}
+	for i, w := range want {
+		if x.I[i] != w {
+			t.Errorf("x[%d] = %d, want %d", i, x.I[i], w)
+		}
+	}
+}
+
+func TestConvertBuiltins(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void c(__global float* x, __global int* y) {
+    y[0] = convert_int(x[0]);
+    x[1] = convert_float(y[1]);
+    y[2] = (int)convert_char(y[3]);
+}`, "c")
+	x := NewFloatBuffer(ast.KFloat, 2)
+	y := NewIntBuffer(ast.KInt, 4)
+	x.F[0] = 3.9
+	y.I[1] = 7
+	y.I[3] = 300 // truncates to char 44
+	cfg := &Config{
+		Range:   NDRange{Global: [3]int64{1}, Local: [3]int64{1}},
+		Buffers: map[string]*Buffer{"x": x, "y": y},
+	}
+	if err := Run(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if y.I[0] != 3 || x.F[1] != 7 || y.I[2] != 44 {
+		t.Fatalf("converts = %d %v %d, want 3 7 44", y.I[0], x.F[1], y.I[2])
+	}
+}

@@ -1,0 +1,212 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/irgen"
+	"repro/internal/opencl/ast"
+)
+
+// The differential tester generates random integer expression programs,
+// runs them through the full pipeline (lexer → parser → sema → irgen →
+// interpreter) and compares against direct evaluation of the same
+// expression tree in Go. Any divergence is a frontend or interpreter bug.
+
+type exprGen struct {
+	state uint64
+	vars  int // number of available variables v0..v{vars-1}
+}
+
+func (g *exprGen) next() uint64 {
+	g.state = g.state*6364136223846793005 + 1442695040888963407
+	return g.state >> 11
+}
+
+func (g *exprGen) intn(n int) int { return int(g.next() % uint64(n)) }
+
+// gen returns (source, evaluator) for a random int expression of bounded
+// depth. The evaluator mirrors C semantics on int32 (the interpreter
+// truncates on cast; intermediate math is int64 like the datapath).
+func (g *exprGen) gen(depth int) (string, func(env []int64) int64) {
+	if depth <= 0 || g.intn(4) == 0 {
+		switch g.intn(3) {
+		case 0:
+			v := g.intn(g.vars)
+			return fmt.Sprintf("v%d", v), func(env []int64) int64 { return env[v] }
+		default:
+			c := int64(g.intn(21) - 10)
+			return fmt.Sprintf("(%d)", c), func([]int64) int64 { return c }
+		}
+	}
+	l, lf := g.gen(depth - 1)
+	r, rf := g.gen(depth - 1)
+	switch g.intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", l, r), func(e []int64) int64 { return lf(e) + rf(e) }
+	case 1:
+		return fmt.Sprintf("(%s - %s)", l, r), func(e []int64) int64 { return lf(e) - rf(e) }
+	case 2:
+		return fmt.Sprintf("(%s * %s)", l, r), func(e []int64) int64 { return lf(e) * rf(e) }
+	case 3:
+		// Guard division: (l / (r | 1 with sign kept away from MinInt)).
+		return fmt.Sprintf("(%s / ((%s & 7) + 1))", l, r),
+			func(e []int64) int64 { return lf(e) / ((rf(e) & 7) + 1) }
+	case 4:
+		return fmt.Sprintf("(%s %% ((%s & 7) + 1))", l, r),
+			func(e []int64) int64 { return lf(e) % ((rf(e) & 7) + 1) }
+	case 5:
+		return fmt.Sprintf("(%s & %s)", l, r), func(e []int64) int64 { return lf(e) & rf(e) }
+	case 6:
+		return fmt.Sprintf("(%s | %s)", l, r), func(e []int64) int64 { return lf(e) | rf(e) }
+	default:
+		return fmt.Sprintf("((%s < %s) ? %s : %s)", l, r, r, l),
+			func(e []int64) int64 {
+				if lf(e) < rf(e) {
+					return rf(e)
+				}
+				return lf(e)
+			}
+	}
+}
+
+func TestDifferentialIntExpressions(t *testing.T) {
+	const (
+		programs = 60
+		vars     = 4
+		inputs   = 8
+	)
+	g := &exprGen{state: 0x5eed, vars: vars}
+	for pi := 0; pi < programs; pi++ {
+		src, ref := g.gen(4)
+		var decls, params strings.Builder
+		for v := 0; v < vars; v++ {
+			fmt.Fprintf(&params, ", __global const int* in%d", v)
+			fmt.Fprintf(&decls, "    int v%d = in%d[i];\n", v, v)
+		}
+		kernel := fmt.Sprintf(`
+__kernel void diff(__global int* out%s) {
+    int i = get_global_id(0);
+%s    out[i] = %s;
+}`, params.String(), decls.String(), src)
+
+		m, err := irgen.Compile("diff.cl", []byte(kernel), nil)
+		if err != nil {
+			t.Fatalf("program %d failed to compile: %v\nsource: %s", pi, err, src)
+		}
+		k := m.Kernel("diff")
+
+		out := NewIntBuffer(ast.KInt, inputs)
+		cfg := &Config{
+			Range:   NDRange{Global: [3]int64{inputs}, Local: [3]int64{inputs}},
+			Buffers: map[string]*Buffer{"out": out},
+		}
+		env := make([][]int64, inputs)
+		for v := 0; v < vars; v++ {
+			buf := NewIntBuffer(ast.KInt, inputs)
+			for i := 0; i < inputs; i++ {
+				buf.I[i] = int64(g.intn(41) - 20)
+			}
+			cfg.Buffers[fmt.Sprintf("in%d", v)] = buf
+			for i := 0; i < inputs; i++ {
+				if env[i] == nil {
+					env[i] = make([]int64, vars)
+				}
+				env[i][v] = buf.I[i]
+			}
+		}
+		if err := Run(k, cfg); err != nil {
+			t.Fatalf("program %d failed to run: %v\nsource: %s", pi, err, src)
+		}
+		for i := 0; i < inputs; i++ {
+			want := ref(env[i])
+			if out.I[i] != want {
+				t.Fatalf("program %d input %d: pipeline %d, reference %d\nexpr: %s\nenv: %v",
+					pi, i, out.I[i], want, src, env[i])
+			}
+		}
+	}
+}
+
+// TestDifferentialFloatExpressions does the same over a float grammar
+// (add/sub/mul plus fmin/fmax/fabs), comparing within an ulp-scaled
+// tolerance because the kernel's float casts round through float32.
+func TestDifferentialFloatExpressions(t *testing.T) {
+	g := &exprGen{state: 0xfaceb00c, vars: 3}
+	var genF func(depth int) (string, func(env []float64) float64)
+	genF = func(depth int) (string, func(env []float64) float64) {
+		if depth <= 0 || g.intn(4) == 0 {
+			if g.intn(2) == 0 {
+				v := g.intn(3)
+				return fmt.Sprintf("v%d", v), func(e []float64) float64 { return e[v] }
+			}
+			c := float64(g.intn(17)-8) * 0.25
+			return fmt.Sprintf("(%gf)", c), func([]float64) float64 { return c }
+		}
+		l, lf := genF(depth - 1)
+		r, rf := genF(depth - 1)
+		switch g.intn(6) {
+		case 0:
+			return fmt.Sprintf("(%s + %s)", l, r), func(e []float64) float64 { return lf(e) + rf(e) }
+		case 1:
+			return fmt.Sprintf("(%s - %s)", l, r), func(e []float64) float64 { return lf(e) - rf(e) }
+		case 2, 3:
+			return fmt.Sprintf("(%s * %s)", l, r), func(e []float64) float64 { return lf(e) * rf(e) }
+		case 4:
+			return fmt.Sprintf("fmax(%s, %s)", l, r), func(e []float64) float64 { return math.Max(lf(e), rf(e)) }
+		default:
+			return fmt.Sprintf("fmin(%s, %s)", l, r), func(e []float64) float64 { return math.Min(lf(e), rf(e)) }
+		}
+	}
+
+	const programs = 40
+	for pi := 0; pi < programs; pi++ {
+		src, ref := genF(4)
+		kernel := fmt.Sprintf(`
+__kernel void diff(__global float* out, __global const float* in0,
+                   __global const float* in1, __global const float* in2) {
+    int i = get_global_id(0);
+    float v0 = in0[i];
+    float v1 = in1[i];
+    float v2 = in2[i];
+    out[i] = %s;
+}`, src)
+		m, err := irgen.Compile("diff.cl", []byte(kernel), nil)
+		if err != nil {
+			t.Fatalf("program %d compile: %v\nexpr: %s", pi, err, src)
+		}
+		k := m.Kernel("diff")
+		const inputs = 8
+		out := NewFloatBuffer(ast.KFloat, inputs)
+		cfg := &Config{
+			Range:   NDRange{Global: [3]int64{inputs}, Local: [3]int64{inputs}},
+			Buffers: map[string]*Buffer{"out": out},
+		}
+		env := make([][]float64, inputs)
+		for v := 0; v < 3; v++ {
+			buf := NewFloatBuffer(ast.KFloat, inputs)
+			for i := 0; i < inputs; i++ {
+				buf.F[i] = float64(g.intn(33)-16) * 0.125
+			}
+			cfg.Buffers[fmt.Sprintf("in%d", v)] = buf
+			for i := 0; i < inputs; i++ {
+				if env[i] == nil {
+					env[i] = make([]float64, 3)
+				}
+				env[i][v] = buf.F[i]
+			}
+		}
+		if err := Run(k, cfg); err != nil {
+			t.Fatalf("program %d run: %v\nexpr: %s", pi, err, src)
+		}
+		for i := 0; i < inputs; i++ {
+			want := ref(env[i])
+			if diff := math.Abs(out.F[i] - want); diff > 1e-6*(math.Abs(want)+1) {
+				t.Fatalf("program %d input %d: pipeline %v, reference %v\nexpr: %s",
+					pi, i, out.F[i], want, src)
+			}
+		}
+	}
+}

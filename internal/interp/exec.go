@@ -1,0 +1,647 @@
+package interp
+
+import (
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/opencl/ast"
+)
+
+// exec evaluates one non-terminator instruction.
+func (w *wiState) exec(in *ir.Instr) {
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr, ir.OpAShr,
+		ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+		a := w.eval(in.Args[0])
+		b := w.eval(in.Args[1])
+		w.regs[in] = w.arith(in, a, b)
+
+	case ir.OpICmp, ir.OpFCmp:
+		a := w.eval(in.Args[0])
+		b := w.eval(in.Args[1])
+		w.regs[in] = w.compare(in, a, b)
+
+	case ir.OpSelect:
+		c := w.eval(in.Args[0])
+		a := w.eval(in.Args[1])
+		b := w.eval(in.Args[2])
+		if in.T.IsVector() && c.Vec != nil {
+			out := Val{Vec: make([]Val, in.T.Lanes())}
+			for i := range out.Vec {
+				if lane(c, i).I != 0 || lane(c, i).F != 0 {
+					out.Vec[i] = lane(a, i)
+				} else {
+					out.Vec[i] = lane(b, i)
+				}
+			}
+			w.regs[in] = out
+			return
+		}
+		if truthy(c) {
+			w.regs[in] = a
+		} else {
+			w.regs[in] = b
+		}
+
+	case ir.OpCast:
+		w.regs[in] = castVal(w.eval(in.Args[0]), in.Args[0].Type(), in.T)
+
+	case ir.OpLoad:
+		idx := w.eval(in.Args[0]).I
+		w.regs[in] = w.loadElem(in.Mem, idx, in.T)
+
+	case ir.OpStore:
+		idx := w.eval(in.Args[0]).I
+		v := w.eval(in.Args[1])
+		w.storeElem(in.Mem, idx, v)
+
+	case ir.OpAtomic:
+		idx := w.eval(in.Args[0]).I
+		var operand Val
+		if len(in.Args) > 1 {
+			operand = w.eval(in.Args[1])
+		}
+		w.regs[in] = w.atomic(in, idx, operand)
+
+	case ir.OpCall:
+		w.regs[in] = w.builtin(in)
+
+	case ir.OpWorkItem:
+		w.regs[in] = IntVal(w.workItem(in.Fn, in.Dim))
+
+	case ir.OpVecBuild:
+		out := Val{Vec: make([]Val, len(in.Args))}
+		for i, a := range in.Args {
+			out.Vec[i] = w.eval(a)
+		}
+		w.regs[in] = out
+
+	case ir.OpVecExtract:
+		v := w.eval(in.Args[0])
+		if len(in.Lanes) == 1 {
+			w.regs[in] = lane(v, in.Lanes[0])
+		} else {
+			out := Val{Vec: make([]Val, len(in.Lanes))}
+			for i, l := range in.Lanes {
+				out.Vec[i] = lane(v, l)
+			}
+			w.regs[in] = out
+		}
+
+	case ir.OpVecInsert:
+		v := w.eval(in.Args[0])
+		lanes := in.T.Lanes()
+		out := Val{Vec: make([]Val, lanes)}
+		for i := 0; i < lanes; i++ {
+			out.Vec[i] = lane(v, i)
+		}
+		for i, l := range in.Lanes {
+			out.Vec[l] = w.eval(in.Args[1+i])
+		}
+		w.regs[in] = out
+
+	case ir.OpBarrier:
+		w.barriers++
+		if !w.bar.wait() {
+			// A peer died; unwind without touching shared state again.
+			panic(execError{errGroupAborted})
+		}
+
+	default:
+		w.fail("unsupported op %v", in.Op)
+	}
+}
+
+// lane extracts lane i of a (possibly scalar) value.
+func lane(v Val, i int) Val {
+	if v.Vec == nil {
+		return v
+	}
+	if i >= len(v.Vec) {
+		return Val{}
+	}
+	return v.Vec[i]
+}
+
+func (w *wiState) arith(in *ir.Instr, a, b Val) Val {
+	t := in.T
+	if t.IsVector() {
+		out := Val{Vec: make([]Val, t.Lanes())}
+		for i := range out.Vec {
+			out.Vec[i] = w.scalarArith(in, lane(a, i), lane(b, i))
+		}
+		return out
+	}
+	return w.scalarArith(in, a, b)
+}
+
+func (w *wiState) scalarArith(in *ir.Instr, a, b Val) Val {
+	switch in.Op {
+	case ir.OpAdd:
+		return IntVal(a.I + b.I)
+	case ir.OpSub:
+		return IntVal(a.I - b.I)
+	case ir.OpMul:
+		return IntVal(a.I * b.I)
+	case ir.OpDiv:
+		if b.I == 0 {
+			w.fail("integer division by zero")
+		}
+		if in.T.Base.IsUnsigned() {
+			return IntVal(int64(uint64(a.I) / uint64(b.I)))
+		}
+		return IntVal(a.I / b.I)
+	case ir.OpRem:
+		if b.I == 0 {
+			w.fail("integer remainder by zero")
+		}
+		if in.T.Base.IsUnsigned() {
+			return IntVal(int64(uint64(a.I) % uint64(b.I)))
+		}
+		return IntVal(a.I % b.I)
+	case ir.OpAnd:
+		return IntVal(a.I & b.I)
+	case ir.OpOr:
+		return IntVal(a.I | b.I)
+	case ir.OpXor:
+		return IntVal(a.I ^ b.I)
+	case ir.OpShl:
+		return IntVal(a.I << uint(b.I&63))
+	case ir.OpLShr:
+		return IntVal(int64(uint64(a.I) >> uint(b.I&63)))
+	case ir.OpAShr:
+		return IntVal(a.I >> uint(b.I&63))
+	case ir.OpFAdd:
+		return FloatVal(a.F + b.F)
+	case ir.OpFSub:
+		return FloatVal(a.F - b.F)
+	case ir.OpFMul:
+		return FloatVal(a.F * b.F)
+	case ir.OpFDiv:
+		return FloatVal(a.F / b.F)
+	}
+	w.fail("bad arith op %v", in.Op)
+	return Val{}
+}
+
+func (w *wiState) compare(in *ir.Instr, a, b Val) Val {
+	cmp := func(a, b Val) Val {
+		var r bool
+		if in.Op == ir.OpFCmp {
+			switch in.Pr {
+			case ir.PredEQ:
+				r = a.F == b.F
+			case ir.PredNE:
+				r = a.F != b.F
+			case ir.PredLT:
+				r = a.F < b.F
+			case ir.PredLE:
+				r = a.F <= b.F
+			case ir.PredGT:
+				r = a.F > b.F
+			case ir.PredGE:
+				r = a.F >= b.F
+			}
+		} else {
+			switch in.Pr {
+			case ir.PredEQ:
+				r = a.I == b.I
+			case ir.PredNE:
+				r = a.I != b.I
+			case ir.PredLT:
+				r = a.I < b.I
+			case ir.PredLE:
+				r = a.I <= b.I
+			case ir.PredGT:
+				r = a.I > b.I
+			case ir.PredGE:
+				r = a.I >= b.I
+			}
+		}
+		if r {
+			return IntVal(1)
+		}
+		return IntVal(0)
+	}
+	if in.T.IsVector() {
+		out := Val{Vec: make([]Val, in.T.Lanes())}
+		for i := range out.Vec {
+			out.Vec[i] = cmp(lane(a, i), lane(b, i))
+		}
+		return out
+	}
+	return cmp(a, b)
+}
+
+// castVal converts v from type 'from' to type 'to'.
+func castVal(v Val, from, to ast.Type) Val {
+	if to.IsVector() {
+		out := Val{Vec: make([]Val, to.Lanes())}
+		fs := ast.Scalar(from.Base)
+		ts := ast.Scalar(to.Base)
+		for i := range out.Vec {
+			out.Vec[i] = castVal(lane(v, i), fs, ts)
+		}
+		return out
+	}
+	switch {
+	case to.Base.IsFloat() && from.Base.IsFloat():
+		f := v.F
+		if to.Base == ast.KFloat {
+			f = float64(float32(f))
+		}
+		return FloatVal(f)
+	case to.Base.IsFloat():
+		return FloatVal(float64(v.I))
+	case from.Base.IsFloat():
+		return IntVal(truncInt(int64(v.F), to.Base))
+	default:
+		return IntVal(truncInt(v.I, to.Base))
+	}
+}
+
+// truncInt wraps an integer to the width of kind k.
+func truncInt(v int64, k ast.BaseKind) int64 {
+	switch k {
+	case ast.KBool:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	case ast.KChar:
+		return int64(int8(v))
+	case ast.KUChar:
+		return int64(uint8(v))
+	case ast.KShort:
+		return int64(int16(v))
+	case ast.KUShort:
+		return int64(uint16(v))
+	case ast.KInt:
+		return int64(int32(v))
+	case ast.KUInt:
+		return int64(uint32(v))
+	default:
+		return v
+	}
+}
+
+// ---- memory ----
+
+func (w *wiState) loadElem(store ir.Storage, idx int64, t ast.Type) Val {
+	lanes := int64(t.Lanes())
+	switch s := store.(type) {
+	case *ir.Param:
+		buf := w.cfg.Buffers[s.PName]
+		base := idx * lanes
+		if base < 0 || base+lanes > int64(buf.Len()) {
+			w.fail("load out of bounds: %s[%d] (len %d)", s.PName, idx, buf.Len()/int(lanes))
+		}
+		if w.trace {
+			w.accesses = append(w.accesses, Access{
+				Param: s, Index: idx, Bytes: t.ElemSize(), Write: false,
+			})
+		}
+		return readBuf(buf, base, lanes, t)
+	case *ir.Alloca:
+		cells := w.cells(s)
+		base := idx * lanes
+		if base < 0 || base+lanes > int64(len(cells)) {
+			w.fail("load out of bounds: %s[%d] (len %d)", s.AName, idx, int64(len(cells))/lanes)
+		}
+		if lanes == 1 {
+			return cells[base]
+		}
+		out := Val{Vec: make([]Val, lanes)}
+		copy(out.Vec, cells[base:base+lanes])
+		return out
+	}
+	w.fail("unknown storage %T", store)
+	return Val{}
+}
+
+func (w *wiState) storeElem(store ir.Storage, idx int64, v Val) {
+	switch s := store.(type) {
+	case *ir.Param:
+		buf := w.cfg.Buffers[s.PName]
+		t := s.Elem()
+		lanes := int64(t.Lanes())
+		base := idx * lanes
+		if base < 0 || base+lanes > int64(buf.Len()) {
+			w.fail("store out of bounds: %s[%d] (len %d)", s.PName, idx, buf.Len()/int(lanes))
+		}
+		if w.trace {
+			w.accesses = append(w.accesses, Access{
+				Param: s, Index: idx, Bytes: t.ElemSize(), Write: true,
+			})
+		}
+		writeBuf(buf, base, lanes, v)
+	case *ir.Alloca:
+		cells := w.cells(s)
+		lanes := int64(s.Elem.Lanes())
+		base := idx * lanes
+		if base < 0 || base+lanes > int64(len(cells)) {
+			w.fail("store out of bounds: %s[%d] (len %d)", s.AName, idx, int64(len(cells))/lanes)
+		}
+		if lanes == 1 {
+			cells[base] = v
+			return
+		}
+		for i := int64(0); i < lanes; i++ {
+			cells[base+i] = lane(v, int(i))
+		}
+	default:
+		w.fail("unknown storage %T", store)
+	}
+}
+
+// cells returns the backing storage of an alloca for this work-item
+// (private) or its group (local). Element granularity is scalar lanes.
+func (w *wiState) cells(a *ir.Alloca) []Val {
+	var cells []Val
+	if a.AS == ast.ASLocal {
+		cells = w.locals[a]
+	} else {
+		cells = w.priv[a]
+	}
+	// Vector-element allocas store lanes contiguously; size on demand.
+	want := a.Count * int64(a.Elem.Lanes())
+	if int64(len(cells)) < want {
+		grown := make([]Val, want)
+		copy(grown, cells)
+		if a.AS == ast.ASLocal {
+			w.locals[a] = grown
+		} else {
+			w.priv[a] = grown
+		}
+		cells = grown
+	}
+	return cells
+}
+
+func readBuf(b *Buffer, base, lanes int64, t ast.Type) Val {
+	get := func(i int64) Val {
+		if b.Elem.Base.IsFloat() {
+			return FloatVal(b.F[i])
+		}
+		return IntVal(b.I[i])
+	}
+	if lanes == 1 {
+		return get(base)
+	}
+	out := Val{Vec: make([]Val, lanes)}
+	for i := int64(0); i < lanes; i++ {
+		out.Vec[i] = get(base + i)
+	}
+	return out
+}
+
+func writeBuf(b *Buffer, base, lanes int64, v Val) {
+	put := func(i int64, s Val) {
+		if b.Elem.Base.IsFloat() {
+			b.F[i] = s.F
+		} else {
+			b.I[i] = s.I
+		}
+	}
+	if lanes == 1 {
+		put(base, v)
+		return
+	}
+	for i := int64(0); i < lanes; i++ {
+		put(base+i, lane(v, int(i)))
+	}
+}
+
+func (w *wiState) atomic(in *ir.Instr, idx int64, operand Val) Val {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	old := w.loadElemNoTrace(in.Mem, idx)
+	var nv int64
+	switch in.Fn {
+	case "atomic_add":
+		nv = old.I + operand.I
+	case "atomic_sub":
+		nv = old.I - operand.I
+	case "atomic_inc":
+		nv = old.I + 1
+	case "atomic_dec":
+		nv = old.I - 1
+	case "atomic_min":
+		nv = old.I
+		if operand.I < nv {
+			nv = operand.I
+		}
+	case "atomic_max":
+		nv = old.I
+		if operand.I > nv {
+			nv = operand.I
+		}
+	case "atomic_xchg":
+		nv = operand.I
+	case "atomic_cmpxchg":
+		// Args: idx, cmp, val — operand holds cmp; third arg is val.
+		val := w.eval(in.Args[2])
+		if old.I == operand.I {
+			nv = val.I
+		} else {
+			nv = old.I
+		}
+	default:
+		w.fail("unknown atomic %s", in.Fn)
+	}
+	// Record as one read + one write for the memory trace.
+	if w.trace {
+		if p, ok := in.Mem.(*ir.Param); ok {
+			sz := p.Elem().ElemSize()
+			w.accesses = append(w.accesses,
+				Access{Param: p, Index: idx, Bytes: sz, Write: false},
+				Access{Param: p, Index: idx, Bytes: sz, Write: true})
+		}
+	}
+	w.storeElemNoTrace(in.Mem, idx, IntVal(nv))
+	return old
+}
+
+func (w *wiState) loadElemNoTrace(store ir.Storage, idx int64) Val {
+	saved := w.trace
+	w.trace = false
+	v := w.loadElem(store, idx, elemTypeOfStorage(store))
+	w.trace = saved
+	return v
+}
+
+func (w *wiState) storeElemNoTrace(store ir.Storage, idx int64, v Val) {
+	saved := w.trace
+	w.trace = false
+	w.storeElem(store, idx, v)
+	w.trace = saved
+}
+
+func elemTypeOfStorage(store ir.Storage) ast.Type {
+	switch s := store.(type) {
+	case *ir.Param:
+		return s.Elem()
+	case *ir.Alloca:
+		return s.Elem
+	}
+	return ast.Scalar(ast.KInt)
+}
+
+func (w *wiState) workItem(fn string, dim int) int64 {
+	if dim < 0 || dim > 2 {
+		dim = 0
+	}
+	switch fn {
+	case "get_global_id":
+		return w.global[dim]
+	case "get_local_id":
+		return w.local[dim]
+	case "get_group_id":
+		return w.group[dim]
+	case "get_global_size":
+		return w.nd.Global[dim]
+	case "get_local_size":
+		return w.nd.Local[dim]
+	case "get_num_groups":
+		return w.nd.NumGroups()[dim]
+	case "get_work_dim":
+		d := int64(1)
+		if w.nd.Global[1] > 1 {
+			d = 2
+		}
+		if w.nd.Global[2] > 1 {
+			d = 3
+		}
+		return d
+	case "get_global_offset":
+		return 0
+	}
+	w.fail("unknown work-item query %s", fn)
+	return 0
+}
+
+func (w *wiState) builtin(in *ir.Instr) Val {
+	args := make([]Val, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = w.eval(a)
+	}
+	t := in.T
+	if t.IsVector() {
+		out := Val{Vec: make([]Val, t.Lanes())}
+		for i := range out.Vec {
+			ls := make([]Val, len(args))
+			for j, a := range args {
+				ls[j] = lane(a, i)
+			}
+			out.Vec[i] = w.scalarBuiltin(in.Fn, ls, ast.Scalar(t.Base), in)
+		}
+		return out
+	}
+	return w.scalarBuiltin(in.Fn, args, t, in)
+}
+
+func (w *wiState) scalarBuiltin(fn string, a []Val, t ast.Type, in *ir.Instr) Val {
+	f1 := func(f func(float64) float64) Val { return FloatVal(f(a[0].F)) }
+	isFloatArgs := len(in.Args) > 0 && in.Args[0].Type().Base.IsFloat()
+	switch fn {
+	case "sqrt", "native_sqrt":
+		return f1(math.Sqrt)
+	case "rsqrt":
+		return FloatVal(1 / math.Sqrt(a[0].F))
+	case "fabs":
+		return f1(math.Abs)
+	case "exp", "native_exp":
+		return f1(math.Exp)
+	case "exp2":
+		return f1(math.Exp2)
+	case "log", "native_log":
+		return f1(math.Log)
+	case "log2":
+		return f1(math.Log2)
+	case "sin":
+		return f1(math.Sin)
+	case "cos":
+		return f1(math.Cos)
+	case "tan":
+		return f1(math.Tan)
+	case "floor":
+		return f1(math.Floor)
+	case "ceil":
+		return f1(math.Ceil)
+	case "round":
+		return f1(math.Round)
+	case "abs":
+		if isFloatArgs {
+			return f1(math.Abs)
+		}
+		if a[0].I < 0 {
+			return IntVal(-a[0].I)
+		}
+		return a[0]
+	case "pow":
+		return FloatVal(math.Pow(a[0].F, a[1].F))
+	case "fmax":
+		return FloatVal(math.Max(a[0].F, a[1].F))
+	case "fmin":
+		return FloatVal(math.Min(a[0].F, a[1].F))
+	case "fmod":
+		return FloatVal(math.Mod(a[0].F, a[1].F))
+	case "atan2":
+		return FloatVal(math.Atan2(a[0].F, a[1].F))
+	case "hypot":
+		return FloatVal(math.Hypot(a[0].F, a[1].F))
+	case "max":
+		if isFloatArgs {
+			return FloatVal(math.Max(a[0].F, a[1].F))
+		}
+		if a[0].I > a[1].I {
+			return a[0]
+		}
+		return a[1]
+	case "min":
+		if isFloatArgs {
+			return FloatVal(math.Min(a[0].F, a[1].F))
+		}
+		if a[0].I < a[1].I {
+			return a[0]
+		}
+		return a[1]
+	case "mad", "fma":
+		if t.Base.IsFloat() {
+			return FloatVal(a[0].F*a[1].F + a[2].F)
+		}
+		return IntVal(a[0].I*a[1].I + a[2].I)
+	case "clamp":
+		if isFloatArgs {
+			return FloatVal(math.Min(math.Max(a[0].F, a[1].F), a[2].F))
+		}
+		v := a[0].I
+		if v < a[1].I {
+			v = a[1].I
+		}
+		if v > a[2].I {
+			v = a[2].I
+		}
+		return IntVal(v)
+	case "select":
+		// select(a, b, c): returns b when c is true (MSB set), else a.
+		if truthy(a[2]) {
+			return a[1]
+		}
+		return a[0]
+	case "dot":
+		x, y := w.eval(in.Args[0]), w.eval(in.Args[1])
+		sum := 0.0
+		n := 1
+		if x.Vec != nil {
+			n = len(x.Vec)
+		}
+		for i := 0; i < n; i++ {
+			sum += lane(x, i).F * lane(y, i).F
+		}
+		return FloatVal(sum)
+	}
+	w.fail("unknown builtin %s", fn)
+	return Val{}
+}

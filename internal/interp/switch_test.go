@@ -1,0 +1,145 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/opencl/ast"
+)
+
+func TestSwitchDispatch(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void sw(__global int* x) {
+    int i = get_global_id(0);
+    int out;
+    switch (x[i] % 4) {
+    case 0:
+        out = 100;
+        break;
+    case 1:
+    case 2:
+        out = 200;
+        break;
+    default:
+        out = 300;
+        break;
+    }
+    x[i] = out;
+}`, "sw")
+	x := NewIntBuffer(ast.KInt, 8)
+	for i := range x.I {
+		x.I[i] = int64(i)
+	}
+	cfg := &Config{
+		Range:   NDRange{Global: [3]int64{8}, Local: [3]int64{8}},
+		Buffers: map[string]*Buffer{"x": x},
+	}
+	if err := Run(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{100, 200, 200, 300, 100, 200, 200, 300}
+	for i := range want {
+		if x.I[i] != want[i] {
+			t.Fatalf("x[%d] = %d, want %d", i, x.I[i], want[i])
+		}
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void ft(__global int* x) {
+    int i = get_global_id(0);
+    int acc = 0;
+    switch (x[i]) {
+    case 0:
+        acc += 1;
+    case 1:
+        acc += 10;
+    case 2:
+        acc += 100;
+        break;
+    default:
+        acc = -1;
+    }
+    x[i] = acc;
+}`, "ft")
+	x := NewIntBuffer(ast.KInt, 4)
+	for i := range x.I {
+		x.I[i] = int64(i)
+	}
+	cfg := &Config{
+		Range:   NDRange{Global: [3]int64{4}, Local: [3]int64{4}},
+		Buffers: map[string]*Buffer{"x": x},
+	}
+	if err := Run(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// 0 → 1+10+100; 1 → 10+100; 2 → 100; 3 → default −1.
+	want := []int64{111, 110, 100, -1}
+	for i := range want {
+		if x.I[i] != want[i] {
+			t.Fatalf("x[%d] = %d, want %d", i, x.I[i], want[i])
+		}
+	}
+}
+
+func TestSwitchInsideLoopContinue(t *testing.T) {
+	// continue inside a switch must bind to the enclosing loop.
+	k := compileKernel(t, `
+__kernel void sl(__global int* x, int n) {
+    int i = get_global_id(0);
+    int s = 0;
+    for (int j = 0; j < n; j++) {
+        switch (j % 3) {
+        case 0:
+            continue;
+        case 1:
+            s += 10;
+            break;
+        default:
+            s += 1;
+            break;
+        }
+        s += 100;
+    }
+    x[i] = s;
+}`, "sl")
+	x := NewIntBuffer(ast.KInt, 1)
+	cfg := &Config{
+		Range:   NDRange{Global: [3]int64{1}, Local: [3]int64{1}},
+		Buffers: map[string]*Buffer{"x": x},
+		Scalars: map[string]Val{"n": IntVal(6)},
+	}
+	if err := Run(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// j=0,3 continue; j=1,4: 10+100; j=2,5: 1+100 → 2*110 + 2*101 = 422.
+	if x.I[0] != 422 {
+		t.Fatalf("s = %d, want 422", x.I[0])
+	}
+}
+
+func TestSwitchNoDefault(t *testing.T) {
+	k := compileKernel(t, `
+__kernel void nd(__global int* x) {
+    int i = get_global_id(0);
+    int out = 7;
+    switch (x[i]) {
+    case 42:
+        out = 1;
+        break;
+    }
+    x[i] = out;
+}`, "nd")
+	x := NewIntBuffer(ast.KInt, 2)
+	x.I[0], x.I[1] = 42, 5
+	cfg := &Config{
+		Range:   NDRange{Global: [3]int64{2}, Local: [3]int64{2}},
+		Buffers: map[string]*Buffer{"x": x},
+	}
+	if err := Run(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if x.I[0] != 1 || x.I[1] != 7 {
+		t.Fatalf("got %v, want [1 7]", x.I)
+	}
+}

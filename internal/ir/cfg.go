@@ -1,0 +1,249 @@
+package ir
+
+// BuildCFG recomputes predecessor/successor lists from terminators and
+// removes blocks unreachable from the entry.
+func (f *Func) BuildCFG() {
+	for _, b := range f.Blocks {
+		b.Preds = b.Preds[:0]
+		b.Succs = b.Succs[:0]
+	}
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		switch t.Op {
+		case OpBr:
+			link(b, t.To)
+		case OpCondBr:
+			link(b, t.To)
+			link(b, t.Else)
+		}
+	}
+	// Drop unreachable blocks so downstream analyses see a clean graph.
+	if entry := f.Entry(); entry != nil {
+		seen := map[*Block]bool{}
+		var dfs func(*Block)
+		dfs = func(b *Block) {
+			if seen[b] {
+				return
+			}
+			seen[b] = true
+			for _, s := range b.Succs {
+				dfs(s)
+			}
+		}
+		dfs(entry)
+		var kept []*Block
+		for _, b := range f.Blocks {
+			if seen[b] {
+				kept = append(kept, b)
+			}
+		}
+		if len(kept) != len(f.Blocks) {
+			f.Blocks = kept
+			// Re-link with the pruned set.
+			for _, b := range f.Blocks {
+				b.Preds = b.Preds[:0]
+				b.Succs = b.Succs[:0]
+			}
+			for _, b := range f.Blocks {
+				t := b.Term()
+				if t == nil {
+					continue
+				}
+				switch t.Op {
+				case OpBr:
+					link(b, t.To)
+				case OpCondBr:
+					link(b, t.To)
+					link(b, t.Else)
+				}
+			}
+		}
+	}
+}
+
+func link(from, to *Block) {
+	if to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// ReversePostorder returns the blocks in reverse postorder from entry.
+func (f *Func) ReversePostorder() []*Block {
+	seen := make(map[*Block]bool, len(f.Blocks))
+	var order []*Block
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		order = append(order, b)
+	}
+	dfs(f.Entry())
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Dominators computes the immediate-dominator map using the classic
+// iterative algorithm of Cooper, Harvey and Kennedy.
+func (f *Func) Dominators() map[*Block]*Block {
+	rpo := f.ReversePostorder()
+	index := make(map[*Block]int, len(rpo))
+	for i, b := range rpo {
+		index[b] = i
+	}
+	idom := make(map[*Block]*Block, len(rpo))
+	entry := f.Entry()
+	if entry == nil {
+		return idom
+	}
+	idom[entry] = entry
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under the idom map.
+func Dominates(idom map[*Block]*Block, a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := idom[b]
+		if next == nil || next == b {
+			return a == b
+		}
+		b = next
+	}
+}
+
+// AnalyzeLoops finds natural loops (back edges whose target dominates the
+// source), populates f.Loops innermost-last, assigns parents, and copies
+// trip/unroll hints from the header maps.
+func (f *Func) AnalyzeLoops() {
+	f.BuildCFG()
+	idom := f.Dominators()
+	f.Loops = nil
+	byHeader := map[*Block]*Loop{}
+
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if !Dominates(idom, s, b) {
+				continue
+			}
+			// Back edge b -> s: collect the natural loop body.
+			l := byHeader[s]
+			if l == nil {
+				l = &Loop{Header: s, Blocks: map[*Block]bool{s: true}, StaticTrip: -1}
+				byHeader[s] = l
+				f.Loops = append(f.Loops, l)
+			}
+			l.Latch = b
+			var stack []*Block
+			if !l.Blocks[b] {
+				l.Blocks[b] = true
+				stack = append(stack, b)
+			}
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, p := range n.Preds {
+					if !l.Blocks[p] {
+						l.Blocks[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+
+	// Parent assignment: the smallest strictly containing loop.
+	for _, l := range f.Loops {
+		var best *Loop
+		for _, o := range f.Loops {
+			if o == l || !o.Blocks[l.Header] {
+				continue
+			}
+			if len(o.Blocks) <= len(l.Blocks) {
+				continue
+			}
+			if best == nil || len(o.Blocks) < len(best.Blocks) {
+				best = o
+			}
+		}
+		l.Parent = best
+	}
+
+	for _, l := range f.Loops {
+		if trip, ok := f.TripHints[l.Header]; ok {
+			l.StaticTrip = trip
+		}
+		if u, ok := f.UnrollHints[l.Header]; ok {
+			l.Unroll = u
+		}
+	}
+}
+
+// LoopOf returns the innermost loop containing b, or nil.
+func (f *Func) LoopOf(b *Block) *Loop {
+	var best *Loop
+	for _, l := range f.Loops {
+		if !l.Blocks[b] {
+			continue
+		}
+		if best == nil || len(l.Blocks) < len(best.Blocks) {
+			best = l
+		}
+	}
+	return best
+}
+
+// LoopDepth returns the loop nesting depth of b (0 = not in a loop).
+func (f *Func) LoopDepth(b *Block) int {
+	d := 0
+	for _, l := range f.Loops {
+		if l.Blocks[b] {
+			d++
+		}
+	}
+	return d
+}

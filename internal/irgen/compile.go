@@ -1,0 +1,20 @@
+package irgen
+
+import (
+	"repro/internal/opencl/parser"
+	"repro/internal/opencl/sema"
+)
+
+// Compile runs the full frontend — parse, semantic analysis, IR
+// generation — over one OpenCL source buffer.
+func Compile(file string, src []byte, defines map[string]string) (*Module, error) {
+	f, err := parser.Parse(file, src, defines)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		return nil, err
+	}
+	return Build(info)
+}

@@ -1,0 +1,235 @@
+package irgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// mustFailCompile asserts an irgen-level failure mentioning want.
+func mustFailCompile(t *testing.T, src, want string) {
+	t.Helper()
+	_, err := Compile("bad.cl", []byte(src), nil)
+	if err == nil {
+		t.Fatalf("expected error containing %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not contain %q", err, want)
+	}
+}
+
+func TestUninitializedPointerVar(t *testing.T) {
+	mustFailCompile(t, `
+__kernel void k(__global float* x) {
+    __global float* p;
+    x[0] = p[0];
+}`, "must be initialized")
+}
+
+func TestPointerReassignAcrossBuffers(t *testing.T) {
+	mustFailCompile(t, `
+__kernel void k(__global float* a, __global float* b) {
+    __global float* p = a;
+    p = b + 1;
+    a[0] = p[0];
+}`, "original buffer")
+}
+
+func TestBreakOutsideLoop(t *testing.T) {
+	mustFailCompile(t, `
+__kernel void k(__global int* x) {
+    x[0] = 1;
+    break;
+}`, "break outside")
+}
+
+func TestContinueOutsideLoop(t *testing.T) {
+	mustFailCompile(t, `
+__kernel void k(__global int* x) {
+    continue;
+}`, "continue outside")
+}
+
+func TestContinueInsideSwitchOutsideLoop(t *testing.T) {
+	// A switch provides a break target but not a continue target.
+	mustFailCompile(t, `
+__kernel void k(__global int* x) {
+    switch (x[0]) {
+    case 1:
+        continue;
+    }
+}`, "continue outside")
+}
+
+func TestAddressOfNonLValue(t *testing.T) {
+	mustFailCompile(t, `
+int helper(__global int* p) { return p[0]; }
+__kernel void k(__global int* x) {
+    x[0] = helper(&(x[0] + 1));
+}`, "")
+}
+
+func TestPointerVarWithinSameBufferOK(t *testing.T) {
+	m, err := Compile("ok.cl", []byte(`
+__kernel void k(__global float* a) {
+    __global float* p = a + 4;
+    p = a + 8;
+    p += 2;
+    p -= 1;
+    a[0] = p[0];
+}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kernel("k") == nil {
+		t.Fatal("kernel missing")
+	}
+}
+
+func TestCommaOperatorLowered(t *testing.T) {
+	m, err := Compile("c.cl", []byte(`
+__kernel void k(__global int* x) {
+    int a;
+    int b;
+    for (a = 0, b = 8; a < b; a++, b--) { x[a] = b; }
+}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := m.Kernel("k")
+	k.AnalyzeLoops()
+	if len(k.Loops) != 1 {
+		t.Fatalf("loops = %d", len(k.Loops))
+	}
+}
+
+func TestNegativeConstantFolding(t *testing.T) {
+	m, err := Compile("n.cl", []byte(`
+__kernel void k(__global float* x) {
+    x[0] = -2.5f * x[1] + (-3) * 1.0f;
+}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := m.Kernel("k")
+	// -2.5 must be folded into a constant, not materialized as 0-2.5.
+	for _, b := range k.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpFSub {
+				if c, ok := in.Args[0].(*ir.Const); ok && c.F == 0 {
+					t.Error("negation of a constant not folded")
+				}
+			}
+		}
+	}
+}
+
+func TestLogicalOpsEagerLowering(t *testing.T) {
+	m, err := Compile("l.cl", []byte(`
+__kernel void k(__global int* x, int n) {
+    if (x[0] > 1 && x[1] < n || !(x[2] == 0)) { x[3] = 1; }
+}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := m.Kernel("k")
+	var ands, ors int
+	for _, b := range k.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpAnd:
+				ands++
+			case ir.OpOr:
+				ors++
+			}
+		}
+	}
+	if ands != 1 || ors != 1 {
+		t.Errorf("and=%d or=%d, want 1/1 (datapath lowering)", ands, ors)
+	}
+}
+
+func TestBitwiseNotAndShifts(t *testing.T) {
+	m, err := Compile("b.cl", []byte(`
+__kernel void k(__global int* x, __global uint* u) {
+    x[0] = ~x[1] << 2;
+    x[2] = x[3] >> 1;
+    u[0] = u[1] >> 3;
+}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := m.Kernel("k")
+	ops := map[ir.Op]int{}
+	for _, b := range k.Blocks {
+		for _, in := range b.Instrs {
+			ops[in.Op]++
+		}
+	}
+	if ops[ir.OpXor] != 1 { // ~ lowers to xor -1
+		t.Errorf("xor = %d, want 1", ops[ir.OpXor])
+	}
+	if ops[ir.OpShl] != 1 || ops[ir.OpAShr] != 1 || ops[ir.OpLShr] != 1 {
+		t.Errorf("shifts = shl %d ashr %d lshr %d", ops[ir.OpShl], ops[ir.OpAShr], ops[ir.OpLShr])
+	}
+}
+
+func TestDeepInlineChain(t *testing.T) {
+	m, err := Compile("d.cl", []byte(`
+float f1(float a) { return a + 1.0f; }
+float f2(float a) { return f1(a) + 1.0f; }
+float f3(float a) { return f2(a) + 1.0f; }
+float f4(float a) { return f3(a) + 1.0f; }
+__kernel void k(__global float* x) { x[0] = f4(x[1]); }
+`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := m.Kernel("k")
+	adds := 0
+	for _, b := range k.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpFAdd {
+				adds++
+			}
+		}
+	}
+	if adds != 4 {
+		t.Errorf("fadds = %d, want 4 (all levels inlined)", adds)
+	}
+}
+
+func TestVecLitSplat(t *testing.T) {
+	m, err := Compile("v.cl", []byte(`
+__kernel void k(__global float4* x) {
+    x[0] = (float4)(2.0f);
+}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := m.Kernel("k")
+	for _, b := range k.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpVecBuild && len(in.Args) != 4 {
+				t.Errorf("splat vec.build has %d args, want 4", len(in.Args))
+			}
+		}
+	}
+}
+
+func TestKernelModuleLookup(t *testing.T) {
+	m, err := Compile("m.cl", []byte(`
+__kernel void a(__global int* x) { x[0] = 1; }
+__kernel void b(__global int* x) { x[0] = 2; }
+`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kernel("a") == nil || m.Kernel("b") == nil || m.Kernel("c") != nil {
+		t.Error("module kernel lookup wrong")
+	}
+	if len(m.Kernels) != 2 {
+		t.Errorf("kernels = %d", len(m.Kernels))
+	}
+}

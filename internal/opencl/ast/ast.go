@@ -1,0 +1,642 @@
+// Package ast defines the abstract syntax tree for the OpenCL C subset
+// accepted by the FlexCL frontend, together with the source-level type
+// representation shared by the semantic analyzer and the IR generator.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/opencl/token"
+)
+
+// AddrSpace is an OpenCL address space qualifier.
+type AddrSpace int
+
+// The OpenCL address spaces. ASPrivate is the default for locals and
+// non-pointer parameters.
+const (
+	ASPrivate AddrSpace = iota
+	ASGlobal
+	ASLocal
+	ASConstant
+)
+
+func (a AddrSpace) String() string {
+	switch a {
+	case ASGlobal:
+		return "__global"
+	case ASLocal:
+		return "__local"
+	case ASConstant:
+		return "__constant"
+	default:
+		return "__private"
+	}
+}
+
+// BaseKind is the scalar element kind of a type.
+type BaseKind int
+
+// Scalar element kinds.
+const (
+	KVoid BaseKind = iota
+	KBool
+	KChar
+	KUChar
+	KShort
+	KUShort
+	KInt
+	KUInt
+	KLong
+	KULong
+	KFloat
+	KDouble
+)
+
+var baseNames = [...]string{
+	KVoid: "void", KBool: "bool", KChar: "char", KUChar: "uchar",
+	KShort: "short", KUShort: "ushort", KInt: "int", KUInt: "uint",
+	KLong: "long", KULong: "ulong", KFloat: "float", KDouble: "double",
+}
+
+func (k BaseKind) String() string { return baseNames[k] }
+
+// IsFloat reports whether the kind is a floating-point kind.
+func (k BaseKind) IsFloat() bool { return k == KFloat || k == KDouble }
+
+// IsInteger reports whether the kind is an integer (or bool/char) kind.
+func (k BaseKind) IsInteger() bool { return k >= KBool && k <= KULong }
+
+// IsUnsigned reports whether the kind is an unsigned integer kind.
+func (k BaseKind) IsUnsigned() bool {
+	switch k {
+	case KBool, KUChar, KUShort, KUInt, KULong:
+		return true
+	}
+	return false
+}
+
+// Size returns the size of the scalar kind in bytes.
+func (k BaseKind) Size() int {
+	switch k {
+	case KVoid:
+		return 0
+	case KBool, KChar, KUChar:
+		return 1
+	case KShort, KUShort:
+		return 2
+	case KInt, KUInt, KFloat:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// Type is a source-level OpenCL type: a scalar or vector element type,
+// optionally a pointer, with an address space for pointees.
+type Type struct {
+	Base  BaseKind
+	Vec   int       // vector width; 0 or 1 for scalar, else 2/3/4/8/16
+	Ptr   bool      // pointer to the (possibly vector) element type
+	Space AddrSpace // address space of the pointee (for Ptr) or of the object
+	Const bool
+}
+
+// Scalar constructs a non-pointer scalar type in the private space.
+func Scalar(k BaseKind) Type { return Type{Base: k, Vec: 1} }
+
+// Vector constructs a non-pointer vector type in the private space.
+func Vector(k BaseKind, w int) Type { return Type{Base: k, Vec: w} }
+
+// Pointer constructs a pointer to elem within the given address space.
+func Pointer(elem Type, space AddrSpace) Type {
+	elem.Ptr = true
+	elem.Space = space
+	return elem
+}
+
+// Elem returns the pointee type of a pointer type.
+func (t Type) Elem() Type {
+	t.Ptr = false
+	return t
+}
+
+// IsVoid reports whether the type is void (and not a pointer).
+func (t Type) IsVoid() bool { return !t.Ptr && t.Base == KVoid }
+
+// IsScalar reports whether the type is a non-pointer scalar.
+func (t Type) IsScalar() bool { return !t.Ptr && t.Vec <= 1 && t.Base != KVoid }
+
+// IsVector reports whether the type is a non-pointer vector.
+func (t Type) IsVector() bool { return !t.Ptr && t.Vec >= 2 }
+
+// Lanes returns the number of vector lanes (1 for scalars).
+func (t Type) Lanes() int {
+	if t.Vec <= 1 {
+		return 1
+	}
+	return t.Vec
+}
+
+// ElemSize returns the size in bytes of one element of the type: the
+// scalar size for scalars and pointees, scalar size × lanes for vectors.
+func (t Type) ElemSize() int { return t.Base.Size() * t.Lanes() }
+
+func (t Type) String() string {
+	var sb strings.Builder
+	if t.Ptr && t.Space != ASPrivate {
+		sb.WriteString(t.Space.String())
+		sb.WriteByte(' ')
+	}
+	sb.WriteString(t.Base.String())
+	if t.Vec >= 2 {
+		fmt.Fprintf(&sb, "%d", t.Vec)
+	}
+	if t.Ptr {
+		sb.WriteByte('*')
+	}
+	return sb.String()
+}
+
+// Equal reports whether two types are identical (ignoring const).
+func (t Type) Equal(o Type) bool {
+	return t.Base == o.Base && t.Lanes() == o.Lanes() && t.Ptr == o.Ptr &&
+		(!t.Ptr || t.Space == o.Space)
+}
+
+// Node is the interface implemented by all AST nodes.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Expr is the interface implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+	// Type returns the type assigned by semantic analysis (zero value
+	// before sema runs).
+	TypeOf() Type
+}
+
+// Stmt is the interface implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Attr is one element of an __attribute__((...)) list.
+type Attr struct {
+	Name string
+	Args []int64
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Name    string
+	Funcs   []*FuncDecl // kernels and helper functions, in source order
+	Pragmas []Pragma
+}
+
+// Pragma records one #pragma with the line it appeared on.
+type Pragma struct {
+	Position token.Pos
+	Text     string
+}
+
+// Pos returns the position of the first function, or an empty position.
+func (f *File) Pos() token.Pos {
+	if len(f.Funcs) > 0 {
+		return f.Funcs[0].Pos()
+	}
+	return token.Pos{}
+}
+
+// Kernels returns only the __kernel functions of the file.
+func (f *File) Kernels() []*FuncDecl {
+	var ks []*FuncDecl
+	for _, fn := range f.Funcs {
+		if fn.IsKernel {
+			ks = append(ks, fn)
+		}
+	}
+	return ks
+}
+
+// Kernel returns the kernel with the given name, or nil.
+func (f *File) Kernel(name string) *FuncDecl {
+	for _, fn := range f.Funcs {
+		if fn.IsKernel && fn.Name == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+// ParamDecl is one function parameter.
+type ParamDecl struct {
+	Position token.Pos
+	Name     string
+	Type     Type
+}
+
+func (p *ParamDecl) Pos() token.Pos { return p.Position }
+
+// FuncDecl is a function definition (kernels and device helpers).
+type FuncDecl struct {
+	Position token.Pos
+	Name     string
+	IsKernel bool
+	Attrs    []Attr
+	Params   []*ParamDecl
+	Ret      Type
+	Body     *BlockStmt
+}
+
+func (f *FuncDecl) Pos() token.Pos { return f.Position }
+
+// ReqdWorkGroupSize returns the reqd_work_group_size attribute if present.
+func (f *FuncDecl) ReqdWorkGroupSize() (dims [3]int64, ok bool) {
+	for _, a := range f.Attrs {
+		if a.Name == "reqd_work_group_size" && len(a.Args) == 3 {
+			copy(dims[:], a.Args)
+			return dims, true
+		}
+	}
+	return dims, false
+}
+
+// ---- Statements ----
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	Position token.Pos
+	List     []Stmt
+}
+
+// DeclStmt declares one variable (arrays included).
+type DeclStmt struct {
+	Position token.Pos
+	Name     string
+	Type     Type
+	Space    AddrSpace // __local arrays inside kernels live in ASLocal
+	ArrayLen []Expr    // nil for scalars; constant dimensions for arrays
+	Init     Expr      // optional initializer
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	Position token.Pos
+	X        Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Position token.Pos
+	Cond     Expr
+	Then     Stmt
+	Else     Stmt // may be nil
+}
+
+// ForStmt is a C for loop. Init may be a DeclStmt or ExprStmt.
+type ForStmt struct {
+	Position token.Pos
+	Init     Stmt // may be nil
+	Cond     Expr // may be nil
+	Post     Expr // may be nil
+	Body     Stmt
+	Unroll   int // unroll factor from #pragma unroll; 0 = none, -1 = full
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Position token.Pos
+	Cond     Expr
+	Body     Stmt
+	Unroll   int
+}
+
+// DoWhileStmt is a do { } while loop.
+type DoWhileStmt struct {
+	Position token.Pos
+	Cond     Expr
+	Body     Stmt
+}
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	Position token.Pos
+	X        Expr // may be nil
+}
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{ Position token.Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Position token.Pos }
+
+// BarrierStmt is a call to barrier(...); it is a statement-level construct
+// because it affects communication-mode inference and CDFG construction.
+type BarrierStmt struct {
+	Position token.Pos
+	Global   bool // CLK_GLOBAL_MEM_FENCE present
+	Local    bool // CLK_LOCAL_MEM_FENCE present
+}
+
+// SwitchStmt is a C switch over an integer expression. Cases preserve
+// source order; fallthrough is implicit unless a body ends in break.
+type SwitchStmt struct {
+	Position token.Pos
+	Cond     Expr
+	Cases    []SwitchCase
+}
+
+// SwitchCase is one case (or default) arm of a switch.
+type SwitchCase struct {
+	Position token.Pos
+	// Vals holds the case label expressions; nil marks default.
+	Vals []Expr
+	Body []Stmt
+}
+
+// EmptyStmt is a bare semicolon.
+type EmptyStmt struct{ Position token.Pos }
+
+func (s *BlockStmt) Pos() token.Pos    { return s.Position }
+func (s *DeclStmt) Pos() token.Pos     { return s.Position }
+func (s *ExprStmt) Pos() token.Pos     { return s.Position }
+func (s *IfStmt) Pos() token.Pos       { return s.Position }
+func (s *ForStmt) Pos() token.Pos      { return s.Position }
+func (s *WhileStmt) Pos() token.Pos    { return s.Position }
+func (s *DoWhileStmt) Pos() token.Pos  { return s.Position }
+func (s *ReturnStmt) Pos() token.Pos   { return s.Position }
+func (s *BreakStmt) Pos() token.Pos    { return s.Position }
+func (s *ContinueStmt) Pos() token.Pos { return s.Position }
+func (s *BarrierStmt) Pos() token.Pos  { return s.Position }
+func (s *SwitchStmt) Pos() token.Pos   { return s.Position }
+func (s *EmptyStmt) Pos() token.Pos    { return s.Position }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*BarrierStmt) stmtNode()  {}
+func (*SwitchStmt) stmtNode()   {}
+func (*EmptyStmt) stmtNode()    {}
+
+// ---- Expressions ----
+
+// typed carries the semantic type of an expression; embedded in each node.
+type typed struct{ T Type }
+
+// SetType records the semantic type; used by the sema package.
+func (t *typed) SetType(ty Type) { t.T = ty }
+
+// Ident is a reference to a named entity.
+type Ident struct {
+	typed
+	Position token.Pos
+	Name     string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	typed
+	Position token.Pos
+	Value    int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	typed
+	Position token.Pos
+	Value    float64
+}
+
+// ParenExpr is a parenthesized expression.
+type ParenExpr struct {
+	typed
+	Position token.Pos
+	X        Expr
+}
+
+// UnaryExpr is a prefix or postfix unary operation. For INC/DEC, Postfix
+// distinguishes i++ from ++i.
+type UnaryExpr struct {
+	typed
+	Position token.Pos
+	Op       token.Kind // ADD SUB NOT TILDE MUL AND INC DEC
+	X        Expr
+	Postfix  bool
+}
+
+// BinaryExpr is an infix binary operation (non-assignment).
+type BinaryExpr struct {
+	typed
+	Position token.Pos
+	Op       token.Kind
+	X, Y     Expr
+}
+
+// AssignExpr is =, += etc. LHS must be an lvalue.
+type AssignExpr struct {
+	typed
+	Position token.Pos
+	Op       token.Kind
+	LHS, RHS Expr
+}
+
+// CondExpr is the ternary ?: operator.
+type CondExpr struct {
+	typed
+	Position   token.Pos
+	Cond       Expr
+	Then, Else Expr
+}
+
+// CallExpr is a call to a builtin or helper function.
+type CallExpr struct {
+	typed
+	Position token.Pos
+	Fun      string
+	Args     []Expr
+}
+
+// IndexExpr is array/pointer subscripting.
+type IndexExpr struct {
+	typed
+	Position token.Pos
+	X, Index Expr
+}
+
+// MemberExpr selects vector components: v.x, v.s0, v.xy (swizzles).
+type MemberExpr struct {
+	typed
+	Position token.Pos
+	X        Expr
+	Sel      string
+	Lanes    []int // resolved component indices (by sema)
+}
+
+// CastExpr is an explicit C-style cast.
+type CastExpr struct {
+	typed
+	Position token.Pos
+	To       Type
+	X        Expr
+}
+
+// VecLit is a vector literal such as (float4)(a, b, c, d).
+type VecLit struct {
+	typed
+	Position token.Pos
+	To       Type
+	Elems    []Expr
+}
+
+func (e *Ident) Pos() token.Pos      { return e.Position }
+func (e *IntLit) Pos() token.Pos     { return e.Position }
+func (e *FloatLit) Pos() token.Pos   { return e.Position }
+func (e *ParenExpr) Pos() token.Pos  { return e.Position }
+func (e *UnaryExpr) Pos() token.Pos  { return e.Position }
+func (e *BinaryExpr) Pos() token.Pos { return e.Position }
+func (e *AssignExpr) Pos() token.Pos { return e.Position }
+func (e *CondExpr) Pos() token.Pos   { return e.Position }
+func (e *CallExpr) Pos() token.Pos   { return e.Position }
+func (e *IndexExpr) Pos() token.Pos  { return e.Position }
+func (e *MemberExpr) Pos() token.Pos { return e.Position }
+func (e *CastExpr) Pos() token.Pos   { return e.Position }
+func (e *VecLit) Pos() token.Pos     { return e.Position }
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*ParenExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*AssignExpr) exprNode() {}
+func (*CondExpr) exprNode()   {}
+func (*CallExpr) exprNode()   {}
+func (*IndexExpr) exprNode()  {}
+func (*MemberExpr) exprNode() {}
+func (*CastExpr) exprNode()   {}
+func (*VecLit) exprNode()     {}
+
+func (t *typed) TypeOf() Type { return t.T }
+
+// Unparen strips any number of enclosing ParenExprs.
+func Unparen(e Expr) Expr {
+	for {
+		p, ok := e.(*ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// Walk calls fn for every node in the subtree rooted at n, parents before
+// children. If fn returns false the node's children are skipped.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *File:
+		for _, f := range x.Funcs {
+			Walk(f, fn)
+		}
+	case *FuncDecl:
+		for _, p := range x.Params {
+			Walk(p, fn)
+		}
+		if x.Body != nil {
+			Walk(x.Body, fn)
+		}
+	case *BlockStmt:
+		for _, s := range x.List {
+			Walk(s, fn)
+		}
+	case *DeclStmt:
+		for _, d := range x.ArrayLen {
+			Walk(d, fn)
+		}
+		if x.Init != nil {
+			Walk(x.Init, fn)
+		}
+	case *ExprStmt:
+		Walk(x.X, fn)
+	case *IfStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		if x.Else != nil {
+			Walk(x.Else, fn)
+		}
+	case *ForStmt:
+		if x.Init != nil {
+			Walk(x.Init, fn)
+		}
+		if x.Cond != nil {
+			Walk(x.Cond, fn)
+		}
+		if x.Post != nil {
+			Walk(x.Post, fn)
+		}
+		Walk(x.Body, fn)
+	case *WhileStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Body, fn)
+	case *DoWhileStmt:
+		Walk(x.Body, fn)
+		Walk(x.Cond, fn)
+	case *ReturnStmt:
+		if x.X != nil {
+			Walk(x.X, fn)
+		}
+	case *SwitchStmt:
+		Walk(x.Cond, fn)
+		for _, c := range x.Cases {
+			for _, v := range c.Vals {
+				Walk(v, fn)
+			}
+			for _, s := range c.Body {
+				Walk(s, fn)
+			}
+		}
+	case *ParenExpr:
+		Walk(x.X, fn)
+	case *UnaryExpr:
+		Walk(x.X, fn)
+	case *BinaryExpr:
+		Walk(x.X, fn)
+		Walk(x.Y, fn)
+	case *AssignExpr:
+		Walk(x.LHS, fn)
+		Walk(x.RHS, fn)
+	case *CondExpr:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		Walk(x.Else, fn)
+	case *CallExpr:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *IndexExpr:
+		Walk(x.X, fn)
+		Walk(x.Index, fn)
+	case *MemberExpr:
+		Walk(x.X, fn)
+	case *CastExpr:
+		Walk(x.X, fn)
+	case *VecLit:
+		for _, e := range x.Elems {
+			Walk(e, fn)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/opencl/token"
+)
+
+// Print renders the AST back to OpenCL C source. The output is
+// semantically equivalent to the input (modulo formatting and resolved
+// macros) and reparses to the same structure — used for debugging
+// transformed kernels and by the frontend round-trip tests.
+func Print(f *File) string {
+	p := &printer{}
+	for i, fn := range f.Funcs {
+		if i > 0 {
+			p.nl()
+		}
+		p.fn(fn)
+	}
+	return p.sb.String()
+}
+
+// PrintStmt renders one statement subtree.
+func PrintStmt(s Stmt) string {
+	p := &printer{}
+	p.stmt(s)
+	return p.sb.String()
+}
+
+// PrintExpr renders one expression subtree.
+func PrintExpr(e Expr) string {
+	p := &printer{}
+	p.expr(e, 0)
+	return p.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) w(s string)           { p.sb.WriteString(s) }
+func (p *printer) f(f string, a ...any) { fmt.Fprintf(&p.sb, f, a...) }
+func (p *printer) nl()                  { p.w("\n") }
+func (p *printer) tab()                 { p.w(strings.Repeat("    ", p.indent)) }
+func (p *printer) line(f string, a ...any) {
+	p.tab()
+	p.f(f, a...)
+	p.nl()
+}
+
+func (p *printer) fn(fn *FuncDecl) {
+	if fn.IsKernel {
+		p.w("__kernel ")
+	}
+	for _, a := range fn.Attrs {
+		p.f("__attribute__((%s(", a.Name)
+		for i, v := range a.Args {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.f("%d", v)
+		}
+		p.w("))) ")
+	}
+	p.f("%s %s(", typeStr(fn.Ret), fn.Name)
+	for i, prm := range fn.Params {
+		if i > 0 {
+			p.w(", ")
+		}
+		p.f("%s %s", typeStr(prm.Type), prm.Name)
+	}
+	p.w(")")
+	if fn.Body == nil {
+		p.w(";\n")
+		return
+	}
+	p.w(" ")
+	p.block(fn.Body)
+	p.nl()
+}
+
+func typeStr(t Type) string {
+	var sb strings.Builder
+	if t.Ptr {
+		sb.WriteString(t.Space.String())
+		sb.WriteByte(' ')
+	}
+	if t.Const {
+		sb.WriteString("const ")
+	}
+	sb.WriteString(t.Base.String())
+	if t.Vec >= 2 {
+		fmt.Fprintf(&sb, "%d", t.Vec)
+	}
+	if t.Ptr {
+		sb.WriteByte('*')
+	}
+	return sb.String()
+}
+
+func (p *printer) block(b *BlockStmt) {
+	p.w("{\n")
+	p.indent++
+	for _, s := range b.List {
+		p.stmt(s)
+	}
+	p.indent--
+	p.tab()
+	p.w("}")
+}
+
+func (p *printer) stmtAsBlock(s Stmt) {
+	if b, ok := s.(*BlockStmt); ok {
+		p.block(b)
+		return
+	}
+	p.w("{\n")
+	p.indent++
+	p.stmt(s)
+	p.indent--
+	p.tab()
+	p.w("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		p.tab()
+		p.block(st)
+		p.nl()
+	case *DeclStmt:
+		p.tab()
+		if st.Space == ASLocal {
+			p.w("__local ")
+		}
+		p.f("%s %s", typeStr(st.Type), st.Name)
+		for _, d := range st.ArrayLen {
+			p.w("[")
+			p.expr(d, 0)
+			p.w("]")
+		}
+		if st.Init != nil {
+			p.w(" = ")
+			p.expr(st.Init, 0)
+		}
+		p.w(";\n")
+	case *ExprStmt:
+		p.tab()
+		p.expr(st.X, 0)
+		p.w(";\n")
+	case *IfStmt:
+		p.tab()
+		p.w("if (")
+		p.expr(st.Cond, 0)
+		p.w(") ")
+		p.stmtAsBlock(st.Then)
+		if st.Else != nil {
+			p.w(" else ")
+			p.stmtAsBlock(st.Else)
+		}
+		p.nl()
+	case *ForStmt:
+		if st.Unroll != 0 {
+			if st.Unroll > 0 {
+				p.line("#pragma unroll %d", st.Unroll)
+			} else {
+				p.line("#pragma unroll")
+			}
+		}
+		p.tab()
+		p.w("for (")
+		switch init := st.Init.(type) {
+		case nil:
+			p.w(";")
+		case *DeclStmt:
+			p.f("%s %s", typeStr(init.Type), init.Name)
+			if init.Init != nil {
+				p.w(" = ")
+				p.expr(init.Init, 0)
+			}
+			p.w(";")
+		case *ExprStmt:
+			p.expr(init.X, 0)
+			p.w(";")
+		default:
+			p.w(";")
+		}
+		p.w(" ")
+		if st.Cond != nil {
+			p.expr(st.Cond, 0)
+		}
+		p.w("; ")
+		if st.Post != nil {
+			p.expr(st.Post, 0)
+		}
+		p.w(") ")
+		p.stmtAsBlock(st.Body)
+		p.nl()
+	case *WhileStmt:
+		p.tab()
+		p.w("while (")
+		p.expr(st.Cond, 0)
+		p.w(") ")
+		p.stmtAsBlock(st.Body)
+		p.nl()
+	case *DoWhileStmt:
+		p.tab()
+		p.w("do ")
+		p.stmtAsBlock(st.Body)
+		p.w(" while (")
+		p.expr(st.Cond, 0)
+		p.w(");\n")
+	case *ReturnStmt:
+		p.tab()
+		if st.X != nil {
+			p.w("return ")
+			p.expr(st.X, 0)
+			p.w(";\n")
+		} else {
+			p.w("return;\n")
+		}
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *BarrierStmt:
+		var flags []string
+		if st.Local {
+			flags = append(flags, "CLK_LOCAL_MEM_FENCE")
+		}
+		if st.Global {
+			flags = append(flags, "CLK_GLOBAL_MEM_FENCE")
+		}
+		p.line("barrier(%s);", strings.Join(flags, " | "))
+	case *SwitchStmt:
+		p.tab()
+		p.w("switch (")
+		p.expr(st.Cond, 0)
+		p.w(") {\n")
+		for _, cs := range st.Cases {
+			if cs.Vals == nil {
+				p.line("default:")
+			} else {
+				for _, v := range cs.Vals {
+					p.tab()
+					p.w("case ")
+					p.expr(v, 0)
+					p.w(":\n")
+				}
+			}
+			p.indent++
+			for _, s := range cs.Body {
+				p.stmt(s)
+			}
+			p.indent--
+		}
+		p.tab()
+		p.w("}\n")
+	case *EmptyStmt:
+		p.line(";")
+	}
+}
+
+// precedence for parenthesization decisions: mirror the parser's table.
+func exprPrec(e Expr) int {
+	switch x := e.(type) {
+	case *AssignExpr:
+		return 0
+	case *CondExpr:
+		return 1
+	case *BinaryExpr:
+		switch x.Op {
+		case token.LOR:
+			return 2
+		case token.LAND:
+			return 3
+		case token.OR:
+			return 4
+		case token.XOR:
+			return 5
+		case token.AND:
+			return 6
+		case token.EQ, token.NEQ:
+			return 7
+		case token.LT, token.GT, token.LEQ, token.GEQ:
+			return 8
+		case token.SHL, token.SHR:
+			return 9
+		case token.ADD, token.SUB:
+			return 10
+		case token.MUL, token.QUO, token.REM:
+			return 11
+		case token.COMMA:
+			return 0
+		}
+		return 11
+	case *UnaryExpr, *CastExpr:
+		return 12
+	default:
+		return 13 // primary
+	}
+}
+
+// expr prints e, parenthesizing when its precedence is below min.
+func (p *printer) expr(e Expr, min int) {
+	prec := exprPrec(e)
+	if prec < min {
+		p.w("(")
+		defer p.w(")")
+	}
+	switch x := e.(type) {
+	case *Ident:
+		p.w(x.Name)
+	case *IntLit:
+		p.f("%d", x.Value)
+	case *FloatLit:
+		s := fmt.Sprintf("%g", x.Value)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		p.w(s + "f")
+	case *ParenExpr:
+		// The parse tree's explicit parens are dropped; the inner
+		// expression re-parenthesizes itself against the caller's
+		// precedence requirement.
+		p.expr(x.X, min)
+	case *UnaryExpr:
+		if x.Postfix {
+			p.expr(x.X, prec)
+			p.w(x.Op.String())
+			return
+		}
+		p.w(x.Op.String())
+		p.expr(x.X, prec)
+	case *BinaryExpr:
+		if x.Op == token.COMMA {
+			p.expr(x.X, 1)
+			p.w(", ")
+			p.expr(x.Y, 1)
+			return
+		}
+		p.expr(x.X, prec)
+		p.f(" %s ", x.Op)
+		p.expr(x.Y, prec+1)
+	case *AssignExpr:
+		p.expr(x.LHS, prec+1)
+		p.f(" %s ", x.Op)
+		p.expr(x.RHS, prec)
+	case *CondExpr:
+		p.expr(x.Cond, prec+1)
+		p.w(" ? ")
+		p.expr(x.Then, 0)
+		p.w(" : ")
+		p.expr(x.Else, prec)
+	case *CallExpr:
+		p.w(x.Fun)
+		p.w("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.expr(a, 1)
+		}
+		p.w(")")
+	case *IndexExpr:
+		p.expr(x.X, 13)
+		p.w("[")
+		p.expr(x.Index, 0)
+		p.w("]")
+	case *MemberExpr:
+		p.expr(x.X, 13)
+		p.w("." + x.Sel)
+	case *CastExpr:
+		p.f("(%s)", typeStr(x.To))
+		p.expr(x.X, prec)
+	case *VecLit:
+		p.f("(%s)(", typeStr(x.To))
+		for i, el := range x.Elems {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.expr(el, 1)
+		}
+		p.w(")")
+	}
+}

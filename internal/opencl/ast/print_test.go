@@ -1,0 +1,152 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/opencl/ast"
+	"repro/internal/opencl/parser"
+)
+
+func parse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := parser.Parse("t.cl", []byte(src), nil)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestPrintSimpleKernel(t *testing.T) {
+	f := parse(t, `
+__kernel void vadd(__global const float* a, __global float* c, int n) {
+    int i = get_global_id(0);
+    if (i < n) { c[i] = a[i] * 2.0f; }
+}`)
+	out := ast.Print(f)
+	for _, want := range []string{
+		"__kernel void vadd", "__global const float*", "get_global_id(0)",
+		"if (i < n)", "c[i] = a[i] * 2.0f",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed source missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRoundTrip checks the printer's central property: printed source
+// reparses, and printing the reparse is a fixed point.
+func TestRoundTrip(t *testing.T) {
+	srcs := []string{
+		`__kernel void k(__global int* x, int n) {
+            int s = 0;
+            for (int i = 0; i < n; i += 2) { s += x[i] * (i - 1); }
+            while (s > 100) { s = s / 2; }
+            do { s++; } while (s < 10);
+            x[0] = s > 0 ? s : -s;
+        }`,
+		`__kernel void v(__global float4* x) {
+            float4 a = x[0];
+            a.xy = a.zw;
+            x[1] = (float4)(1.0f, 2.0f, 3.0f, 4.0f) + a;
+        }`,
+		`float helper(float a) { return sqrt(a) + 1.5f; }
+        __kernel void h(__global float* x) {
+            __local float t[32];
+            int l = get_local_id(0);
+            t[l] = helper(x[l]);
+            barrier(CLK_LOCAL_MEM_FENCE);
+            x[l] = t[31 - l];
+        }`,
+	}
+	for i, src := range srcs {
+		first := ast.Print(parse(t, src))
+		second := ast.Print(parse(t, first))
+		if first != second {
+			t.Errorf("case %d: print is not a fixed point:\n--- first:\n%s\n--- second:\n%s",
+				i, first, second)
+		}
+	}
+}
+
+// TestRoundTripCorpus round-trips every benchmark kernel in the repo.
+func TestRoundTripCorpus(t *testing.T) {
+	for _, k := range bench.All() {
+		k := k
+		t.Run(k.ID(), func(t *testing.T) {
+			defines := map[string]string{"WG": "64"}
+			for key, v := range k.Defines {
+				defines[key] = v
+			}
+			f, err := parser.Parse(k.ID(), []byte(k.Source), defines)
+			if err != nil {
+				t.Fatalf("parse original: %v", err)
+			}
+			printed := ast.Print(f)
+			f2, err := parser.Parse(k.ID()+".printed", []byte(printed), nil)
+			if err != nil {
+				t.Fatalf("reparse failed: %v\n%s", err, printed)
+			}
+			if again := ast.Print(f2); again != printed {
+				t.Errorf("not a fixed point")
+			}
+		})
+	}
+}
+
+func TestPrecedencePreserved(t *testing.T) {
+	// (a + b) * c must keep its parentheses through the round trip.
+	f := parse(t, `__kernel void k(__global int* x) { x[0] = (x[1] + x[2]) * x[3]; }`)
+	out := ast.Print(f)
+	if !strings.Contains(out, "(x[1] + x[2]) * x[3]") {
+		t.Errorf("precedence lost:\n%s", out)
+	}
+	// a + b * c must NOT gain parentheses.
+	f2 := parse(t, `__kernel void k(__global int* x) { x[0] = x[1] + x[2] * x[3]; }`)
+	out2 := ast.Print(f2)
+	if !strings.Contains(out2, "x[1] + x[2] * x[3]") {
+		t.Errorf("spurious parens:\n%s", out2)
+	}
+}
+
+func TestPrintExprAndStmt(t *testing.T) {
+	f := parse(t, `__kernel void k(__global int* x) { x[0] = 1 + 2; }`)
+	var es *ast.ExprStmt
+	ast.Walk(f, func(n ast.Node) bool {
+		if s, ok := n.(*ast.ExprStmt); ok {
+			es = s
+		}
+		return true
+	})
+	if got := ast.PrintExpr(es.X); got != "x[0] = 1 + 2" {
+		t.Errorf("PrintExpr = %q", got)
+	}
+	if got := strings.TrimSpace(ast.PrintStmt(es)); got != "x[0] = 1 + 2;" {
+		t.Errorf("PrintStmt = %q", got)
+	}
+}
+
+func TestRoundTripSwitch(t *testing.T) {
+	src := `__kernel void k(__global int* x) {
+        switch (x[0] % 3) {
+        case 0:
+            x[1] = 1;
+            break;
+        case 1:
+        case 2:
+            x[1] = 2;
+        default:
+            x[1] = 3;
+            break;
+        }
+    }`
+	first := ast.Print(parse(t, src))
+	second := ast.Print(parse(t, first))
+	if first != second {
+		t.Fatalf("switch round trip unstable:\n%s\nvs\n%s", first, second)
+	}
+	if !strings.Contains(first, "switch (") || !strings.Contains(first, "default:") {
+		t.Fatalf("switch not printed:\n%s", first)
+	}
+}

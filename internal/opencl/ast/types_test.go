@@ -1,0 +1,105 @@
+package ast
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeConstructors(t *testing.T) {
+	f := Scalar(KFloat)
+	if !f.IsScalar() || f.IsVector() || f.IsVoid() || f.Lanes() != 1 {
+		t.Error("scalar predicates wrong")
+	}
+	v := Vector(KInt, 4)
+	if !v.IsVector() || v.Lanes() != 4 || v.ElemSize() != 16 {
+		t.Error("vector predicates wrong")
+	}
+	p := Pointer(Scalar(KFloat), ASGlobal)
+	if !p.Ptr || p.Space != ASGlobal {
+		t.Error("pointer construction wrong")
+	}
+	e := p.Elem()
+	if e.Ptr || e.Base != KFloat {
+		t.Error("Elem wrong")
+	}
+	if !Scalar(KVoid).IsVoid() {
+		t.Error("void predicate wrong")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[string]Type{
+		"float":           Scalar(KFloat),
+		"int4":            Vector(KInt, 4),
+		"__global float*": Pointer(Scalar(KFloat), ASGlobal),
+		"__local int*":    Pointer(Scalar(KInt), ASLocal),
+		"uchar":           Scalar(KUChar),
+	}
+	for want, ty := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", ty, got, want)
+		}
+	}
+}
+
+func TestBaseKindSizes(t *testing.T) {
+	sizes := map[BaseKind]int{
+		KVoid: 0, KBool: 1, KChar: 1, KUChar: 1, KShort: 2, KUShort: 2,
+		KInt: 4, KUInt: 4, KFloat: 4, KLong: 8, KULong: 8, KDouble: 8,
+	}
+	for k, want := range sizes {
+		if k.Size() != want {
+			t.Errorf("%v.Size() = %d, want %d", k, k.Size(), want)
+		}
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !KFloat.IsFloat() || KInt.IsFloat() {
+		t.Error("IsFloat wrong")
+	}
+	if !KUInt.IsUnsigned() || KInt.IsUnsigned() || !KBool.IsUnsigned() {
+		t.Error("IsUnsigned wrong")
+	}
+	if !KChar.IsInteger() || KFloat.IsInteger() || KVoid.IsInteger() {
+		t.Error("IsInteger wrong")
+	}
+}
+
+func TestTypeEqualProperty(t *testing.T) {
+	f := func(b1, b2 uint8, v1, v2 uint8, ptr1, ptr2 bool) bool {
+		t1 := Type{Base: BaseKind(b1 % 12), Vec: int(v1%4) + 1, Ptr: ptr1}
+		t2 := Type{Base: BaseKind(b2 % 12), Vec: int(v2%4) + 1, Ptr: ptr2}
+		// Equal must be reflexive and symmetric.
+		if !t1.Equal(t1) || !t2.Equal(t2) {
+			return false
+		}
+		return t1.Equal(t2) == t2.Equal(t1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrSpaceStrings(t *testing.T) {
+	want := map[AddrSpace]string{
+		ASGlobal: "__global", ASLocal: "__local",
+		ASConstant: "__constant", ASPrivate: "__private",
+	}
+	for sp, s := range want {
+		if sp.String() != s {
+			t.Errorf("%d.String() = %q", sp, sp.String())
+		}
+	}
+}
+
+func TestReqdWorkGroupSize(t *testing.T) {
+	fn := &FuncDecl{Attrs: []Attr{{Name: "reqd_work_group_size", Args: []int64{8, 8, 1}}}}
+	dims, ok := fn.ReqdWorkGroupSize()
+	if !ok || dims != [3]int64{8, 8, 1} {
+		t.Errorf("dims = %v ok = %v", dims, ok)
+	}
+	if _, ok := (&FuncDecl{}).ReqdWorkGroupSize(); ok {
+		t.Error("phantom attribute")
+	}
+}

@@ -1,0 +1,574 @@
+// Package lexer implements the scanner for the OpenCL C subset used by
+// FlexCL. It strips comments, processes a small set of preprocessor
+// directives (#define of object-like macros, #undef, #ifdef/#ifndef/#else/
+// #endif, #pragma), and produces a stream of tokens for the parser.
+//
+// Pragmas are not part of the token stream; they are collected with their
+// source lines so the parser can attach loop-unroll and pipeline hints to
+// the statements that follow them.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/opencl/token"
+)
+
+// Pragma is one #pragma directive encountered during scanning.
+type Pragma struct {
+	Pos  token.Pos
+	Text string // directive text after "#pragma", trimmed
+}
+
+// Error is a lexical diagnostic.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%v: %s", e.Pos, e.Msg) }
+
+// Lexer scans a single OpenCL source buffer.
+type Lexer struct {
+	src     []byte
+	file    string
+	off     int
+	line    int
+	col     int
+	pragmas []Pragma
+	errs    []*Error
+
+	macros map[string][]token.Token // object-like macros
+	conds  []bool                   // #ifdef nesting: whether branch is active
+	// pending holds tokens spliced in by macro expansion, consumed before
+	// the underlying source advances.
+	pending []token.Token
+	// expanding guards against self-referential macros.
+	expanding map[string]bool
+}
+
+// New returns a Lexer over src. The file name is used in positions only.
+func New(file string, src []byte) *Lexer {
+	return &Lexer{
+		src:       src,
+		file:      file,
+		line:      1,
+		col:       1,
+		macros:    make(map[string][]token.Token),
+		expanding: make(map[string]bool),
+	}
+}
+
+// Pragmas returns the #pragma directives seen so far, in source order.
+func (l *Lexer) Pragmas() []Pragma { return l.pragmas }
+
+// Errors returns the lexical diagnostics accumulated so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+// Define predefines an object-like macro expanding to a single integer
+// literal; it mirrors -D on a compiler command line.
+func (l *Lexer) Define(name, value string) {
+	l.macros[name] = []token.Token{{Kind: token.INTLIT, Lit: value}}
+}
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{File: l.file, Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peekByteAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *Lexer) advance() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// active reports whether tokens at the current point survive conditional
+// compilation.
+func (l *Lexer) active() bool {
+	for _, a := range l.conds {
+		if !a {
+			return false
+		}
+	}
+	return true
+}
+
+// skipSpaceAndComments consumes whitespace, comments and preprocessor
+// directives. It returns false at end of input.
+func (l *Lexer) skipSpaceAndComments() bool {
+	for {
+		c := l.peekByte()
+		switch {
+		case c == 0:
+			return false
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '\\' && l.peekByteAt(1) == '\n':
+			l.advance()
+			l.advance()
+		case c == '/' && l.peekByteAt(1) == '/':
+			for l.peekByte() != '\n' && l.peekByte() != 0 {
+				l.advance()
+			}
+		case c == '/' && l.peekByteAt(1) == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.peekByte() == 0 {
+					l.errorf(start, "unterminated block comment")
+					return false
+				}
+				if l.peekByte() == '*' && l.peekByteAt(1) == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		case c == '#' && l.col == colOfLineStart(l):
+			l.directive()
+		case !l.active():
+			// Inside a false conditional branch: consume until the next
+			// line so directives still get seen.
+			for l.peekByte() != '\n' && l.peekByte() != 0 {
+				l.advance()
+			}
+		default:
+			return true
+		}
+	}
+}
+
+// colOfLineStart reports the column at which a directive '#' may appear.
+// We allow leading whitespace before '#', so compute whether everything
+// before the current offset on this line is whitespace.
+func colOfLineStart(l *Lexer) int {
+	// Walk backwards from l.off to the previous newline.
+	i := l.off - 1
+	for i >= 0 && l.src[i] != '\n' {
+		if l.src[i] != ' ' && l.src[i] != '\t' && l.src[i] != '\r' {
+			return -1 // something non-blank precedes '#': not a directive
+		}
+		i--
+	}
+	return l.col
+}
+
+// directive parses one preprocessor line starting at '#'.
+func (l *Lexer) directive() {
+	pos := l.pos()
+	l.advance() // '#'
+	rest := l.readLogicalLine()
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return
+	}
+	name, args := fields[0], strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+	switch name {
+	case "pragma":
+		if l.active() {
+			l.pragmas = append(l.pragmas, Pragma{Pos: pos, Text: args})
+		}
+	case "define":
+		if !l.active() {
+			return
+		}
+		if len(fields) < 2 {
+			l.errorf(pos, "#define requires a name")
+			return
+		}
+		macro := fields[1]
+		if strings.Contains(macro, "(") {
+			l.errorf(pos, "function-like macros are not supported: %s", macro)
+			return
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(args, macro))
+		l.macros[macro] = lexMacroBody(l.file, body)
+	case "undef":
+		if l.active() && len(fields) >= 2 {
+			delete(l.macros, fields[1])
+		}
+	case "ifdef":
+		_, defined := l.macros[strings.TrimSpace(args)]
+		l.conds = append(l.conds, defined)
+	case "ifndef":
+		_, defined := l.macros[strings.TrimSpace(args)]
+		l.conds = append(l.conds, !defined)
+	case "if":
+		// Only the forms "#if 0" and "#if 1" are supported.
+		switch strings.TrimSpace(args) {
+		case "0":
+			l.conds = append(l.conds, false)
+		case "1":
+			l.conds = append(l.conds, true)
+		default:
+			l.errorf(pos, "unsupported #if condition %q (only 0/1)", args)
+			l.conds = append(l.conds, true)
+		}
+	case "else":
+		if len(l.conds) == 0 {
+			l.errorf(pos, "#else without #if")
+			return
+		}
+		l.conds[len(l.conds)-1] = !l.conds[len(l.conds)-1]
+	case "endif":
+		if len(l.conds) == 0 {
+			l.errorf(pos, "#endif without #if")
+			return
+		}
+		l.conds = l.conds[:len(l.conds)-1]
+	case "include":
+		// Headers are not resolved; OpenCL kernels in this corpus are
+		// self-contained. The directive is ignored.
+	default:
+		l.errorf(pos, "unsupported preprocessor directive #%s", name)
+	}
+}
+
+// readLogicalLine consumes the remainder of the current line, honouring
+// backslash-newline continuation, and returns it.
+func (l *Lexer) readLogicalLine() string {
+	var sb strings.Builder
+	for {
+		c := l.peekByte()
+		if c == 0 || c == '\n' {
+			break
+		}
+		if c == '\\' && l.peekByteAt(1) == '\n' {
+			l.advance()
+			l.advance()
+			sb.WriteByte(' ')
+			continue
+		}
+		if c == '/' && l.peekByteAt(1) == '/' {
+			for l.peekByte() != '\n' && l.peekByte() != 0 {
+				l.advance()
+			}
+			break
+		}
+		sb.WriteByte(l.advance())
+	}
+	return sb.String()
+}
+
+// lexMacroBody tokenizes the replacement list of an object-like macro.
+func lexMacroBody(file, body string) []token.Token {
+	sub := New(file, []byte(body))
+	var toks []token.Token
+	for {
+		t := sub.Next()
+		if t.Kind == token.EOF {
+			break
+		}
+		toks = append(toks, t)
+	}
+	return toks
+}
+
+// Next returns the next token, expanding macros.
+func (l *Lexer) Next() token.Token {
+	for {
+		if len(l.pending) > 0 {
+			t := l.pending[0]
+			l.pending = l.pending[1:]
+			return t
+		}
+		t := l.scan()
+		if t.Kind == token.IDENT {
+			if body, ok := l.macros[t.Lit]; ok && !l.expanding[t.Lit] {
+				// Splice the replacement list, rewriting positions to the
+				// expansion site so diagnostics point at the use.
+				out := make([]token.Token, len(body))
+				for i, bt := range body {
+					bt.Pos = t.Pos
+					out[i] = bt
+				}
+				l.pending = append(out, l.pending...)
+				continue
+			}
+		}
+		return t
+	}
+}
+
+// All tokenizes the remaining input to EOF.
+func (l *Lexer) All() []token.Token {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || ('a' <= c && c <= 'f') || ('A' <= c && c <= 'F')
+}
+
+// scan produces one raw token from the source.
+func (l *Lexer) scan() token.Token {
+	if !l.skipSpaceAndComments() {
+		return token.Token{Kind: token.EOF, Pos: l.pos()}
+	}
+	pos := l.pos()
+	c := l.peekByte()
+
+	switch {
+	case isLetter(c):
+		start := l.off
+		for isLetter(l.peekByte()) || isDigit(l.peekByte()) {
+			l.advance()
+		}
+		lit := string(l.src[start:l.off])
+		return token.Token{Kind: token.Lookup(lit), Lit: lit, Pos: pos}
+
+	case isDigit(c) || (c == '.' && isDigit(l.peekByteAt(1))):
+		return l.scanNumber(pos)
+
+	case c == '\'':
+		return l.scanChar(pos)
+
+	case c == '"':
+		return l.scanString(pos)
+	}
+
+	// Operators and punctuation.
+	l.advance()
+	two := func(next byte, yes, no token.Kind) token.Token {
+		if l.peekByte() == next {
+			l.advance()
+			return token.Token{Kind: yes, Pos: pos}
+		}
+		return token.Token{Kind: no, Pos: pos}
+	}
+	switch c {
+	case '+':
+		if l.peekByte() == '+' {
+			l.advance()
+			return token.Token{Kind: token.INC, Pos: pos}
+		}
+		return two('=', token.ADDASSIGN, token.ADD)
+	case '-':
+		switch l.peekByte() {
+		case '-':
+			l.advance()
+			return token.Token{Kind: token.DEC, Pos: pos}
+		case '>':
+			l.advance()
+			return token.Token{Kind: token.ARROW, Pos: pos}
+		}
+		return two('=', token.SUBASSIGN, token.SUB)
+	case '*':
+		return two('=', token.MULASSIGN, token.MUL)
+	case '/':
+		return two('=', token.QUOASSIGN, token.QUO)
+	case '%':
+		return two('=', token.REMASSIGN, token.REM)
+	case '&':
+		if l.peekByte() == '&' {
+			l.advance()
+			return token.Token{Kind: token.LAND, Pos: pos}
+		}
+		return two('=', token.ANDASSIGN, token.AND)
+	case '|':
+		if l.peekByte() == '|' {
+			l.advance()
+			return token.Token{Kind: token.LOR, Pos: pos}
+		}
+		return two('=', token.ORASSIGN, token.OR)
+	case '^':
+		return two('=', token.XORASSIGN, token.XOR)
+	case '<':
+		if l.peekByte() == '<' {
+			l.advance()
+			return two('=', token.SHLASSIGN, token.SHL)
+		}
+		return two('=', token.LEQ, token.LT)
+	case '>':
+		if l.peekByte() == '>' {
+			l.advance()
+			return two('=', token.SHRASSIGN, token.SHR)
+		}
+		return two('=', token.GEQ, token.GT)
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '~':
+		return token.Token{Kind: token.TILDE, Pos: pos}
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBRACK, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACK, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMI, Pos: pos}
+	case ':':
+		return token.Token{Kind: token.COLON, Pos: pos}
+	case '?':
+		return token.Token{Kind: token.QUESTION, Pos: pos}
+	case '.':
+		return token.Token{Kind: token.DOT, Pos: pos}
+	}
+	l.errorf(pos, "illegal character %q", c)
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+// scanNumber scans integer and floating literals, including hex integers,
+// exponents and the f/F, u/U, l/L suffixes.
+func (l *Lexer) scanNumber(pos token.Pos) token.Token {
+	start := l.off
+	isFloat := false
+
+	if l.peekByte() == '0' && (l.peekByteAt(1) == 'x' || l.peekByteAt(1) == 'X') {
+		l.advance()
+		l.advance()
+		for isHexDigit(l.peekByte()) {
+			l.advance()
+		}
+	} else {
+		for isDigit(l.peekByte()) {
+			l.advance()
+		}
+		if l.peekByte() == '.' {
+			isFloat = true
+			l.advance()
+			for isDigit(l.peekByte()) {
+				l.advance()
+			}
+		}
+		if c := l.peekByte(); c == 'e' || c == 'E' {
+			isFloat = true
+			l.advance()
+			if c := l.peekByte(); c == '+' || c == '-' {
+				l.advance()
+			}
+			for isDigit(l.peekByte()) {
+				l.advance()
+			}
+		}
+	}
+	lit := string(l.src[start:l.off])
+	// Suffixes: f/F forces float; u/U and l/L are consumed but not kept.
+	for {
+		switch l.peekByte() {
+		case 'f', 'F':
+			isFloat = true
+			l.advance()
+			continue
+		case 'u', 'U', 'l', 'L':
+			l.advance()
+			continue
+		}
+		break
+	}
+	kind := token.INTLIT
+	if isFloat {
+		kind = token.FLOATLIT
+	}
+	return token.Token{Kind: kind, Lit: lit, Pos: pos}
+}
+
+func (l *Lexer) scanChar(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		c := l.peekByte()
+		if c == 0 || c == '\n' {
+			l.errorf(pos, "unterminated character literal")
+			break
+		}
+		l.advance()
+		if c == '\'' {
+			break
+		}
+		if c == '\\' {
+			sb.WriteByte(unescape(l.advance()))
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return token.Token{Kind: token.CHARLIT, Lit: sb.String(), Pos: pos}
+}
+
+func (l *Lexer) scanString(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		c := l.peekByte()
+		if c == 0 || c == '\n' {
+			l.errorf(pos, "unterminated string literal")
+			break
+		}
+		l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			sb.WriteByte(unescape(l.advance()))
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return token.Token{Kind: token.STRINGLIT, Lit: sb.String(), Pos: pos}
+}
+
+func unescape(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	default:
+		return c
+	}
+}

@@ -1,0 +1,72 @@
+package lexer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/opencl/token"
+)
+
+// TestLexerNeverPanics: arbitrary byte soup must produce a token stream
+// ending in EOF without panicking, and every token must carry a valid
+// position.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(src []byte) bool {
+		l := New("fuzz.cl", src)
+		for i := 0; i < len(src)+16; i++ {
+			tok := l.Next()
+			if tok.Kind == token.EOF {
+				return true
+			}
+		}
+		// Must have terminated by now: every Next consumes input or
+		// returns EOF.
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexerProgress: the lexer must always make progress, even on
+// pathological inputs made of illegal characters.
+func TestLexerProgress(t *testing.T) {
+	srcs := []string{
+		"$$$$$", "@#`", "\x00\x01\x02", "''", `"""`, "####", "\\\\\\",
+		"/*/*/*", "0x", "1e", "...", ">>>=",
+	}
+	for _, src := range srcs {
+		l := New("t.cl", []byte(src))
+		toks := l.All()
+		if toks[len(toks)-1].Kind != token.EOF {
+			t.Errorf("%q: no EOF", src)
+		}
+		if len(toks) > len(src)*2+4 {
+			t.Errorf("%q: suspicious token explosion (%d tokens)", src, len(toks))
+		}
+	}
+}
+
+// TestConditionalStackAbuse: unbalanced directives error but terminate.
+func TestConditionalStackAbuse(t *testing.T) {
+	srcs := []string{
+		"#endif\nint",
+		"#else\nint",
+		"#ifdef A\nint", // unterminated: silently treated as closed at EOF
+		"#ifdef A\n#ifdef B\n#endif\nint",
+	}
+	for _, src := range srcs {
+		l := New("t.cl", []byte(src))
+		l.All() // must not hang or panic
+	}
+}
+
+// TestTokenKindStringTotal: every defined kind has a printable name.
+func TestTokenKindStringTotal(t *testing.T) {
+	for k := token.Kind(0); k < 120; k++ {
+		_ = k.String() // must not panic
+	}
+	if token.ADD.String() != "+" || token.KWKERNEL.String() != "__kernel" {
+		t.Error("token spellings wrong")
+	}
+}

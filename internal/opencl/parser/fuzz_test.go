@@ -1,0 +1,42 @@
+package parser
+
+import (
+	"testing"
+)
+
+// FuzzParse exercises the whole frontend path on arbitrary input: the
+// parser must return cleanly (source + diagnostics) and never panic or
+// hang. Run with `go test -fuzz=FuzzParse ./internal/opencl/parser` for
+// continuous fuzzing; the seed corpus below runs on every `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"__kernel void k() {}",
+		"__kernel void k(__global float* x) { x[0] = 1.0f; }",
+		"__kernel void k(__global int* x) { for (int i = 0; i < 4; i++) { x[i] = i; } }",
+		"__kernel void k(__global int* x) { switch (x[0]) { case 1: break; default: x[1] = 2; } }",
+		"#define N 4\n__kernel void k(__global int* x) { x[N] = N; }",
+		"float f(float a) { return a * a; }",
+		"__kernel void k(__global float4* v) { v[0].xyzw = v[1]; }",
+		// Truncated and malformed fragments.
+		"__kernel void k(",
+		"__kernel void k(__global int* x) { x[0] = ",
+		"for while do switch",
+		"((((((((((",
+		"__kernel __kernel __kernel",
+		"int a[;",
+		"#pragma unroll\n#pragma unroll 4",
+		"#ifdef A\n__kernel void k() {}\n",
+		"x \xff\xfe\x00 y",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		// Must terminate without panicking; errors are expected.
+		f, err := Parse("fuzz.cl", src, nil)
+		if err == nil && f == nil {
+			t.Fatal("nil file without error")
+		}
+	})
+}

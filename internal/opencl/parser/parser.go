@@ -1,0 +1,830 @@
+// Package parser implements a recursive-descent parser for the OpenCL C
+// subset used by FlexCL. It consumes the token stream of the lexer and
+// produces the package ast representation, attaching #pragma unroll hints
+// to the loops that follow them.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/opencl/ast"
+	"repro/internal/opencl/lexer"
+	"repro/internal/opencl/token"
+)
+
+// Error is a syntax diagnostic.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%v: %s", e.Pos, e.Msg) }
+
+// ErrorList is a list of syntax diagnostics; it implements error.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	default:
+		return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+	}
+}
+
+// Parse tokenizes and parses one OpenCL source buffer. defines predefines
+// object-like macros (as with -D on a compiler command line).
+func Parse(file string, src []byte, defines map[string]string) (*ast.File, error) {
+	lx := lexer.New(file, src)
+	for k, v := range defines {
+		lx.Define(k, v)
+	}
+	toks := lx.All()
+	if errs := lx.Errors(); len(errs) > 0 {
+		list := make(ErrorList, len(errs))
+		for i, e := range errs {
+			list[i] = &Error{Pos: e.Pos, Msg: e.Msg}
+		}
+		return nil, list
+	}
+	p := &parser{toks: toks, pragmas: lx.Pragmas(), file: file}
+	f := p.parseFile()
+	if len(p.errs) > 0 {
+		return nil, p.errs
+	}
+	return f, nil
+}
+
+type parser struct {
+	toks    []token.Token
+	pos     int
+	pragmas []lexer.Pragma
+	file    string
+	errs    ErrorList
+}
+
+func (p *parser) cur() token.Token  { return p.toks[p.pos] }
+func (p *parser) peek() token.Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf(p.cur().Pos, "expected %v, found %v", k, p.cur())
+	return token.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) {
+	if len(p.errs) < 20 {
+		p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// sync skips tokens until a likely statement boundary after an error.
+func (p *parser) sync() {
+	for !p.at(token.EOF) {
+		k := p.next().Kind
+		if k == token.SEMI || k == token.RBRACE {
+			return
+		}
+	}
+}
+
+// unrollHintBefore returns the unroll factor from a "#pragma unroll [N]"
+// whose line immediately precedes (or is within 2 lines of) the loop.
+func (p *parser) unrollHintBefore(pos token.Pos) int {
+	for _, pr := range p.pragmas {
+		if pr.Pos.Line < pos.Line && pos.Line-pr.Pos.Line <= 2 {
+			fields := strings.Fields(pr.Text)
+			if len(fields) >= 1 && fields[0] == "unroll" {
+				if len(fields) >= 2 {
+					if n, err := strconv.Atoi(fields[1]); err == nil {
+						return n
+					}
+				}
+				return -1 // full unroll
+			}
+		}
+	}
+	return 0
+}
+
+// ---- Types ----
+
+// vecSuffix recognizes OpenCL vector type spellings like float4, int16.
+func vecSuffix(name string) (ast.BaseKind, int, bool) {
+	bases := map[string]ast.BaseKind{
+		"char": ast.KChar, "uchar": ast.KUChar, "short": ast.KShort,
+		"ushort": ast.KUShort, "int": ast.KInt, "uint": ast.KUInt,
+		"long": ast.KLong, "ulong": ast.KULong, "float": ast.KFloat,
+		"double": ast.KDouble,
+	}
+	for b, k := range bases {
+		if strings.HasPrefix(name, b) {
+			suf := name[len(b):]
+			if suf == "" {
+				return k, 1, true
+			}
+			switch suf {
+			case "2", "3", "4", "8", "16":
+				n, _ := strconv.Atoi(suf)
+				return k, n, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// startsType reports whether the current token can begin a type.
+func (p *parser) startsType() bool {
+	switch p.cur().Kind {
+	case token.KWVOID, token.KWBOOL, token.KWCHAR, token.KWSHORT, token.KWINT,
+		token.KWLONG, token.KWFLOAT, token.KWDOUBLE, token.KWSIZET,
+		token.KWUNSIGNED, token.KWSIGNED, token.KWCONST, token.KWVOLATILE,
+		token.KWGLOBAL, token.KWLOCAL, token.KWCONSTANT, token.KWPRIVATE:
+		return true
+	case token.IDENT:
+		name := p.cur().Lit
+		if _, _, ok := vecSuffix(name); ok {
+			// Scalar names like "int" are keywords; only multi-lane
+			// spellings (uchar, uint, float4, ...) reach here.
+			return true
+		}
+	}
+	return false
+}
+
+// parseType parses [addr-space] [const] base [*] ... Returns the type and
+// whether an explicit address space qualifier appeared.
+func (p *parser) parseType() (ast.Type, bool) {
+	space := ast.ASPrivate
+	sawSpace := false
+	isConst := false
+	unsigned := false
+
+	for {
+		switch p.cur().Kind {
+		case token.KWGLOBAL:
+			space, sawSpace = ast.ASGlobal, true
+			p.next()
+			continue
+		case token.KWLOCAL:
+			space, sawSpace = ast.ASLocal, true
+			p.next()
+			continue
+		case token.KWCONSTANT:
+			space, sawSpace = ast.ASConstant, true
+			p.next()
+			continue
+		case token.KWPRIVATE:
+			space, sawSpace = ast.ASPrivate, true
+			p.next()
+			continue
+		case token.KWCONST:
+			isConst = true
+			p.next()
+			continue
+		case token.KWVOLATILE, token.KWRESTRICT:
+			p.next()
+			continue
+		case token.KWUNSIGNED:
+			unsigned = true
+			p.next()
+			continue
+		case token.KWSIGNED:
+			p.next()
+			continue
+		}
+		break
+	}
+
+	base := ast.KInt
+	lanes := 1
+	switch p.cur().Kind {
+	case token.KWVOID:
+		base = ast.KVoid
+		p.next()
+	case token.KWBOOL:
+		base = ast.KBool
+		p.next()
+	case token.KWCHAR:
+		base = ast.KChar
+		p.next()
+	case token.KWSHORT:
+		base = ast.KShort
+		p.next()
+	case token.KWINT:
+		base = ast.KInt
+		p.next()
+	case token.KWLONG:
+		base = ast.KLong
+		p.next()
+		p.accept(token.KWLONG) // "long long"
+		p.accept(token.KWINT)  // "long int"
+	case token.KWFLOAT:
+		base = ast.KFloat
+		p.next()
+	case token.KWDOUBLE:
+		base = ast.KDouble
+		p.next()
+	case token.KWSIZET:
+		base = ast.KULong
+		p.next()
+	case token.IDENT:
+		if b, n, ok := vecSuffix(p.cur().Lit); ok {
+			base, lanes = b, n
+			p.next()
+		} else if unsigned {
+			// bare "unsigned x" — leave base as int
+		} else {
+			p.errorf(p.cur().Pos, "expected type, found %v", p.cur())
+			p.next()
+		}
+	default:
+		if !unsigned {
+			p.errorf(p.cur().Pos, "expected type, found %v", p.cur())
+		}
+	}
+	if unsigned {
+		switch base {
+		case ast.KChar:
+			base = ast.KUChar
+		case ast.KShort:
+			base = ast.KUShort
+		case ast.KInt:
+			base = ast.KUInt
+		case ast.KLong:
+			base = ast.KULong
+		}
+	}
+
+	t := ast.Type{Base: base, Vec: lanes, Const: isConst}
+	for p.at(token.MUL) {
+		p.next()
+		t.Ptr = true
+		t.Space = space
+		// const/restrict/volatile after '*'
+		for p.at(token.KWCONST) || p.at(token.KWRESTRICT) || p.at(token.KWVOLATILE) {
+			p.next()
+		}
+	}
+	if !t.Ptr && sawSpace {
+		t.Space = space
+	}
+	return t, sawSpace
+}
+
+// ---- Top level ----
+
+func (p *parser) parseFile() *ast.File {
+	f := &ast.File{Name: p.file}
+	for _, pr := range p.pragmas {
+		f.Pragmas = append(f.Pragmas, ast.Pragma{Position: pr.Pos, Text: pr.Text})
+	}
+	for !p.at(token.EOF) {
+		fn := p.parseFunc()
+		if fn != nil {
+			f.Funcs = append(f.Funcs, fn)
+		}
+		if len(p.errs) >= 20 {
+			break
+		}
+	}
+	return f
+}
+
+func (p *parser) parseAttrs() []ast.Attr {
+	var attrs []ast.Attr
+	for p.at(token.KWATTRIBUTE) {
+		p.next()
+		p.expect(token.LPAREN)
+		p.expect(token.LPAREN)
+		for !p.at(token.RPAREN) && !p.at(token.EOF) {
+			a := ast.Attr{Name: p.expect(token.IDENT).Lit}
+			if p.accept(token.LPAREN) {
+				for !p.at(token.RPAREN) && !p.at(token.EOF) {
+					t := p.next()
+					if t.Kind == token.INTLIT {
+						v, _ := strconv.ParseInt(t.Lit, 0, 64)
+						a.Args = append(a.Args, v)
+					}
+					if !p.accept(token.COMMA) && !p.at(token.RPAREN) {
+						break
+					}
+				}
+				p.expect(token.RPAREN)
+			}
+			attrs = append(attrs, a)
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+		p.expect(token.RPAREN)
+		p.expect(token.RPAREN)
+	}
+	return attrs
+}
+
+func (p *parser) parseFunc() *ast.FuncDecl {
+	pos := p.cur().Pos
+	isKernel := false
+	var attrs []ast.Attr
+	for {
+		switch {
+		case p.at(token.KWKERNEL):
+			isKernel = true
+			p.next()
+		case p.at(token.KWATTRIBUTE):
+			attrs = append(attrs, p.parseAttrs()...)
+		default:
+			goto qualsDone
+		}
+	}
+qualsDone:
+	ret, _ := p.parseType()
+	name := p.expect(token.IDENT).Lit
+	fn := &ast.FuncDecl{
+		Position: pos, Name: name, IsKernel: isKernel, Attrs: attrs, Ret: ret,
+	}
+	p.expect(token.LPAREN)
+	for !p.at(token.RPAREN) && !p.at(token.EOF) {
+		ppos := p.cur().Pos
+		pt, _ := p.parseType()
+		pname := ""
+		if p.at(token.IDENT) {
+			pname = p.next().Lit
+		}
+		// Array parameter notation a[] decays to a pointer.
+		if p.accept(token.LBRACK) {
+			for !p.at(token.RBRACK) && !p.at(token.EOF) {
+				p.next()
+			}
+			p.expect(token.RBRACK)
+			pt = ast.Pointer(pt, pt.Space)
+		}
+		fn.Params = append(fn.Params, &ast.ParamDecl{Position: ppos, Name: pname, Type: pt})
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.RPAREN)
+	if p.accept(token.SEMI) {
+		return nil // prototype only; ignored
+	}
+	fn.Body = p.parseBlock()
+	return fn
+}
+
+// ---- Statements ----
+
+func (p *parser) parseBlock() *ast.BlockStmt {
+	pos := p.expect(token.LBRACE).Pos
+	b := &ast.BlockStmt{Position: pos}
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		before := p.pos
+		b.List = append(b.List, p.parseStmts()...)
+		if p.pos == before { // no progress: bail out of a bad construct
+			p.sync()
+		}
+	}
+	p.expect(token.RBRACE)
+	return b
+}
+
+// parseStmts parses one statement; declarations with several declarators
+// expand to several DeclStmts, hence the slice.
+func (p *parser) parseStmts() []ast.Stmt {
+	switch p.cur().Kind {
+	case token.LBRACE:
+		return []ast.Stmt{p.parseBlock()}
+	case token.SEMI:
+		pos := p.next().Pos
+		return []ast.Stmt{&ast.EmptyStmt{Position: pos}}
+	case token.KWIF:
+		return []ast.Stmt{p.parseIf()}
+	case token.KWFOR:
+		return []ast.Stmt{p.parseFor()}
+	case token.KWWHILE:
+		return []ast.Stmt{p.parseWhile()}
+	case token.KWDO:
+		return []ast.Stmt{p.parseDoWhile()}
+	case token.KWRETURN:
+		pos := p.next().Pos
+		s := &ast.ReturnStmt{Position: pos}
+		if !p.at(token.SEMI) {
+			s.X = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		return []ast.Stmt{s}
+	case token.KWSWITCH:
+		return []ast.Stmt{p.parseSwitch()}
+	case token.KWBREAK:
+		pos := p.next().Pos
+		p.expect(token.SEMI)
+		return []ast.Stmt{&ast.BreakStmt{Position: pos}}
+	case token.KWCONTINUE:
+		pos := p.next().Pos
+		p.expect(token.SEMI)
+		return []ast.Stmt{&ast.ContinueStmt{Position: pos}}
+	}
+	if p.startsType() && !p.typeIsCastHere() {
+		return p.parseDecl()
+	}
+	// barrier(...) as a statement.
+	if p.at(token.IDENT) && p.cur().Lit == "barrier" && p.peek().Kind == token.LPAREN {
+		return []ast.Stmt{p.parseBarrier()}
+	}
+	pos := p.cur().Pos
+	x := p.parseExpr()
+	p.expect(token.SEMI)
+	return []ast.Stmt{&ast.ExprStmt{Position: pos, X: x}}
+}
+
+// typeIsCastHere disambiguates "(int)x" style casts at statement level —
+// statements never begin with '(' followed by a type in this subset, so a
+// type token at statement start is always a declaration. Kept for clarity.
+func (p *parser) typeIsCastHere() bool { return false }
+
+func (p *parser) parseBarrier() ast.Stmt {
+	pos := p.next().Pos // 'barrier'
+	p.expect(token.LPAREN)
+	s := &ast.BarrierStmt{Position: pos}
+	for !p.at(token.RPAREN) && !p.at(token.EOF) {
+		t := p.next()
+		if t.Kind == token.IDENT {
+			switch t.Lit {
+			case "CLK_LOCAL_MEM_FENCE":
+				s.Local = true
+			case "CLK_GLOBAL_MEM_FENCE":
+				s.Global = true
+			}
+		}
+	}
+	p.expect(token.RPAREN)
+	p.expect(token.SEMI)
+	if !s.Local && !s.Global {
+		s.Local = true
+	}
+	return s
+}
+
+func (p *parser) parseDecl() []ast.Stmt {
+	pos := p.cur().Pos
+	baseT, _ := p.parseType()
+	var out []ast.Stmt
+	for {
+		dpos := pos
+		if p.at(token.IDENT) {
+			dpos = p.cur().Pos
+		}
+		name := p.expect(token.IDENT).Lit
+		d := &ast.DeclStmt{Position: dpos, Name: name, Type: baseT, Space: baseT.Space}
+		for p.accept(token.LBRACK) {
+			d.ArrayLen = append(d.ArrayLen, p.parseExpr())
+			p.expect(token.RBRACK)
+		}
+		if p.accept(token.ASSIGN) {
+			d.Init = p.parseAssignExpr()
+		}
+		out = append(out, d)
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.SEMI)
+	return out
+}
+
+func (p *parser) parseSwitch() ast.Stmt {
+	pos := p.next().Pos // 'switch'
+	p.expect(token.LPAREN)
+	s := &ast.SwitchStmt{Position: pos, Cond: p.parseExpr()}
+	p.expect(token.RPAREN)
+	p.expect(token.LBRACE)
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		cpos := p.cur().Pos
+		var vals []ast.Expr
+		switch {
+		case p.accept(token.KWCASE):
+			vals = append(vals, p.parseCondExpr())
+			p.expect(token.COLON)
+			// Adjacent labels share one body: case 1: case 2: body.
+			for p.at(token.KWCASE) {
+				p.next()
+				vals = append(vals, p.parseCondExpr())
+				p.expect(token.COLON)
+			}
+		case p.accept(token.KWDEFAULT):
+			p.expect(token.COLON)
+		default:
+			p.errorf(p.cur().Pos, "expected case or default, found %v", p.cur())
+			p.sync()
+			continue
+		}
+		var body []ast.Stmt
+		for !p.at(token.KWCASE) && !p.at(token.KWDEFAULT) &&
+			!p.at(token.RBRACE) && !p.at(token.EOF) {
+			before := p.pos
+			body = append(body, p.parseStmts()...)
+			if p.pos == before {
+				p.sync()
+				break
+			}
+		}
+		s.Cases = append(s.Cases, ast.SwitchCase{Position: cpos, Vals: vals, Body: body})
+	}
+	p.expect(token.RBRACE)
+	return s
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	pos := p.next().Pos
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	s := &ast.IfStmt{Position: pos, Cond: cond}
+	s.Then = p.stmtOrBlock()
+	if p.accept(token.KWELSE) {
+		s.Else = p.stmtOrBlock()
+	}
+	return s
+}
+
+// stmtOrBlock parses a single statement body, wrapping multi-declarator
+// declarations in a block.
+func (p *parser) stmtOrBlock() ast.Stmt {
+	ss := p.parseStmts()
+	if len(ss) == 1 {
+		return ss[0]
+	}
+	return &ast.BlockStmt{Position: ss[0].Pos(), List: ss}
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	pos := p.next().Pos
+	unroll := p.unrollHintBefore(pos)
+	p.expect(token.LPAREN)
+	s := &ast.ForStmt{Position: pos, Unroll: unroll}
+	if !p.at(token.SEMI) {
+		if p.startsType() {
+			decls := p.parseDecl() // consumes the ';'
+			if len(decls) == 1 {
+				s.Init = decls[0]
+			} else {
+				s.Init = &ast.BlockStmt{Position: pos, List: decls}
+			}
+		} else {
+			x := p.parseExpr()
+			s.Init = &ast.ExprStmt{Position: x.Pos(), X: x}
+			p.expect(token.SEMI)
+		}
+	} else {
+		p.next()
+	}
+	if !p.at(token.SEMI) {
+		s.Cond = p.parseExpr()
+	}
+	p.expect(token.SEMI)
+	if !p.at(token.RPAREN) {
+		s.Post = p.parseExpr()
+	}
+	p.expect(token.RPAREN)
+	s.Body = p.stmtOrBlock()
+	return s
+}
+
+func (p *parser) parseWhile() ast.Stmt {
+	pos := p.next().Pos
+	unroll := p.unrollHintBefore(pos)
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	return &ast.WhileStmt{Position: pos, Cond: cond, Body: p.stmtOrBlock(), Unroll: unroll}
+}
+
+func (p *parser) parseDoWhile() ast.Stmt {
+	pos := p.next().Pos
+	body := p.stmtOrBlock()
+	p.expect(token.KWWHILE)
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	p.expect(token.SEMI)
+	return &ast.DoWhileStmt{Position: pos, Cond: cond, Body: body}
+}
+
+// ---- Expressions (precedence climbing) ----
+
+func (p *parser) parseExpr() ast.Expr {
+	x := p.parseAssignExpr()
+	for p.at(token.COMMA) {
+		// Comma operator: evaluate left, result is right. Model as a
+		// binary op so irgen can emit both sides.
+		pos := p.next().Pos
+		y := p.parseAssignExpr()
+		x = &ast.BinaryExpr{Position: pos, Op: token.COMMA, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *parser) parseAssignExpr() ast.Expr {
+	x := p.parseCondExpr()
+	if p.cur().Kind.IsAssign() {
+		op := p.next()
+		rhs := p.parseAssignExpr()
+		return &ast.AssignExpr{Position: op.Pos, Op: op.Kind, LHS: x, RHS: rhs}
+	}
+	return x
+}
+
+func (p *parser) parseCondExpr() ast.Expr {
+	cond := p.parseBinaryExpr(1)
+	if p.at(token.QUESTION) {
+		pos := p.next().Pos
+		then := p.parseAssignExpr()
+		p.expect(token.COLON)
+		els := p.parseCondExpr()
+		return &ast.CondExpr{Position: pos, Cond: cond, Then: then, Else: els}
+	}
+	return cond
+}
+
+// binPrec returns the precedence of binary operator k (higher binds
+// tighter), or 0 if k is not a binary operator.
+func binPrec(k token.Kind) int {
+	switch k {
+	case token.LOR:
+		return 1
+	case token.LAND:
+		return 2
+	case token.OR:
+		return 3
+	case token.XOR:
+		return 4
+	case token.AND:
+		return 5
+	case token.EQ, token.NEQ:
+		return 6
+	case token.LT, token.GT, token.LEQ, token.GEQ:
+		return 7
+	case token.SHL, token.SHR:
+		return 8
+	case token.ADD, token.SUB:
+		return 9
+	case token.MUL, token.QUO, token.REM:
+		return 10
+	}
+	return 0
+}
+
+func (p *parser) parseBinaryExpr(minPrec int) ast.Expr {
+	x := p.parseUnaryExpr()
+	for {
+		prec := binPrec(p.cur().Kind)
+		if prec < minPrec || prec == 0 {
+			return x
+		}
+		op := p.next()
+		y := p.parseBinaryExpr(prec + 1)
+		x = &ast.BinaryExpr{Position: op.Pos, Op: op.Kind, X: x, Y: y}
+	}
+}
+
+func (p *parser) parseUnaryExpr() ast.Expr {
+	switch p.cur().Kind {
+	case token.ADD, token.SUB, token.NOT, token.TILDE, token.MUL, token.AND:
+		op := p.next()
+		x := p.parseUnaryExpr()
+		return &ast.UnaryExpr{Position: op.Pos, Op: op.Kind, X: x}
+	case token.INC, token.DEC:
+		op := p.next()
+		x := p.parseUnaryExpr()
+		return &ast.UnaryExpr{Position: op.Pos, Op: op.Kind, X: x}
+	case token.LPAREN:
+		// Cast, vector literal, or parenthesized expression.
+		save := p.pos
+		pos := p.next().Pos
+		if p.startsType() {
+			t, _ := p.parseType()
+			if p.accept(token.RPAREN) {
+				if p.at(token.LPAREN) && t.Vec >= 2 {
+					// (float4)(a,b,c,d) vector literal
+					p.next()
+					v := &ast.VecLit{Position: pos, To: t}
+					for !p.at(token.RPAREN) && !p.at(token.EOF) {
+						v.Elems = append(v.Elems, p.parseAssignExpr())
+						if !p.accept(token.COMMA) {
+							break
+						}
+					}
+					p.expect(token.RPAREN)
+					return v
+				}
+				x := p.parseUnaryExpr()
+				return &ast.CastExpr{Position: pos, To: t, X: x}
+			}
+			// Not a cast after all; rewind.
+			p.pos = save
+		} else {
+			p.pos = save
+		}
+		p.next() // '('
+		x := p.parseExpr()
+		p.expect(token.RPAREN)
+		return p.parsePostfix(&ast.ParenExpr{Position: pos, X: x})
+	}
+	return p.parsePostfix(p.parsePrimary())
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.IDENT:
+		p.next()
+		if p.at(token.LPAREN) {
+			p.next()
+			c := &ast.CallExpr{Position: t.Pos, Fun: t.Lit}
+			for !p.at(token.RPAREN) && !p.at(token.EOF) {
+				c.Args = append(c.Args, p.parseAssignExpr())
+				if !p.accept(token.COMMA) {
+					break
+				}
+			}
+			p.expect(token.RPAREN)
+			return c
+		}
+		return &ast.Ident{Position: t.Pos, Name: t.Lit}
+	case token.INTLIT:
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 0, 64)
+		if err != nil {
+			// Out-of-range positive literal; reparse as unsigned.
+			u, uerr := strconv.ParseUint(t.Lit, 0, 64)
+			if uerr != nil {
+				p.errorf(t.Pos, "bad integer literal %q", t.Lit)
+			}
+			v = int64(u)
+		}
+		return &ast.IntLit{Position: t.Pos, Value: v}
+	case token.FLOATLIT:
+		p.next()
+		v, err := strconv.ParseFloat(t.Lit, 64)
+		if err != nil {
+			p.errorf(t.Pos, "bad float literal %q", t.Lit)
+		}
+		return &ast.FloatLit{Position: t.Pos, Value: v}
+	case token.CHARLIT:
+		p.next()
+		var v int64
+		if len(t.Lit) > 0 {
+			v = int64(t.Lit[0])
+		}
+		return &ast.IntLit{Position: t.Pos, Value: v}
+	}
+	p.errorf(t.Pos, "expected expression, found %v", t)
+	p.next()
+	return &ast.IntLit{Position: t.Pos, Value: 0}
+}
+
+func (p *parser) parsePostfix(x ast.Expr) ast.Expr {
+	for {
+		switch p.cur().Kind {
+		case token.LBRACK:
+			pos := p.next().Pos
+			idx := p.parseExpr()
+			p.expect(token.RBRACK)
+			x = &ast.IndexExpr{Position: pos, X: x, Index: idx}
+		case token.DOT:
+			pos := p.next().Pos
+			sel := p.expect(token.IDENT).Lit
+			x = &ast.MemberExpr{Position: pos, X: x, Sel: sel}
+		case token.INC, token.DEC:
+			op := p.next()
+			x = &ast.UnaryExpr{Position: op.Pos, Op: op.Kind, X: x, Postfix: true}
+		default:
+			return x
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/opencl/ast"
+	"repro/internal/opencl/token"
+)
+
+// mustFail asserts a parse error whose message mentions want.
+func mustFail(t *testing.T, src, want string) {
+	t.Helper()
+	_, err := Parse("bad.cl", []byte(src), nil)
+	if err == nil {
+		t.Fatalf("expected error containing %q", want)
+	}
+	if want != "" && !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err.Error(), want)
+	}
+}
+
+func TestErrorRecoveryReportsMultiple(t *testing.T) {
+	src := `
+__kernel void a(__global int* x) { x[0] = ; }
+__kernel void b(__global int* x) { x[1] = 1; }
+`
+	_, err := Parse("t.cl", []byte(src), nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// The error list implements error with a count suffix when several
+	// diagnostics accumulate; a single clean diagnostic is fine too.
+	if !strings.Contains(err.Error(), "expected expression") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestMissingSemicolon(t *testing.T) {
+	mustFail(t, `__kernel void k(__global int* x) { int a = 1 x[0] = a; }`, "expected")
+}
+
+func TestUnclosedBrace(t *testing.T) {
+	mustFail(t, `__kernel void k(__global int* x) { if (x[0] > 0) { x[1] = 2; `, "")
+}
+
+func TestBadArrayDim(t *testing.T) {
+	mustFail(t, `__kernel void k(__global int* x) { int a[; x[0] = 1; }`, "expected")
+}
+
+func TestEmptyForHeader(t *testing.T) {
+	f, err := Parse("t.cl", []byte(`
+__kernel void k(__global int* x) {
+    int i = 0;
+    for (;;) { i++; if (i > 3) { break; } }
+    x[0] = i;
+}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs *ast.ForStmt
+	ast.Walk(f, func(n ast.Node) bool {
+		if s, ok := n.(*ast.ForStmt); ok {
+			fs = s
+		}
+		return true
+	})
+	if fs == nil || fs.Init != nil || fs.Cond != nil || fs.Post != nil {
+		t.Fatalf("empty for header misparsed: %+v", fs)
+	}
+}
+
+func TestCommaOperator(t *testing.T) {
+	f, err := Parse("t.cl", []byte(`
+__kernel void k(__global int* x) {
+    int a;
+    int b;
+    for (a = 0, b = 10; a < b; a++, b--) { x[a] = b; }
+}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var commas int
+	ast.Walk(f, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok && be.Op == token.COMMA {
+			commas++
+		}
+		return true
+	})
+	if commas != 2 {
+		t.Errorf("comma ops = %d, want 2", commas)
+	}
+}
+
+func TestNestedTernary(t *testing.T) {
+	f, err := Parse("t.cl", []byte(`
+__kernel void k(__global int* x) {
+    int v = x[0];
+    x[1] = v < 0 ? -1 : v > 0 ? 1 : 0;
+}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Right-associative: outer Else is itself a CondExpr.
+	var outer *ast.CondExpr
+	ast.Walk(f, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CondExpr); ok && outer == nil {
+			outer = c
+		}
+		return true
+	})
+	if outer == nil {
+		t.Fatal("no ternary found")
+	}
+	if _, ok := ast.Unparen(outer.Else).(*ast.CondExpr); !ok {
+		t.Errorf("ternary not right-associative: else is %T", outer.Else)
+	}
+}
+
+func TestPragmaNotAttachedWhenFar(t *testing.T) {
+	// An unroll pragma more than two lines above a loop must not attach.
+	src := `__kernel void k(__global int* x) {
+    #pragma unroll 4
+
+
+    for (int i = 0; i < 8; i++) { x[i] = i; }
+}`
+	f, err := Parse("t.cl", []byte(src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs *ast.ForStmt
+	ast.Walk(f, func(n ast.Node) bool {
+		if s, ok := n.(*ast.ForStmt); ok {
+			fs = s
+		}
+		return true
+	})
+	if fs.Unroll != 0 {
+		t.Errorf("distant pragma attached: unroll = %d", fs.Unroll)
+	}
+}
+
+func TestFullUnrollPragma(t *testing.T) {
+	src := `__kernel void k(__global int* x) {
+    #pragma unroll
+    for (int i = 0; i < 8; i++) { x[i] = i; }
+}`
+	f, err := Parse("t.cl", []byte(src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs *ast.ForStmt
+	ast.Walk(f, func(n ast.Node) bool {
+		if s, ok := n.(*ast.ForStmt); ok {
+			fs = s
+		}
+		return true
+	})
+	if fs.Unroll != -1 {
+		t.Errorf("bare #pragma unroll should mean full unroll (-1), got %d", fs.Unroll)
+	}
+}
+
+func TestPrototypeIgnored(t *testing.T) {
+	f, err := Parse("t.cl", []byte(`
+float helper(float a);
+float helper(float a) { return a + 1.0f; }
+__kernel void k(__global float* x) { x[0] = helper(x[1]); }
+`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Funcs) != 2 {
+		t.Errorf("funcs = %d, want 2 (prototype dropped)", len(f.Funcs))
+	}
+}
+
+func TestSizeTParameter(t *testing.T) {
+	f, err := Parse("t.cl", []byte(`
+__kernel void k(__global float* x, size_t n) {
+    size_t i = get_global_id(0);
+    if (i < n) { x[i] = 0.0f; }
+}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := f.Kernels()[0]
+	if k.Params[1].Type.Base != ast.KULong {
+		t.Errorf("size_t lowered to %v", k.Params[1].Type.Base)
+	}
+}
+
+func TestHexAndCharLiterals(t *testing.T) {
+	f, err := Parse("t.cl", []byte(`
+__kernel void k(__global int* x) {
+    x[0] = 0xFF & x[1];
+    x[2] = 'A';
+}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vals []int64
+	ast.Walk(f, func(n ast.Node) bool {
+		if l, ok := n.(*ast.IntLit); ok {
+			vals = append(vals, l.Value)
+		}
+		return true
+	})
+	has := func(v int64) bool {
+		for _, x := range vals {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(255) || !has(65) {
+		t.Errorf("literals = %v, want 255 and 65 present", vals)
+	}
+}

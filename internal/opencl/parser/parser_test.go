@@ -1,0 +1,368 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/opencl/ast"
+	"repro/internal/opencl/token"
+)
+
+func parse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := Parse("test.cl", []byte(src), nil)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return f
+}
+
+const vecAdd = `
+__kernel void vadd(__global const float* a, __global const float* b,
+                   __global float* c, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        c[i] = a[i] + b[i];
+    }
+}
+`
+
+func TestVecAdd(t *testing.T) {
+	f := parse(t, vecAdd)
+	ks := f.Kernels()
+	if len(ks) != 1 {
+		t.Fatalf("expected 1 kernel, got %d", len(ks))
+	}
+	k := ks[0]
+	if k.Name != "vadd" {
+		t.Errorf("kernel name = %q", k.Name)
+	}
+	if len(k.Params) != 4 {
+		t.Fatalf("expected 4 params, got %d", len(k.Params))
+	}
+	if !k.Params[0].Type.Ptr || k.Params[0].Type.Space != ast.ASGlobal {
+		t.Errorf("param a type = %v", k.Params[0].Type)
+	}
+	if k.Params[3].Type.Ptr || k.Params[3].Type.Base != ast.KInt {
+		t.Errorf("param n type = %v", k.Params[3].Type)
+	}
+	if len(k.Body.List) != 2 {
+		t.Fatalf("expected 2 body statements, got %d", len(k.Body.List))
+	}
+	if _, ok := k.Body.List[0].(*ast.DeclStmt); !ok {
+		t.Errorf("stmt 0 is %T, want DeclStmt", k.Body.List[0])
+	}
+	if _, ok := k.Body.List[1].(*ast.IfStmt); !ok {
+		t.Errorf("stmt 1 is %T, want IfStmt", k.Body.List[1])
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	src := `
+__kernel __attribute__((reqd_work_group_size(16, 16, 1)))
+void k(__global float* x) { x[0] = 1.0f; }
+`
+	f := parse(t, src)
+	k := f.Kernels()[0]
+	dims, ok := k.ReqdWorkGroupSize()
+	if !ok {
+		t.Fatal("reqd_work_group_size not found")
+	}
+	if dims != [3]int64{16, 16, 1} {
+		t.Errorf("dims = %v", dims)
+	}
+}
+
+func TestLocalArrayDecl(t *testing.T) {
+	src := `
+__kernel void k(__global float* x) {
+    __local float tile[16][17];
+    int lid = get_local_id(0);
+    tile[lid][0] = x[lid];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    x[lid] = tile[0][lid];
+}
+`
+	f := parse(t, src)
+	k := f.Kernels()[0]
+	d, ok := k.Body.List[0].(*ast.DeclStmt)
+	if !ok {
+		t.Fatalf("stmt 0 is %T", k.Body.List[0])
+	}
+	if d.Space != ast.ASLocal {
+		t.Errorf("tile space = %v, want __local", d.Space)
+	}
+	if len(d.ArrayLen) != 2 {
+		t.Errorf("tile dims = %d, want 2", len(d.ArrayLen))
+	}
+	var sawBarrier bool
+	for _, s := range k.Body.List {
+		if b, ok := s.(*ast.BarrierStmt); ok {
+			sawBarrier = true
+			if !b.Local || b.Global {
+				t.Errorf("barrier flags local=%v global=%v", b.Local, b.Global)
+			}
+		}
+	}
+	if !sawBarrier {
+		t.Error("barrier statement not recognized")
+	}
+}
+
+func TestForLoopWithUnrollPragma(t *testing.T) {
+	src := `
+__kernel void k(__global int* x, int n) {
+    int acc = 0;
+    #pragma unroll 4
+    for (int i = 0; i < n; i++) {
+        acc += x[i];
+    }
+    x[0] = acc;
+}
+`
+	f := parse(t, src)
+	k := f.Kernels()[0]
+	var forStmt *ast.ForStmt
+	ast.Walk(k, func(n ast.Node) bool {
+		if fs, ok := n.(*ast.ForStmt); ok {
+			forStmt = fs
+		}
+		return true
+	})
+	if forStmt == nil {
+		t.Fatal("for loop not found")
+	}
+	if forStmt.Unroll != 4 {
+		t.Errorf("unroll = %d, want 4", forStmt.Unroll)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	src := `__kernel void k(__global int* x) { x[0] = 1 + 2 * 3; }`
+	f := parse(t, src)
+	var assign *ast.AssignExpr
+	ast.Walk(f, func(n ast.Node) bool {
+		if a, ok := n.(*ast.AssignExpr); ok {
+			assign = a
+		}
+		return true
+	})
+	add, ok := assign.RHS.(*ast.BinaryExpr)
+	if !ok || add.Op != token.ADD {
+		t.Fatalf("rhs = %T, want +", assign.RHS)
+	}
+	mul, ok := add.Y.(*ast.BinaryExpr)
+	if !ok || mul.Op != token.MUL {
+		t.Fatalf("rhs.Y = %T, want *", add.Y)
+	}
+}
+
+func TestTernaryAndCompoundAssign(t *testing.T) {
+	src := `__kernel void k(__global float* x, int n) {
+        float v = x[0];
+        v *= 2.0f;
+        x[0] = v > 0.0f ? v : -v;
+    }`
+	f := parse(t, src)
+	var conds, compounds int
+	ast.Walk(f, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CondExpr:
+			conds++
+		case *ast.AssignExpr:
+			if e.Op == token.MULASSIGN {
+				compounds++
+			}
+		}
+		return true
+	})
+	if conds != 1 || compounds != 1 {
+		t.Errorf("conds=%d compounds=%d", conds, compounds)
+	}
+}
+
+func TestVectorTypesAndSwizzles(t *testing.T) {
+	src := `__kernel void k(__global float4* x) {
+        float4 v = x[0];
+        float2 lohi = v.xy;
+        x[0].x = lohi.y;
+    }`
+	f := parse(t, src)
+	var members int
+	ast.Walk(f, func(n ast.Node) bool {
+		if _, ok := n.(*ast.MemberExpr); ok {
+			members++
+		}
+		return true
+	})
+	if members != 3 {
+		t.Errorf("member exprs = %d, want 3", members)
+	}
+}
+
+func TestVecLit(t *testing.T) {
+	src := `__kernel void k(__global float4* x) { x[0] = (float4)(1.0f, 2.0f, 3.0f, 4.0f); }`
+	f := parse(t, src)
+	var lit *ast.VecLit
+	ast.Walk(f, func(n ast.Node) bool {
+		if v, ok := n.(*ast.VecLit); ok {
+			lit = v
+		}
+		return true
+	})
+	if lit == nil {
+		t.Fatal("vector literal not found")
+	}
+	if len(lit.Elems) != 4 || lit.To.Vec != 4 {
+		t.Errorf("lit = %+v", lit)
+	}
+}
+
+func TestCasts(t *testing.T) {
+	src := `__kernel void k(__global float* x, __global int* y) {
+        x[0] = (float)y[0];
+        y[1] = (int)(x[1] * 2.0f);
+    }`
+	f := parse(t, src)
+	var casts int
+	ast.Walk(f, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CastExpr); ok {
+			casts++
+		}
+		return true
+	})
+	if casts != 2 {
+		t.Errorf("casts = %d, want 2", casts)
+	}
+}
+
+func TestWhileDoWhile(t *testing.T) {
+	src := `__kernel void k(__global int* x) {
+        int i = 0;
+        while (i < 10) { i++; }
+        do { i--; } while (i > 0);
+        x[0] = i;
+    }`
+	f := parse(t, src)
+	var w, dw int
+	ast.Walk(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.WhileStmt:
+			w++
+		case *ast.DoWhileStmt:
+			dw++
+		}
+		return true
+	})
+	if w != 1 || dw != 1 {
+		t.Errorf("while=%d dowhile=%d", w, dw)
+	}
+}
+
+func TestMultiDeclarator(t *testing.T) {
+	src := `__kernel void k(__global int* x) { int a = 1, b = 2, c; c = a + b; x[0] = c; }`
+	f := parse(t, src)
+	k := f.Kernels()[0]
+	decls := 0
+	for _, s := range k.Body.List {
+		if _, ok := s.(*ast.DeclStmt); ok {
+			decls++
+		}
+	}
+	if decls != 3 {
+		t.Errorf("decls = %d, want 3", decls)
+	}
+}
+
+func TestHelperFunction(t *testing.T) {
+	src := `
+float square(float v) { return v * v; }
+__kernel void k(__global float* x) { x[0] = square(x[0]); }
+`
+	f := parse(t, src)
+	if len(f.Funcs) != 2 {
+		t.Fatalf("funcs = %d, want 2", len(f.Funcs))
+	}
+	if f.Funcs[0].IsKernel {
+		t.Error("helper marked as kernel")
+	}
+	if len(f.Kernels()) != 1 {
+		t.Error("kernel count wrong")
+	}
+}
+
+func TestBreakContinueReturn(t *testing.T) {
+	src := `__kernel void k(__global int* x, int n) {
+        for (int i = 0; i < n; i++) {
+            if (x[i] < 0) { continue; }
+            if (x[i] == 0) { break; }
+        }
+        return;
+    }`
+	f := parse(t, src)
+	var br, cont, ret int
+	ast.Walk(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BreakStmt:
+			br++
+		case *ast.ContinueStmt:
+			cont++
+		case *ast.ReturnStmt:
+			ret++
+		}
+		return true
+	})
+	if br != 1 || cont != 1 || ret != 1 {
+		t.Errorf("break=%d continue=%d return=%d", br, cont, ret)
+	}
+}
+
+func TestSyntaxErrorReported(t *testing.T) {
+	_, err := Parse("bad.cl", []byte("__kernel void k( {"), nil)
+	if err == nil {
+		t.Fatal("expected a parse error")
+	}
+}
+
+func TestDefinesArgument(t *testing.T) {
+	src := `__kernel void k(__global int* x) { __local int t[TSIZE]; t[0] = 1; x[0] = t[0]; }`
+	f, err := Parse("t.cl", []byte(src), map[string]string{"TSIZE": "64"})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d := f.Kernels()[0].Body.List[0].(*ast.DeclStmt)
+	lit, ok := d.ArrayLen[0].(*ast.IntLit)
+	if !ok || lit.Value != 64 {
+		t.Errorf("array len = %v", d.ArrayLen[0])
+	}
+}
+
+func TestUnsignedTypes(t *testing.T) {
+	src := `__kernel void k(__global unsigned int* x, __global uint* y) {
+        unsigned int a = x[0];
+        uint b = y[0];
+        x[1] = a + b;
+    }`
+	f := parse(t, src)
+	k := f.Kernels()[0]
+	if k.Params[0].Type.Base != ast.KUInt {
+		t.Errorf("param0 base = %v", k.Params[0].Type.Base)
+	}
+	if k.Params[1].Type.Base != ast.KUInt {
+		t.Errorf("param1 base = %v", k.Params[1].Type.Base)
+	}
+}
+
+func TestPointerDerefAndAddressOf(t *testing.T) {
+	src := `__kernel void k(__global int* x) { *x = 5; int v = *(x + 1); x[2] = v; }`
+	f := parse(t, src)
+	var derefs int
+	ast.Walk(f, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.MUL {
+			derefs++
+		}
+		return true
+	})
+	if derefs != 2 {
+		t.Errorf("derefs = %d, want 2", derefs)
+	}
+}

@@ -1,0 +1,178 @@
+// Package sema implements semantic analysis for the OpenCL C subset:
+// symbol resolution, type checking, vector-component selection, constant
+// folding of array dimensions, and the builtin-function catalogue shared
+// with the IR generator and interpreter.
+package sema
+
+import "repro/internal/opencl/ast"
+
+// BuiltinKind classifies builtins by how the IR generator must lower them.
+type BuiltinKind int
+
+// Builtin lowering classes.
+const (
+	// BWorkItem: get_global_id and friends — lowered to IR work-item ops.
+	BWorkItem BuiltinKind = iota
+	// BMath: element-wise math — lowered to an IR call op with a latency
+	// entry in the device database.
+	BMath
+	// BSelect: relational builtins returning one of the operands.
+	BSelect
+	// BAtomic: atomic read-modify-write on global/local memory.
+	BAtomic
+	// BConvert: convert_<type> explicit conversions.
+	BConvert
+)
+
+// Builtin describes one builtin function.
+type Builtin struct {
+	Name  string
+	Kind  BuiltinKind
+	NArgs int
+	// Ret computes the result type from argument types. For generic
+	// ("gentype") math builtins the result matches the first argument.
+	Ret func(args []ast.Type) ast.Type
+}
+
+func retFirst(args []ast.Type) ast.Type {
+	if len(args) > 0 {
+		return args[0]
+	}
+	return ast.Scalar(ast.KFloat)
+}
+
+func retFloatLike(args []ast.Type) ast.Type {
+	t := retFirst(args)
+	if !t.Base.IsFloat() {
+		t = ast.Scalar(ast.KFloat)
+	}
+	return t
+}
+
+func retSizeT(_ []ast.Type) ast.Type { return ast.Scalar(ast.KULong) }
+
+func retInt(_ []ast.Type) ast.Type { return ast.Scalar(ast.KInt) }
+
+// Builtins is the catalogue of supported builtin functions.
+var Builtins = map[string]*Builtin{
+	// Work-item functions.
+	"get_global_id":     {Name: "get_global_id", Kind: BWorkItem, NArgs: 1, Ret: retSizeT},
+	"get_local_id":      {Name: "get_local_id", Kind: BWorkItem, NArgs: 1, Ret: retSizeT},
+	"get_group_id":      {Name: "get_group_id", Kind: BWorkItem, NArgs: 1, Ret: retSizeT},
+	"get_global_size":   {Name: "get_global_size", Kind: BWorkItem, NArgs: 1, Ret: retSizeT},
+	"get_local_size":    {Name: "get_local_size", Kind: BWorkItem, NArgs: 1, Ret: retSizeT},
+	"get_num_groups":    {Name: "get_num_groups", Kind: BWorkItem, NArgs: 1, Ret: retSizeT},
+	"get_work_dim":      {Name: "get_work_dim", Kind: BWorkItem, NArgs: 0, Ret: retSizeT},
+	"get_global_offset": {Name: "get_global_offset", Kind: BWorkItem, NArgs: 1, Ret: retSizeT},
+
+	// Unary element-wise math.
+	"sqrt":        {Name: "sqrt", Kind: BMath, NArgs: 1, Ret: retFloatLike},
+	"rsqrt":       {Name: "rsqrt", Kind: BMath, NArgs: 1, Ret: retFloatLike},
+	"fabs":        {Name: "fabs", Kind: BMath, NArgs: 1, Ret: retFloatLike},
+	"exp":         {Name: "exp", Kind: BMath, NArgs: 1, Ret: retFloatLike},
+	"exp2":        {Name: "exp2", Kind: BMath, NArgs: 1, Ret: retFloatLike},
+	"log":         {Name: "log", Kind: BMath, NArgs: 1, Ret: retFloatLike},
+	"log2":        {Name: "log2", Kind: BMath, NArgs: 1, Ret: retFloatLike},
+	"sin":         {Name: "sin", Kind: BMath, NArgs: 1, Ret: retFloatLike},
+	"cos":         {Name: "cos", Kind: BMath, NArgs: 1, Ret: retFloatLike},
+	"tan":         {Name: "tan", Kind: BMath, NArgs: 1, Ret: retFloatLike},
+	"floor":       {Name: "floor", Kind: BMath, NArgs: 1, Ret: retFloatLike},
+	"ceil":        {Name: "ceil", Kind: BMath, NArgs: 1, Ret: retFloatLike},
+	"round":       {Name: "round", Kind: BMath, NArgs: 1, Ret: retFloatLike},
+	"native_exp":  {Name: "native_exp", Kind: BMath, NArgs: 1, Ret: retFloatLike},
+	"native_log":  {Name: "native_log", Kind: BMath, NArgs: 1, Ret: retFloatLike},
+	"native_sqrt": {Name: "native_sqrt", Kind: BMath, NArgs: 1, Ret: retFloatLike},
+	"abs":         {Name: "abs", Kind: BMath, NArgs: 1, Ret: retFirst},
+
+	// Binary/ternary element-wise math.
+	"pow":   {Name: "pow", Kind: BMath, NArgs: 2, Ret: retFloatLike},
+	"fmax":  {Name: "fmax", Kind: BMath, NArgs: 2, Ret: retFloatLike},
+	"fmin":  {Name: "fmin", Kind: BMath, NArgs: 2, Ret: retFloatLike},
+	"fmod":  {Name: "fmod", Kind: BMath, NArgs: 2, Ret: retFloatLike},
+	"atan2": {Name: "atan2", Kind: BMath, NArgs: 2, Ret: retFloatLike},
+	"hypot": {Name: "hypot", Kind: BMath, NArgs: 2, Ret: retFloatLike},
+	"max":   {Name: "max", Kind: BSelect, NArgs: 2, Ret: retFirst},
+	"min":   {Name: "min", Kind: BSelect, NArgs: 2, Ret: retFirst},
+	"mad":   {Name: "mad", Kind: BMath, NArgs: 3, Ret: retFirst},
+	"fma":   {Name: "fma", Kind: BMath, NArgs: 3, Ret: retFirst},
+	"clamp": {Name: "clamp", Kind: BSelect, NArgs: 3, Ret: retFirst},
+	"select": {Name: "select", Kind: BSelect, NArgs: 3,
+		Ret: retFirst},
+	"dot": {Name: "dot", Kind: BMath, NArgs: 2,
+		Ret: func(args []ast.Type) ast.Type {
+			t := retFloatLike(args)
+			t.Vec = 1
+			return t
+		}},
+
+	// Atomics (on int/uint pointers).
+	"atomic_add": {Name: "atomic_add", Kind: BAtomic, NArgs: 2, Ret: retInt},
+	"atomic_sub": {Name: "atomic_sub", Kind: BAtomic, NArgs: 2, Ret: retInt},
+	"atomic_inc": {Name: "atomic_inc", Kind: BAtomic, NArgs: 1, Ret: retInt},
+	"atomic_dec": {Name: "atomic_dec", Kind: BAtomic, NArgs: 1, Ret: retInt},
+	"atomic_min": {Name: "atomic_min", Kind: BAtomic, NArgs: 2, Ret: retInt},
+	"atomic_max": {Name: "atomic_max", Kind: BAtomic, NArgs: 2, Ret: retInt},
+	"atomic_xchg": {Name: "atomic_xchg", Kind: BAtomic, NArgs: 2,
+		Ret: retInt},
+	"atomic_cmpxchg": {Name: "atomic_cmpxchg", Kind: BAtomic, NArgs: 3,
+		Ret: retInt},
+}
+
+// convertTargets enumerates the convert_<type> builtins lazily: any call
+// named convert_T where T is a scalar or vector type is accepted.
+func convertBuiltin(name string) (*Builtin, bool) {
+	const prefix = "convert_"
+	if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+		return nil, false
+	}
+	t, ok := ParseTypeName(name[len(prefix):])
+	if !ok {
+		return nil, false
+	}
+	return &Builtin{
+		Name: name, Kind: BConvert, NArgs: 1,
+		Ret: func([]ast.Type) ast.Type { return t },
+	}, true
+}
+
+// ParseTypeName maps spellings like "int", "uint", "float4" to types.
+func ParseTypeName(name string) (ast.Type, bool) {
+	bases := map[string]ast.BaseKind{
+		"bool": ast.KBool, "char": ast.KChar, "uchar": ast.KUChar,
+		"short": ast.KShort, "ushort": ast.KUShort, "int": ast.KInt,
+		"uint": ast.KUInt, "long": ast.KLong, "ulong": ast.KULong,
+		"float": ast.KFloat, "double": ast.KDouble,
+	}
+	for b, k := range bases {
+		if name == b {
+			return ast.Scalar(k), true
+		}
+		if len(name) > len(b) && name[:len(b)] == b {
+			switch name[len(b):] {
+			case "2":
+				return ast.Vector(k, 2), true
+			case "3":
+				return ast.Vector(k, 3), true
+			case "4":
+				return ast.Vector(k, 4), true
+			case "8":
+				return ast.Vector(k, 8), true
+			case "16":
+				return ast.Vector(k, 16), true
+			}
+		}
+	}
+	return ast.Type{}, false
+}
+
+// LookupBuiltin returns the builtin descriptor for name, handling the
+// convert_<type> family, or nil.
+func LookupBuiltin(name string) *Builtin {
+	if b, ok := Builtins[name]; ok {
+		return b
+	}
+	if b, ok := convertBuiltin(name); ok {
+		return b
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+)
+
+func expectErr(t *testing.T, src, want string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("expected error containing %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not contain %q", err.Error(), want)
+	}
+}
+
+func TestDirectRecursionRejected(t *testing.T) {
+	expectErr(t, `
+int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+__kernel void k(__global int* x) { x[0] = fact(5); }
+`, "recursive")
+}
+
+func TestKernelCalledFromDevice(t *testing.T) {
+	expectErr(t, `
+__kernel void helper(__global int* x) { x[0] = 1; }
+__kernel void k(__global int* x) { helper(x); }
+`, "cannot call kernel")
+}
+
+func TestFunctionRedeclaration(t *testing.T) {
+	expectErr(t, `
+float f(float a) { return a; }
+float f(float a) { return a + 1.0f; }
+__kernel void k(__global float* x) { x[0] = f(x[1]); }
+`, "redeclared")
+}
+
+func TestDerefNonPointer(t *testing.T) {
+	expectErr(t, `__kernel void k(__global int* x) { int a = 1; x[0] = *a; }`,
+		"dereference")
+}
+
+func TestSubscriptScalar(t *testing.T) {
+	expectErr(t, `__kernel void k(__global int* x) { int a = 1; x[0] = a[2]; }`,
+		"subscript")
+}
+
+func TestVectorMemberOnScalar(t *testing.T) {
+	expectErr(t, `__kernel void k(__global float* x) { float a = x[0]; x[1] = a.x; }`,
+		"non-vector")
+}
+
+func TestWrongUserFnArity(t *testing.T) {
+	expectErr(t, `
+float f(float a, float b) { return a + b; }
+__kernel void k(__global float* x) { x[0] = f(x[1]); }
+`, "arguments")
+}
+
+func TestScopesDoNotLeak(t *testing.T) {
+	expectErr(t, `
+__kernel void k(__global int* x) {
+    if (x[0] > 0) { int inner = 1; x[1] = inner; }
+    x[2] = inner;
+}`, "undeclared")
+}
+
+func TestForScopeLocal(t *testing.T) {
+	expectErr(t, `
+__kernel void k(__global int* x) {
+    for (int i = 0; i < 4; i++) { x[i] = i; }
+    x[9] = i;
+}`, "undeclared")
+}
+
+func TestPointerComparisonAllowed(t *testing.T) {
+	mustCheck(t, `
+__kernel void k(__global int* x, int n) {
+    if (n > 0 && x[0] < x[1]) { x[2] = 1; }
+}`)
+}
+
+func TestConstantFoldingInDims(t *testing.T) {
+	info := mustCheck(t, `
+__kernel void k(__global int* x) {
+    __local int t[(1 << 4) + 16 / 2 - 3];
+    t[0] = x[0];
+    x[1] = t[0];
+}`)
+	for d, s := range info.VarSyms {
+		if d.Name == "t" && s.Dims[0] != 16+8-3 {
+			t.Errorf("folded dim = %d, want 21", s.Dims[0])
+		}
+	}
+}
+
+func TestSwitchChecks(t *testing.T) {
+	expectErr(t, `__kernel void k(__global int* x) {
+        switch (x[0]) { case 1: x[1] = 1; break; case 1: x[2] = 2; break; }
+    }`, "duplicate case")
+	expectErr(t, `__kernel void k(__global int* x) {
+        switch (x[0]) { default: x[1] = 1; break; default: x[2] = 2; break; }
+    }`, "duplicate default")
+	expectErr(t, `__kernel void k(__global float* x) {
+        switch (x[0]) { case 1: x[1] = 1.0f; break; }
+    }`, "integer")
+	expectErr(t, `__kernel void k(__global int* x, int n) {
+        switch (x[0]) { case n: x[1] = 1; break; }
+    }`, "constant")
+	mustCheck(t, `__kernel void k(__global int* x) {
+        switch (x[0] & 3) { case 0: case 1: x[1] = 1; break; default: x[2] = 2; }
+    }`)
+}

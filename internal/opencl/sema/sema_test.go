@@ -1,0 +1,296 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/opencl/ast"
+	"repro/internal/opencl/parser"
+)
+
+func check(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	f, err := parser.Parse("test.cl", []byte(src), nil)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(f)
+}
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return info
+}
+
+func TestVecAddTypes(t *testing.T) {
+	info := mustCheck(t, `
+__kernel void vadd(__global const float* a, __global float* c, int n) {
+    int i = get_global_id(0);
+    if (i < n) { c[i] = a[i] * 2.0f; }
+}`)
+	k := info.File.Kernels()[0]
+	var assign *ast.AssignExpr
+	ast.Walk(k, func(n ast.Node) bool {
+		if a, ok := n.(*ast.AssignExpr); ok {
+			assign = a
+		}
+		return true
+	})
+	if got := assign.LHS.TypeOf(); got.Base != ast.KFloat || got.Ptr {
+		t.Errorf("c[i] type = %v, want float", got)
+	}
+	if got := assign.RHS.TypeOf(); got.Base != ast.KFloat {
+		t.Errorf("a[i]*2 type = %v, want float", got)
+	}
+}
+
+func TestUndeclaredIdent(t *testing.T) {
+	_, err := check(t, `__kernel void k(__global int* x) { x[0] = missing; }`)
+	if err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Fatalf("want undeclared error, got %v", err)
+	}
+}
+
+func TestRedeclaration(t *testing.T) {
+	_, err := check(t, `__kernel void k(__global int* x) { int a = 1; int a = 2; x[0] = a; }`)
+	if err == nil || !strings.Contains(err.Error(), "redeclared") {
+		t.Fatalf("want redeclared error, got %v", err)
+	}
+}
+
+func TestShadowingAllowed(t *testing.T) {
+	mustCheck(t, `__kernel void k(__global int* x) {
+        int a = 1;
+        { int a = 2; x[0] = a; }
+        x[1] = a;
+    }`)
+}
+
+func TestKernelPointerNeedsAddrSpace(t *testing.T) {
+	_, err := check(t, `__kernel void k(int* x) { x[0] = 1; }`)
+	if err == nil || !strings.Contains(err.Error(), "address space") {
+		t.Fatalf("want address space error, got %v", err)
+	}
+}
+
+func TestArrayDimsFolded(t *testing.T) {
+	info := mustCheck(t, `__kernel void k(__global int* x) {
+        __local int tile[4*8][16];
+        tile[0][0] = 1;
+        x[0] = tile[0][0];
+    }`)
+	var sym *Symbol
+	for d, s := range info.VarSyms {
+		if d.Name == "tile" {
+			sym = s
+		}
+	}
+	if sym == nil {
+		t.Fatal("tile symbol missing")
+	}
+	if len(sym.Dims) != 2 || sym.Dims[0] != 32 || sym.Dims[1] != 16 {
+		t.Errorf("dims = %v, want [32 16]", sym.Dims)
+	}
+	if sym.TotalLen() != 512 {
+		t.Errorf("total = %d", sym.TotalLen())
+	}
+}
+
+func TestNonConstantArrayDim(t *testing.T) {
+	_, err := check(t, `__kernel void k(__global int* x, int n) {
+        int buf[n];
+        buf[0] = 1;
+        x[0] = buf[0];
+    }`)
+	if err == nil || !strings.Contains(err.Error(), "constant") {
+		t.Fatalf("want constant-dim error, got %v", err)
+	}
+}
+
+func TestBuiltinResolution(t *testing.T) {
+	info := mustCheck(t, `__kernel void k(__global float* x) {
+        int i = get_global_id(0);
+        x[i] = sqrt(fabs(x[i]));
+    }`)
+	if len(info.BuiltinCalls) != 3 {
+		t.Errorf("builtin calls = %d, want 3", len(info.BuiltinCalls))
+	}
+}
+
+func TestBuiltinArity(t *testing.T) {
+	_, err := check(t, `__kernel void k(__global float* x) { x[0] = pow(x[0]); }`)
+	if err == nil || !strings.Contains(err.Error(), "arguments") {
+		t.Fatalf("want arity error, got %v", err)
+	}
+}
+
+func TestUserFunctionCall(t *testing.T) {
+	info := mustCheck(t, `
+float helper(float a, float b) { return a * b + 1.0f; }
+__kernel void k(__global float* x) { x[0] = helper(x[0], x[1]); }`)
+	if len(info.Calls) != 1 {
+		t.Errorf("user calls = %d, want 1", len(info.Calls))
+	}
+}
+
+func TestCallUndefined(t *testing.T) {
+	_, err := check(t, `__kernel void k(__global float* x) { x[0] = nosuchfn(x[0]); }`)
+	if err == nil || !strings.Contains(err.Error(), "undefined function") {
+		t.Fatalf("want undefined fn error, got %v", err)
+	}
+}
+
+func TestSwizzleResolution(t *testing.T) {
+	info := mustCheck(t, `__kernel void k(__global float4* x) {
+        float4 v = x[0];
+        float s = v.w;
+        float2 d = v.xy;
+        float h = v.s3;
+        x[0].x = s + d.x + h;
+    }`)
+	var wLanes, xyLanes, s3Lanes []int
+	ast.Walk(info.File, func(n ast.Node) bool {
+		if m, ok := n.(*ast.MemberExpr); ok {
+			switch m.Sel {
+			case "w":
+				wLanes = m.Lanes
+			case "xy":
+				xyLanes = m.Lanes
+			case "s3":
+				s3Lanes = m.Lanes
+			}
+		}
+		return true
+	})
+	if len(wLanes) != 1 || wLanes[0] != 3 {
+		t.Errorf("w lanes = %v", wLanes)
+	}
+	if len(xyLanes) != 2 || xyLanes[0] != 0 || xyLanes[1] != 1 {
+		t.Errorf("xy lanes = %v", xyLanes)
+	}
+	if len(s3Lanes) != 1 || s3Lanes[0] != 3 {
+		t.Errorf("s3 lanes = %v", s3Lanes)
+	}
+}
+
+func TestBadSwizzle(t *testing.T) {
+	_, err := check(t, `__kernel void k(__global float2* x) { float2 v = x[0]; x[0].x = v.z; }`)
+	if err == nil || !strings.Contains(err.Error(), "component") {
+		t.Fatalf("want component error, got %v", err)
+	}
+}
+
+func TestUsualArithConversions(t *testing.T) {
+	info := mustCheck(t, `__kernel void k(__global float* x, __global int* y) {
+        x[0] = x[0] + y[0];
+    }`)
+	var add *ast.BinaryExpr
+	ast.Walk(info.File, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			add = b
+		}
+		return true
+	})
+	if got := add.TypeOf(); got.Base != ast.KFloat {
+		t.Errorf("float+int = %v, want float", got)
+	}
+}
+
+func TestComparisonIsInt(t *testing.T) {
+	info := mustCheck(t, `__kernel void k(__global float* x) {
+        int c = x[0] < x[1];
+        x[2] = (float)c;
+    }`)
+	var cmp *ast.BinaryExpr
+	ast.Walk(info.File, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok && b.Op.String() == "<" {
+			cmp = b
+		}
+		return true
+	})
+	if got := cmp.TypeOf(); got.Base != ast.KInt {
+		t.Errorf("comparison type = %v, want int", got)
+	}
+}
+
+func TestAssignToRvalue(t *testing.T) {
+	_, err := check(t, `__kernel void k(__global int* x) { (x[0] + 1) = 2; }`)
+	if err == nil || !strings.Contains(err.Error(), "not assignable") {
+		t.Fatalf("want lvalue error, got %v", err)
+	}
+}
+
+func TestConvertBuiltin(t *testing.T) {
+	info := mustCheck(t, `__kernel void k(__global float* x, __global int* y) {
+        y[0] = convert_int(x[0]);
+    }`)
+	found := false
+	for call, b := range info.BuiltinCalls {
+		if call.Fun == "convert_int" && b.Kind == BConvert {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("convert_int not resolved as BConvert")
+	}
+}
+
+func TestParseTypeName(t *testing.T) {
+	cases := []struct {
+		in    string
+		base  ast.BaseKind
+		lanes int
+		ok    bool
+	}{
+		{"int", ast.KInt, 1, true},
+		{"uint", ast.KUInt, 1, true},
+		{"float4", ast.KFloat, 4, true},
+		{"uchar16", ast.KUChar, 16, true},
+		{"double2", ast.KDouble, 2, true},
+		{"float5", 0, 0, false},
+		{"banana", 0, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseTypeName(c.in)
+		if ok != c.ok {
+			t.Errorf("%s: ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if ok && (got.Base != c.base || got.Lanes() != c.lanes) {
+			t.Errorf("%s: got %v", c.in, got)
+		}
+	}
+}
+
+func TestVoidReturnChecks(t *testing.T) {
+	_, err := check(t, `__kernel void k(__global int* x) { x[0] = 0; return 1; }`)
+	if err == nil || !strings.Contains(err.Error(), "void") {
+		t.Fatalf("want void return error, got %v", err)
+	}
+	_, err = check(t, `
+int f(int a) { return; }
+__kernel void k(__global int* x) { x[0] = f(1); }`)
+	if err == nil || !strings.Contains(err.Error(), "without value") {
+		t.Fatalf("want missing-value error, got %v", err)
+	}
+}
+
+func TestAtomicBuiltins(t *testing.T) {
+	info := mustCheck(t, `__kernel void k(__global int* x) {
+        atomic_add(x, 1);
+        atomic_inc(x + 1);
+    }`)
+	n := 0
+	for _, b := range info.BuiltinCalls {
+		if b.Kind == BAtomic {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("atomic calls = %d, want 2", n)
+	}
+}

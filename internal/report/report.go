@@ -1,0 +1,136 @@
+// Package report renders the tables and figure series of the evaluation
+// (§4) as aligned ASCII tables and CSV, matching the rows/columns the
+// paper prints.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New returns an empty table.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Headers)
+	var sep []string
+	for _, wd := range widths {
+		sep = append(sep, strings.Repeat("-", wd))
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Write(&sb)
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Headers, ","))
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		sb.WriteString(strings.Join(r, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Series is an (x, y...) numeric series for figure regeneration.
+type Series struct {
+	Title   string
+	Columns []string
+	Points  [][]float64
+}
+
+// NewSeries returns an empty series.
+func NewSeries(title string, columns ...string) *Series {
+	return &Series{Title: title, Columns: columns}
+}
+
+// Add appends a data point.
+func (s *Series) Add(vals ...float64) { s.Points = append(s.Points, vals) }
+
+// Write renders the series in gnuplot-friendly columns.
+func (s *Series) Write(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n# %s\n", s.Title, strings.Join(s.Columns, "\t"))
+	for _, p := range s.Points {
+		for i, v := range p {
+			if i > 0 {
+				fmt.Fprint(w, "\t")
+			}
+			fmt.Fprintf(w, "%.4g", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// String renders to a string.
+func (s *Series) String() string {
+	var sb strings.Builder
+	s.Write(&sb)
+	return sb.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

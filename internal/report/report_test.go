@@ -1,0 +1,64 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Demo", "Kernel", "Err(%)")
+	tb.Add("hotspot", 8.9)
+	tb.Add("nn", 12.1)
+	s := tb.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "hotspot") {
+		t.Fatalf("missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("line count = %d:\n%s", len(lines), s)
+	}
+	// Columns align: "Err(%)" starts at the same offset in every row.
+	hdr := lines[1]
+	off := strings.Index(hdr, "Err(%)")
+	for _, l := range lines[3:] {
+		if len(l) <= off {
+			t.Fatalf("row too short: %q", l)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Add(1, 2)
+	tb.Add("x", 3.5)
+	csv := tb.CSV()
+	want := "a,b\n1,2\nx,3.5\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	s := NewSeries("Figure 4", "id", "actual", "est")
+	s.Add(0, 100, 95)
+	s.Add(1, 200, 210)
+	out := s.String()
+	if !strings.Contains(out, "# Figure 4") {
+		t.Fatal("missing title comment")
+	}
+	if !strings.Contains(out, "0\t100\t95") {
+		t.Fatalf("missing data row:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("line count = %d", len(lines))
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("", "v")
+	tb.Add(3.14159)
+	if !strings.Contains(tb.String(), "3.1") {
+		t.Fatalf("float not rounded to one decimal: %s", tb.String())
+	}
+}

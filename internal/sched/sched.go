@@ -1,0 +1,388 @@
+// Package sched implements the scheduling algorithms of FlexCL's
+// processing-element model (paper §3.3.1):
+//
+//   - a resource-aware, priority-ordered list scheduler (ASAP policy) that
+//     estimates the execution latency of each basic block under local
+//     memory port and DSP constraints;
+//   - the minimum initiation interval MII = max(RecMII, ResMII), with
+//     RecMII derived from inter-work-item data dependences found by affine
+//     index analysis, and ResMII from Eq. 3–4;
+//   - a Swing-Modulo-Scheduling-style refinement that searches for the
+//     smallest feasible II at or above MII using a modulo reservation
+//     table, and reports the pipeline depth.
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/ir"
+	"repro/internal/opencl/ast"
+)
+
+// Resources are the per-PE issue constraints visible to the scheduler.
+type Resources struct {
+	LocalRead  int // local-memory read ports
+	LocalWrite int // local-memory write ports
+	Global     int // global-memory interface ports
+	DSPSlots   int // DSP-backed cores available (issues per cycle)
+}
+
+// Sane returns a copy with non-positive limits raised to 1.
+func (r Resources) Sane() Resources {
+	if r.LocalRead <= 0 {
+		r.LocalRead = 1
+	}
+	if r.LocalWrite <= 0 {
+		r.LocalWrite = 1
+	}
+	if r.Global <= 0 {
+		r.Global = 1
+	}
+	if r.DSPSlots <= 0 {
+		r.DSPSlots = 1
+	}
+	return r
+}
+
+// Config parameterizes scheduling.
+type Config struct {
+	// Table supplies profiled average latencies (the analytical model's
+	// view).
+	Table *device.LatencyTable
+	// Variant, when non-nil, overrides the latency of individual
+	// instructions (the simulator's exact view).
+	Variant func(*ir.Instr) int
+	Res     Resources
+}
+
+// Latency returns the scheduling latency of one instruction in cycles.
+func (c *Config) Latency(in *ir.Instr) int {
+	if c.Variant != nil {
+		return c.Variant(in)
+	}
+	cl := device.Classify(in)
+	return int(math.Ceil(c.Table.Latency(cl)))
+}
+
+// resKind distinguishes the per-cycle resources.
+type resKind int
+
+const (
+	resNone resKind = iota
+	resLocalRead
+	resLocalWrite
+	resGlobal
+	resDSP
+)
+
+// resourceOf maps an instruction to the issue resource it occupies.
+func (c *Config) resourceOf(in *ir.Instr) resKind {
+	cl := device.Classify(in)
+	switch cl {
+	case device.ClassLocalLoad:
+		return resLocalRead
+	case device.ClassLocalStore:
+		return resLocalWrite
+	case device.ClassGlobalLoad, device.ClassGlobalStore, device.ClassAtomic:
+		return resGlobal
+	}
+	if c.Table.DSPCost(cl) > 0 {
+		return resDSP
+	}
+	return resNone
+}
+
+func (r Resources) limit(k resKind) int {
+	switch k {
+	case resLocalRead:
+		return r.LocalRead
+	case resLocalWrite:
+		return r.LocalWrite
+	case resGlobal:
+		return r.Global
+	case resDSP:
+		return r.DSPSlots
+	default:
+		return 0
+	}
+}
+
+// BlockStats is the result of scheduling one basic block.
+type BlockStats struct {
+	// Length is the schedule makespan in cycles.
+	Length int
+	// Issue maps instructions to their start cycles.
+	Issue map[*ir.Instr]int
+	// Resource usage counts within the block.
+	LocalReads   int
+	LocalWrites  int
+	GlobalLoads  int
+	GlobalStores int
+	DSPOps       int
+}
+
+// dfgEdge is a dependence with a latency delay.
+type dfgEdge struct {
+	to    int
+	delay int
+}
+
+// blockDFG builds the intra-block dependence graph: def-use edges plus
+// memory-ordering edges on the same storage object, with barriers and
+// atomics acting as fences.
+func blockDFG(instrs []*ir.Instr, latOf func(*ir.Instr) int) ([][]dfgEdge, [][]dfgEdge) {
+	n := len(instrs)
+	index := make(map[*ir.Instr]int, n)
+	for i, in := range instrs {
+		index[in] = i
+	}
+	succ := make([][]dfgEdge, n)
+	pred := make([][]dfgEdge, n)
+	add := func(from, to int) {
+		d := latOf(instrs[from])
+		if d < 1 {
+			d = 1 // chained dependences still take a cycle boundary
+		}
+		succ[from] = append(succ[from], dfgEdge{to: to, delay: d})
+		pred[to] = append(pred[to], dfgEdge{to: from, delay: d})
+	}
+
+	// Def-use edges.
+	for i, in := range instrs {
+		for _, a := range in.Args {
+			if def, ok := a.(*ir.Instr); ok {
+				if j, here := index[def]; here && j < i {
+					add(j, i)
+				}
+			}
+		}
+	}
+
+	// Memory ordering: last writer / readers per storage.
+	lastWrite := map[ir.Storage]int{}
+	readers := map[ir.Storage][]int{}
+	lastFence := -1
+	for i, in := range instrs {
+		switch in.Op {
+		case ir.OpLoad:
+			if w, ok := lastWrite[in.Mem]; ok {
+				add(w, i)
+			}
+			if lastFence >= 0 {
+				add(lastFence, i)
+			}
+			readers[in.Mem] = append(readers[in.Mem], i)
+		case ir.OpStore, ir.OpAtomic:
+			if w, ok := lastWrite[in.Mem]; ok {
+				add(w, i)
+			}
+			for _, r := range readers[in.Mem] {
+				add(r, i)
+			}
+			if lastFence >= 0 {
+				add(lastFence, i)
+			}
+			lastWrite[in.Mem] = i
+			readers[in.Mem] = nil
+		case ir.OpBarrier:
+			// Full fence: order against every prior memory op.
+			for s, w := range lastWrite {
+				add(w, i)
+				delete(lastWrite, s)
+			}
+			for s, rs := range readers {
+				for _, r := range rs {
+					add(r, i)
+				}
+				delete(readers, s)
+			}
+			lastFence = i
+		}
+	}
+	return succ, pred
+}
+
+// ScheduleBlock runs resource-aware list scheduling (ASAP with
+// critical-path priority) over one basic block and returns its latency
+// and resource statistics.
+func ScheduleBlock(b *ir.Block, cfg *Config) *BlockStats {
+	res := cfg.Res.Sane()
+	instrs := b.Instrs
+	n := len(instrs)
+	st := &BlockStats{Issue: make(map[*ir.Instr]int, n)}
+	if n == 0 {
+		return st
+	}
+
+	latOf := func(in *ir.Instr) int { return cfg.Latency(in) }
+	succ, pred := blockDFG(instrs, latOf)
+
+	// Priority: longest path to any sink (classic critical-path).
+	prio := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		best := latOf(instrs[i])
+		for _, e := range succ[i] {
+			if v := e.delay + prio[e.to]; v > best {
+				best = v
+			}
+		}
+		prio[i] = best
+	}
+
+	// Earliest start from predecessors (updated as nodes are placed).
+	ready := make([]int, n) // earliest cycle by dependences
+	remaining := make([]int, n)
+	for i := range instrs {
+		remaining[i] = len(pred[i])
+	}
+	scheduled := make([]bool, n)
+	start := make([]int, n)
+
+	// Per-cycle resource usage tables grow on demand.
+	usage := map[resKind][]int{}
+	usedAt := func(k resKind, t int) int {
+		u := usage[k]
+		if t < len(u) {
+			return u[t]
+		}
+		return 0
+	}
+	reserve := func(k resKind, t int) {
+		u := usage[k]
+		for len(u) <= t {
+			u = append(u, 0)
+		}
+		u[t]++
+		usage[k] = u
+	}
+
+	placed := 0
+	cycle := 0
+	const maxCycles = 1 << 22
+	for placed < n && cycle < maxCycles {
+		// Collect ready nodes at this cycle, highest priority first.
+		var cand []int
+		for i := range instrs {
+			if !scheduled[i] && remaining[i] == 0 && ready[i] <= cycle {
+				cand = append(cand, i)
+			}
+		}
+		sort.Slice(cand, func(a, b int) bool {
+			if prio[cand[a]] != prio[cand[b]] {
+				return prio[cand[a]] > prio[cand[b]]
+			}
+			return cand[a] < cand[b]
+		})
+		for _, i := range cand {
+			k := cfg.resourceOf(instrs[i])
+			if k != resNone && usedAt(k, cycle) >= res.limit(k) {
+				continue // resource conflict; try next cycle
+			}
+			if k != resNone {
+				reserve(k, cycle)
+			}
+			scheduled[i] = true
+			start[i] = cycle
+			placed++
+			for _, e := range succ[i] {
+				if t := cycle + e.delay; t > ready[e.to] {
+					ready[e.to] = t
+				}
+				remaining[e.to]--
+			}
+		}
+		cycle++
+	}
+
+	length := 0
+	for i, in := range instrs {
+		st.Issue[in] = start[i]
+		if end := start[i] + latOf(in); end > length {
+			length = end
+		}
+		switch device.Classify(in) {
+		case device.ClassLocalLoad:
+			st.LocalReads++
+		case device.ClassLocalStore:
+			st.LocalWrites++
+		case device.ClassGlobalLoad:
+			st.GlobalLoads++
+		case device.ClassGlobalStore:
+			st.GlobalStores++
+		case device.ClassAtomic:
+			st.GlobalLoads++
+			st.GlobalStores++
+		}
+		if cfg.Table != nil && cfg.Table.DSPCost(device.Classify(in)) > 0 {
+			st.DSPOps++
+		}
+	}
+	st.Length = length
+	return st
+}
+
+// FuncTotals aggregates frequency-weighted resource counts over the whole
+// work-item (N_read, N_write etc. of Eq. 4, where the counts are the
+// maxima over the work-item pipeline).
+type FuncTotals struct {
+	LocalReads   float64
+	LocalWrites  float64
+	GlobalLoads  float64
+	GlobalStores float64
+	DSPOps       float64
+	Instrs       float64
+}
+
+// Totals computes frequency-weighted operation totals per work-item.
+// freq maps blocks to average executions per work-item (1 if absent).
+func Totals(f *ir.Func, freq map[*ir.Block]float64, cfg *Config) FuncTotals {
+	var t FuncTotals
+	for _, b := range f.Blocks {
+		w, ok := freq[b]
+		if !ok {
+			w = 1
+		}
+		for _, in := range b.Instrs {
+			t.Instrs += w
+			switch device.Classify(in) {
+			case device.ClassLocalLoad:
+				t.LocalReads += w
+			case device.ClassLocalStore:
+				t.LocalWrites += w
+			case device.ClassGlobalLoad:
+				t.GlobalLoads += w
+			case device.ClassGlobalStore:
+				t.GlobalStores += w
+			case device.ClassAtomic:
+				t.GlobalLoads += w
+				t.GlobalStores += w
+			}
+			if cfg.Table != nil && cfg.Table.DSPCost(device.Classify(in)) > 0 {
+				t.DSPOps += w
+			}
+		}
+	}
+	return t
+}
+
+// ResMII implements Eq. 3–4: the resource-constrained minimum initiation
+// interval from local-memory ports and DSP cores.
+func ResMII(t FuncTotals, res Resources) int {
+	res = res.Sane()
+	mii := 1
+	if v := int(math.Ceil(t.LocalReads / float64(res.LocalRead))); v > mii {
+		mii = v
+	}
+	if v := int(math.Ceil(t.LocalWrites / float64(res.LocalWrite))); v > mii {
+		mii = v
+	}
+	if v := int(math.Ceil(t.DSPOps / float64(res.DSPSlots))); v > mii {
+		mii = v
+	}
+	return mii
+}
+
+// typeIsIdx reports an integer scalar suitable for index chains.
+func typeIsIdx(t ast.Type) bool { return t.IsScalar() && t.Base.IsInteger() }

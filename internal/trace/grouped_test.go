@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/interp"
+)
+
+func TestInterleaveWGColumnMajor(t *testing.T) {
+	k := compileKernel(t, `__kernel void k(__global float* a) { a[0] = 1.0f; }`, "k")
+	prm := k.GlobalParams()[0]
+	mk := func(idx ...int64) []interp.Access {
+		var out []interp.Access
+		for _, i := range idx {
+			out = append(out, interp.Access{Param: prm, Index: i, Bytes: 4})
+		}
+		return out
+	}
+	traces := [][]interp.Access{mk(0, 10), mk(1, 11), mk(2)}
+	got := InterleaveWG(traces)
+	wantIdx := []int64{0, 1, 2, 10, 11}
+	if len(got) != len(wantIdx) {
+		t.Fatalf("len = %d, want %d", len(got), len(wantIdx))
+	}
+	for i, w := range wantIdx {
+		if got[i].Index != w {
+			t.Errorf("pos %d: index %d, want %d", i, got[i].Index, w)
+		}
+	}
+}
+
+func TestGroupedCoalescingAcrossWorkItems(t *testing.T) {
+	// 16 work-items each reading one consecutive float: within-WI
+	// coalescing sees 16 separate bursts, column-major group coalescing
+	// sees one.
+	k := compileKernel(t, `__kernel void k(__global float* a) { a[0] = 1.0f; }`, "k")
+	p := device.Virtex7().DRAM
+	l := NewLayout(k, map[string]int64{"a": 1024}, p)
+	prm := k.GlobalParams()[0]
+	traces := make([][]interp.Access, 16)
+	for wi := range traces {
+		traces[wi] = []interp.Access{{Param: prm, Index: int64(wi), Bytes: 4}}
+	}
+	perWI := Classify(traces, l, p, 64)
+	grouped := ClassifyGrouped(traces, 16, l, p, 64)
+	if perWI.BurstsPerWI != 1 {
+		t.Errorf("per-WI coalescing: %v bursts/WI, want 1", perWI.BurstsPerWI)
+	}
+	if grouped.BurstsPerWI != 1.0/16 {
+		t.Errorf("grouped coalescing: %v bursts/WI, want 1/16 (f = 16)", grouped.BurstsPerWI)
+	}
+}
+
+func TestWGBurstsGrouping(t *testing.T) {
+	k := compileKernel(t, `__kernel void k(__global float* a) { a[0] = 1.0f; }`, "k")
+	p := device.Virtex7().DRAM
+	l := NewLayout(k, map[string]int64{"a": 4096}, p)
+	prm := k.GlobalParams()[0]
+	traces := make([][]interp.Access, 32)
+	for wi := range traces {
+		traces[wi] = []interp.Access{{Param: prm, Index: int64(wi), Bytes: 4}}
+	}
+	groups := WGBursts(traces, 16, l, 64)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	for gi, bursts := range groups {
+		if len(bursts) != 1 {
+			t.Errorf("group %d: %d bursts, want 1", gi, len(bursts))
+		}
+	}
+}
+
+func TestGroupedPatternCountsSumToBursts(t *testing.T) {
+	k := compileKernel(t, `__kernel void k(__global float* a) { a[0] = 1.0f; }`, "k")
+	p := device.Virtex7().DRAM
+	l := NewLayout(k, map[string]int64{"a": 65536}, p)
+	prm := k.GlobalParams()[0]
+	traces := make([][]interp.Access, 64)
+	for wi := range traces {
+		traces[wi] = []interp.Access{
+			{Param: prm, Index: int64(wi * 137 % 4096), Bytes: 4},
+			{Param: prm, Index: int64(wi), Bytes: 4, Write: true},
+		}
+	}
+	c := ClassifyGrouped(traces, 64, l, p, 64)
+	var total float64
+	for _, n := range c.N {
+		total += n
+	}
+	if diff := total - c.BurstsPerWI; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("pattern sum %v != bursts %v", total, c.BurstsPerWI)
+	}
+	if c.Reads+c.Writes != c.BurstsPerWI {
+		t.Errorf("reads+writes (%v) != bursts (%v)", c.Reads+c.Writes, c.BurstsPerWI)
+	}
+}

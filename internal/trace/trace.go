@@ -1,0 +1,328 @@
+// Package trace converts the dynamic global-memory access traces produced
+// by the profiler (package interp) into the quantities FlexCL's memory
+// model consumes (§3.4): buffer layout in the DRAM address space, burst
+// coalescing of consecutive same-direction accesses (factor f =
+// MemoryAccessUnitSize / DataTypeBitWidth), mapping to banks under the
+// byte-interleaved policy, and classification of every coalesced access
+// into the eight patterns of Table 1.
+package trace
+
+import (
+	"repro/internal/device"
+	"repro/internal/dram"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Layout assigns every global buffer a base byte address.
+type Layout struct {
+	Base map[string]int64
+	End  int64
+}
+
+// NewLayout lays the kernel's global buffers out sequentially, each
+// aligned to a row boundary (the allocator behaviour on the board).
+// counts gives each buffer's length in scalar elements.
+func NewLayout(f *ir.Func, counts map[string]int64, p device.DRAMParams) Layout {
+	align := int64(p.RowBytes)
+	if align <= 0 {
+		align = 1024
+	}
+	l := Layout{Base: make(map[string]int64)}
+	var addr int64
+	for _, prm := range f.GlobalParams() {
+		l.Base[prm.PName] = addr
+		n := counts[prm.PName]
+		if n <= 0 {
+			n = 1024
+		}
+		bytes := n * int64(prm.Elem().Base.Size())
+		addr += (bytes + align - 1) / align * align
+	}
+	l.End = addr
+	return l
+}
+
+// Burst is one coalesced memory transaction.
+type Burst struct {
+	Addr  int64
+	Write bool
+}
+
+// CoalesceWI merges consecutive same-direction accesses to adjacent
+// addresses within one work-item's trace into bursts of unitBytes, and
+// returns the burst list. This implements the coalescing rule of §3.4:
+// the access count divides by f = unit size / data width for unit-stride
+// streams.
+func CoalesceWI(accs []interp.Access, l Layout, unitBytes int) []Burst {
+	if unitBytes <= 0 {
+		unitBytes = 64
+	}
+	var bursts []Burst
+	i := 0
+	for i < len(accs) {
+		a := accs[i]
+		base, ok := l.Base[a.Param.PName]
+		if !ok {
+			i++
+			continue
+		}
+		addr := base + a.Index*int64(a.Bytes)
+		end := addr + int64(a.Bytes)
+		j := i + 1
+		// Extend the run while accesses are the same direction and
+		// byte-contiguous.
+		for j < len(accs) {
+			b := accs[j]
+			if b.Write != a.Write || b.Param != a.Param {
+				break
+			}
+			nb := l.Base[b.Param.PName] + b.Index*int64(b.Bytes)
+			if nb != end {
+				break
+			}
+			end = nb + int64(b.Bytes)
+			j++
+		}
+		// Emit ceil(run/unit) bursts, aligned down to the unit.
+		first := addr / int64(unitBytes) * int64(unitBytes)
+		for p := first; p < end; p += int64(unitBytes) {
+			bursts = append(bursts, Burst{Addr: p, Write: a.Write})
+		}
+		i = j
+	}
+	return bursts
+}
+
+// Classified summarizes a kernel's coalesced global-memory behaviour per
+// work-item: the N counts of Table 1 plus aggregate statistics.
+type Classified struct {
+	// N is the average per-work-item count of each pattern (third column
+	// of Table 1, after coalescing).
+	N [dram.NumPatterns]float64
+	// BurstsPerWI is the total coalesced access count per work-item.
+	BurstsPerWI float64
+	// RawPerWI is the pre-coalescing access count per work-item.
+	RawPerWI float64
+	// WorkItems profiled.
+	WorkItems int
+	// Reads and Writes per work-item after coalescing.
+	Reads, Writes float64
+}
+
+// CoalescingFactor returns raw/coalesced accesses (≥ 1 for unit-stride).
+func (c *Classified) CoalescingFactor() float64 {
+	if c.BurstsPerWI == 0 {
+		return 1
+	}
+	return c.RawPerWI / c.BurstsPerWI
+}
+
+// Classify coalesces every work-item trace, maps bursts to banks under
+// the interleaved policy and classifies each against the per-bank row
+// buffer and last-operation state, accumulating per-work-item averages.
+func Classify(traces [][]interp.Access, l Layout, p device.DRAMParams, unitBytes int) *Classified {
+	c := &Classified{WorkItems: len(traces)}
+	if len(traces) == 0 {
+		return c
+	}
+	sim := dram.NewSim(p) // reuse bank/row mapping; timing ignored
+	type bankState struct {
+		hasOpen   bool
+		openRow   int64
+		prevWrite bool
+	}
+	banks := make([]bankState, sim.P.Banks)
+
+	for _, tr := range traces {
+		c.RawPerWI += float64(len(tr))
+		bursts := CoalesceWI(tr, l, unitBytes)
+		c.BurstsPerWI += float64(len(bursts))
+		for _, b := range bursts {
+			bi := sim.BankOf(b.Addr)
+			row := sim.RowOf(b.Addr)
+			st := &banks[bi]
+			hit := st.hasOpen && st.openRow == row
+			pat := patternOf(b.Write, st.prevWrite, hit)
+			c.N[pat]++
+			if b.Write {
+				c.Writes++
+			} else {
+				c.Reads++
+			}
+			st.hasOpen = true
+			st.openRow = row
+			st.prevWrite = b.Write
+		}
+	}
+	n := float64(len(traces))
+	for i := range c.N {
+		c.N[i] /= n
+	}
+	c.BurstsPerWI /= n
+	c.RawPerWI /= n
+	c.Reads /= n
+	c.Writes /= n
+	return c
+}
+
+// InterleaveWG builds one work-group's memory stream in pipeline issue
+// order: with work-item pipelining, all work-items execute the same
+// instruction in adjacent cycles, so the k-th access of every work-item
+// issues before anyone's (k+1)-th. This column-major order is what lets
+// SDAccel coalesce consecutive work-items' unit-stride accesses into
+// 512-bit bursts (the f = unit/width rule of §3.4).
+func InterleaveWG(traces [][]interp.Access) []interp.Access {
+	maxLen := 0
+	for _, tr := range traces {
+		if len(tr) > maxLen {
+			maxLen = len(tr)
+		}
+	}
+	out := make([]interp.Access, 0, maxLen*len(traces))
+	for k := 0; k < maxLen; k++ {
+		for _, tr := range traces {
+			if k < len(tr) {
+				out = append(out, tr[k])
+			}
+		}
+	}
+	return out
+}
+
+// WGBursts groups the profiled work-item traces into work-groups of
+// wgSize, interleaves each group column-major and coalesces it, returning
+// the burst stream of every work-group.
+func WGBursts(traces [][]interp.Access, wgSize int64, l Layout, unitBytes int) [][]Burst {
+	if wgSize <= 0 {
+		wgSize = 1
+	}
+	var out [][]Burst
+	for lo := int64(0); lo < int64(len(traces)); lo += wgSize {
+		hi := lo + wgSize
+		if hi > int64(len(traces)) {
+			hi = int64(len(traces))
+		}
+		stream := InterleaveWG(traces[lo:hi])
+		out = append(out, CoalesceWI(stream, l, unitBytes))
+	}
+	return out
+}
+
+// ClassifyGrouped is Classify with work-group-level (column-major)
+// coalescing: the realistic pipeline issue order. N counts remain
+// per-work-item averages.
+//
+// The first quarter of the profiled groups serve as warm-up: their bursts
+// update the bank state but are not counted, so the short profiling
+// window of §3.2 does not over-represent cold row-buffer misses relative
+// to the launch's steady state.
+func ClassifyGrouped(traces [][]interp.Access, wgSize int64, l Layout, p device.DRAMParams, unitBytes int) *Classified {
+	c := &Classified{WorkItems: len(traces)}
+	if len(traces) == 0 {
+		return c
+	}
+	sim := dram.NewSim(p)
+	type bankState struct {
+		hasOpen   bool
+		openRow   int64
+		prevWrite bool
+	}
+	banks := make([]bankState, sim.P.Banks)
+
+	groups := WGBursts(traces, wgSize, l, unitBytes)
+	warmup := 0
+	if len(groups) > 1 {
+		warmup = len(groups) / 4
+		if warmup < 1 {
+			warmup = 1
+		}
+	}
+	counted := 0 // work-items in counted groups
+	for gi, bursts := range groups {
+		count := gi >= warmup
+		if count {
+			lo := int64(gi) * wgSize
+			hi := lo + wgSize
+			if hi > int64(len(traces)) {
+				hi = int64(len(traces))
+			}
+			counted += int(hi - lo)
+			for wi := lo; wi < hi; wi++ {
+				c.RawPerWI += float64(len(traces[wi]))
+			}
+			c.BurstsPerWI += float64(len(bursts))
+		}
+		for _, b := range bursts {
+			bi := sim.BankOf(b.Addr)
+			row := sim.RowOf(b.Addr)
+			st := &banks[bi]
+			hit := st.hasOpen && st.openRow == row
+			pat := patternOf(b.Write, st.prevWrite, hit)
+			if count {
+				c.N[pat]++
+				if b.Write {
+					c.Writes++
+				} else {
+					c.Reads++
+				}
+			}
+			st.hasOpen = true
+			st.openRow = row
+			st.prevWrite = b.Write
+		}
+	}
+	if counted == 0 {
+		return c
+	}
+	n := float64(counted)
+	for i := range c.N {
+		c.N[i] /= n
+	}
+	c.BurstsPerWI /= n
+	c.RawPerWI /= n
+	c.Reads /= n
+	c.Writes /= n
+	return c
+}
+
+// patternOf mirrors the dram package's classification.
+func patternOf(write, prevWrite, hit bool) dram.Pattern {
+	var p dram.Pattern
+	switch {
+	case !write && !prevWrite:
+		p = dram.RARHit
+	case !write && prevWrite:
+		p = dram.RAWHit
+	case write && !prevWrite:
+		p = dram.WARHit
+	default:
+		p = dram.WAWHit
+	}
+	if !hit {
+		p += 4
+	}
+	return p
+}
+
+// MemLatencyWI evaluates Eq. 9: the per-work-item global-memory latency
+// as the pattern-count-weighted sum of profiled pattern latencies.
+func MemLatencyWI(c *Classified, lat dram.PatternLatencies) float64 {
+	var sum float64
+	for p := dram.Pattern(0); p < dram.NumPatterns; p++ {
+		sum += c.N[p] * lat.Get(p)
+	}
+	return sum
+}
+
+// BufferCounts extracts buffer element counts from an interp
+// configuration, for layout construction.
+func BufferCounts(f *ir.Func, cfg *interp.Config) map[string]int64 {
+	counts := make(map[string]int64)
+	for _, prm := range f.GlobalParams() {
+		if b, ok := cfg.Buffers[prm.PName]; ok {
+			counts[prm.PName] = int64(b.Len())
+		}
+	}
+	return counts
+}

@@ -1,0 +1,33 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build vet test race fuzz-smoke bench-explore ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The exploration engine shards design points over goroutines; every
+# test must stay clean under the race detector.
+race:
+	$(GO) test -race ./...
+
+# Short fuzzing pass over the frontend targets: the seed corpora (all
+# bundled Rodinia/PolyBench kernels plus hostile fragments) run on every
+# plain `go test`; this additionally mutates for $(FUZZTIME) per target.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzLexer -fuzztime=$(FUZZTIME) ./internal/opencl/lexer
+	$(GO) test -run='^$$' -fuzz=FuzzParser -fuzztime=$(FUZZTIME) ./internal/opencl/parser
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/opencl/parser
+
+# Serial-vs-parallel exploration wall time (see docs/MODEL.md
+# "Exploration performance").
+bench-explore:
+	$(GO) test -run='^$$' -bench=BenchmarkExploreParallel -benchtime=3x .
+
+ci: build vet race fuzz-smoke

@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
@@ -98,6 +99,40 @@ func BenchmarkDSESpeed(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(r.SimTime)/float64(r.ModelTime), "sim/model-x")
+	}
+}
+
+// BenchmarkExploreParallel measures the sharded exploration engine:
+// the same full exploration (model + baseline skipped, ground-truth
+// simulation on) at one worker versus all cores. The two sub-benchmarks
+// produce byte-identical Points (see dse.TestExploreDeterministic), so
+// the wall-ms delta is pure scheduling win; on a single-core runner the
+// two converge, on an n-core runner workers=all approaches n× for this
+// simulation-dominated space.
+func BenchmarkExploreParallel(b *testing.B) {
+	k := bench.Find("pathfinder", "dynproc")
+	if k == nil {
+		b.Fatal("pathfinder/dynproc missing")
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=all", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := dse.Explore(k, dse.Options{
+					SimMaxGroups: 4, SkipBaseline: true, Workers: bc.workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(r.WallTime.Milliseconds()), "wall-ms")
+				b.ReportMetric(float64(len(r.Points)), "designs")
+			}
+		})
 	}
 }
 

@@ -29,6 +29,7 @@ func main() {
 		exp        = flag.String("exp", "all", "experiment id (table1|table2|polybench|fig4|robustness|dsequality|searchcmp|ablation|all)")
 		maxKernels = flag.Int("max-kernels", 0, "limit kernels per suite (0 = all)")
 		simGroups  = flag.Int("sim-groups", 8, "work-groups simulated per design point")
+		workers    = flag.Int("workers", 0, "exploration worker goroutines per kernel (0 = all cores, 1 = serial; results are identical)")
 		csvDir     = flag.String("csv", "", "also write tables/series as CSV/TSV into this directory")
 	)
 	flag.Parse()
@@ -49,7 +50,7 @@ func main() {
 		fmt.Printf("(wrote %s)\n", path)
 	}
 
-	cfg := experiments.Config{MaxKernels: *maxKernels, SimMaxGroups: *simGroups}
+	cfg := experiments.Config{MaxKernels: *maxKernels, SimMaxGroups: *simGroups, Workers: *workers}
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
 			return

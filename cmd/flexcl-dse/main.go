@@ -6,11 +6,12 @@
 //
 // Usage:
 //
-//	flexcl-dse -bench hotspot -kernel hotspot [-sim] [-top 10]
+//	flexcl-dse -bench hotspot -kernel hotspot [-sim] [-top 10] [-workers N]
 //	flexcl-dse -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,7 @@ func main() {
 		platform  = flag.String("platform", "virtex7", "virtex7 or ku060")
 		sim       = flag.Bool("sim", false, "validate against the cycle-level simulator")
 		top       = flag.Int("top", 10, "show the N best designs")
+		workers   = flag.Int("workers", 0, "exploration worker goroutines (0 = all cores, 1 = serial; output is identical)")
 		list      = flag.Bool("list", false, "list available kernels and exit")
 	)
 	flag.Parse()
@@ -58,15 +60,20 @@ func main() {
 		os.Exit(1)
 	}
 
-	t0 := time.Now()
-	r, err := core.Explore(k, p, !*sim)
+	r, err := core.ExploreContext(context.Background(), k, core.ExploreOptions{
+		Platform:     p,
+		SimMaxGroups: 8,
+		SkipActual:   !*sim,
+		SkipBaseline: true,
+		Workers:      *workers,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flexcl-dse:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("explored %d designs of %s on %s in %v (model time %v)\n",
-		len(r.Points), k.ID(), p.Name, time.Since(t0).Round(time.Millisecond),
-		r.ModelTime.Round(time.Millisecond))
+	fmt.Printf("explored %d designs of %s on %s in %v (model work %v, sim work %v)\n",
+		len(r.Points), k.ID(), p.Name, r.WallTime.Round(time.Millisecond),
+		r.ModelTime.Round(time.Millisecond), r.SimTime.Round(time.Millisecond))
 
 	t := report.New("Best designs by FlexCL estimate",
 		"Design", "FlexCL cycles", "Simulated cycles", "Err(%)")

@@ -40,7 +40,7 @@ func SDAccel(a *model.Analysis, d model.Design) (float64, error) {
 	// Error source (2): conservative control handling — every block
 	// contributes its full latency in sequence; exclusive branches are
 	// summed rather than maxed, and unknown trip counts are guessed
-	// высоко (the tool has no dynamic profile).
+	// high (the tool has no dynamic profile).
 	freq := conservativeFreq(a)
 	depth := 0.0
 	for _, b := range a.F.Blocks {
@@ -125,8 +125,11 @@ func unsupported(a *model.Analysis, d model.Design) bool {
 // static trips where known, a fixed pessimistic guess otherwise, and a
 // crude static 1/2-per-branch probability in place of measured ones.
 func conservativeFreq(a *model.Analysis) map[*ir.Block]float64 {
+	// EnsureLoops (not BuildCFG) keeps this read-only on the shared
+	// function: concurrent design-point workers all estimate against the
+	// same Analysis.
+	a.F.EnsureLoops()
 	freq := cdfg.EffectiveFreq(a.F, 12)
-	a.F.BuildCFG()
 	idom := a.F.Dominators()
 	for _, b := range a.F.Blocks {
 		depth := 0

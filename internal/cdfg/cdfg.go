@@ -120,7 +120,7 @@ func ApplyUnroll(f *ir.Func, freq map[*ir.Block]float64) map[*ir.Block]float64 {
 // the merged CDFG. freq maps blocks to executions per work-item; pass nil
 // to derive it from static trip hints.
 func Build(f *ir.Func, freq map[*ir.Block]float64, cfg *sched.Config) *Graph {
-	f.AnalyzeLoops()
+	f.EnsureLoops()
 	if freq == nil {
 		freq = EffectiveFreq(f, 16)
 	} else {
@@ -171,9 +171,10 @@ func Build(f *ir.Func, freq map[*ir.Block]float64, cfg *sched.Config) *Graph {
 type edge struct{ from, to *ir.Block }
 
 // acyclicOrder returns blocks in a topological order of the CFG with back
-// edges removed, and the set of back edges.
+// edges removed, and the set of back edges. The CFG is current: Build's
+// EnsureLoops rebuilt it, and rebuilding here would race when concurrent
+// design-point evaluations share the compiled function.
 func acyclicOrder(f *ir.Func) ([]*ir.Block, map[edge]bool) {
-	f.BuildCFG()
 	idom := f.Dominators()
 	isBack := map[edge]bool{}
 	for _, b := range f.Blocks {

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bench"
@@ -52,6 +53,9 @@ type (
 	BufSpec = bench.Buf
 	// Exploration is a fully evaluated design space.
 	Exploration = dse.Result
+	// ExploreOptions tunes an exploration (worker count, pruning,
+	// simulation fidelity, cache sharing).
+	ExploreOptions = dse.Options
 	// SimResult is one ground-truth simulation.
 	SimResult = rtlsim.Result
 )
@@ -146,14 +150,23 @@ func Run(f *ir.Func, launch *Launch) error {
 }
 
 // Explore evaluates a workload's full design space with the analytical
-// model and (unless modelOnly) the ground-truth simulator.
+// model and (unless modelOnly) the ground-truth simulator. The space is
+// sharded over all available cores; use ExploreContext for full control.
 func Explore(w *Workload, p *Platform, modelOnly bool) (*Exploration, error) {
-	return dse.Explore(w, dse.Options{
+	return ExploreContext(context.Background(), w, ExploreOptions{
 		Platform:     p,
 		SimMaxGroups: 8,
 		SkipActual:   modelOnly,
 		SkipBaseline: true,
 	})
+}
+
+// ExploreContext evaluates a workload's design space with explicit
+// options and cancellation: opts.Workers shards the point evaluations
+// (0 = all cores, 1 = serial; the output is identical either way), and
+// cancelling ctx stops the exploration.
+func ExploreContext(ctx context.Context, w *Workload, opts ExploreOptions) (*Exploration, error) {
+	return dse.ExploreContext(ctx, w, opts)
 }
 
 // DesignSpace enumerates the default design space for a work-group size

@@ -1,0 +1,106 @@
+package dse
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/ir"
+	"repro/internal/model"
+)
+
+// PrepCache memoizes the per-work-group-size preparation of an
+// exploration — kernel compilation plus FlexCL analysis — keyed by
+// (kernel, platform, WG size). Each key is prepared exactly once no
+// matter how many phases or worker goroutines request it: the first
+// caller computes under a per-entry sync.Once while the rest block on
+// the same entry (singleflight semantics), so a full Explore compiles
+// each WG size once instead of once per simulated design point.
+//
+// A cache may be shared across Explore calls (e.g. a suite sweep on one
+// platform, or an exploration followed by a heuristic search) to reuse
+// the preparation work; the zero Options use a private per-call cache.
+type PrepCache struct {
+	mu sync.Mutex
+	m  map[prepKey]*prepEntry
+}
+
+type prepKey struct {
+	kernel   string
+	wg       int64
+	platform string
+}
+
+type prepEntry struct {
+	once sync.Once
+	f    *ir.Func
+	an   *model.Analysis
+	err  error
+	// dur is the wall time the computing goroutine spent on compile +
+	// analyze; Explore charges it to ModelTime only when this call did
+	// the work (cache hits are free).
+	dur time.Duration
+}
+
+// NewPrepCache returns an empty cache.
+func NewPrepCache() *PrepCache {
+	return &PrepCache{m: make(map[prepKey]*prepEntry)}
+}
+
+// get returns the prepared entry for one WG size, computing it if this
+// is the first request. computed reports whether this call did the work.
+func (c *PrepCache) get(k *bench.Kernel, p *device.Platform, wg int64) (e *prepEntry, computed bool) {
+	key := prepKey{kernel: k.ID(), wg: wg, platform: p.Name}
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &prepEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		computed = true
+		t0 := time.Now()
+		f, err := k.Compile(wg)
+		if err != nil {
+			e.err = err
+			return
+		}
+		// Freeze the loop analysis now, while this entry is still
+		// exclusive: afterwards the function is shared read-only by
+		// every concurrent Predict and Simulate.
+		f.EnsureLoops()
+		an, err := model.Analyze(f, p, k.Config(wg), model.AnalysisOptions{ProfileGroups: 8})
+		if err != nil {
+			e.err = fmt.Errorf("dse %s wg=%d: %w", k.ID(), wg, err)
+			return
+		}
+		e.f, e.an = f, an
+		e.dur = time.Since(t0)
+	})
+	return e, computed
+}
+
+// Analyses returns the kernel's per-WG-size analysis map on platform p
+// (the shape HeuristicSearch consumes), computing any missing entries.
+func (c *PrepCache) Analyses(k *bench.Kernel, p *device.Platform) (map[int64]*model.Analysis, error) {
+	out := make(map[int64]*model.Analysis)
+	for _, wg := range k.WGSizes() {
+		e, _ := c.get(k, p, wg)
+		if e.err != nil {
+			return nil, e.err
+		}
+		out[wg] = e.an
+	}
+	return out, nil
+}
+
+// Len returns the number of prepared entries (including failed ones).
+func (c *PrepCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -6,8 +6,12 @@
 package dse
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/baseline"
@@ -47,10 +51,15 @@ type Result struct {
 	Kernel *bench.Kernel
 	Points []Point
 
-	// ModelTime is the wall time spent on FlexCL analysis + prediction.
+	// ModelTime is the time spent on FlexCL analysis + prediction,
+	// summed over the worker shards (it can exceed WallTime when the
+	// exploration runs in parallel).
 	ModelTime time.Duration
-	// SimTime is the wall time spent on ground-truth simulation.
+	// SimTime is the time spent on ground-truth simulation, summed over
+	// the worker shards.
 	SimTime time.Duration
+	// WallTime is the elapsed wall-clock time of the whole exploration.
+	WallTime time.Duration
 
 	// BaselineFailures counts design points the SDAccel estimator
 	// rejected.
@@ -69,76 +78,189 @@ type Options struct {
 	// PruneInfeasible drops design points whose estimated resource usage
 	// (DSPs, BRAM) exceeds the platform — they could never be placed.
 	PruneInfeasible bool
+	// Workers is the number of goroutines evaluating design points
+	// concurrently. 0 uses runtime.GOMAXPROCS(0); 1 reproduces the
+	// serial exploration. Any worker count produces byte-identical
+	// Points: design points are written into their slot by index.
+	Workers int
+	// Cache, when non-nil, shares compiled kernels and analyses across
+	// Explore calls (and with HeuristicSearch via PrepCache.Analyses).
+	// nil uses a private per-call cache.
+	Cache *PrepCache
 }
 
 // Explore evaluates every design point of the kernel with the FlexCL
 // model, the SDAccel baseline and (optionally) ground-truth simulation.
 func Explore(k *bench.Kernel, opts Options) (*Result, error) {
+	return ExploreContext(context.Background(), k, opts)
+}
+
+// ExploreContext is Explore with cancellation: the design space is
+// sharded over opts.Workers goroutines, each WG size is compiled and
+// analyzed exactly once through the prep cache, and the first worker
+// error (or ctx cancellation) stops the exploration without leaking
+// goroutines.
+func ExploreContext(ctx context.Context, k *bench.Kernel, opts Options) (*Result, error) {
 	p := opts.Platform
 	if p == nil {
 		p = device.Virtex7()
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewPrepCache()
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	t0 := time.Now()
 	res := &Result{Kernel: k}
 
-	// One analysis per work-group size serves every design at that size.
-	analyses := map[int64]*model.Analysis{}
-	t0 := time.Now()
-	for _, wg := range k.WGSizes() {
-		f, err := k.Compile(wg)
-		if err != nil {
-			return nil, err
-		}
-		an, err := model.Analyze(f, p, k.Config(wg), model.AnalysisOptions{ProfileGroups: 8})
-		if err != nil {
-			return nil, fmt.Errorf("dse %s wg=%d: %w", k.ID(), wg, err)
-		}
-		analyses[wg] = an
+	// firstErr is set once by whichever worker fails first; cancel stops
+	// the rest. Reads after runShards are safe: the WaitGroup join
+	// orders them after every worker's writes.
+	var firstErr error
+	var errOnce sync.Once
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
 	}
-	prep := time.Since(t0)
 
+	// Phase 1: prepare (compile + analyze) every WG size concurrently.
+	// One analysis per work-group size serves every design at that size.
+	wgs := k.WGSizes()
+	var prepNanos int64
+	runShards(workers, len(wgs), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		e, computed := cache.get(k, p, wgs[i])
+		if e.err != nil {
+			fail(e.err)
+			return
+		}
+		if computed {
+			atomic.AddInt64(&prepNanos, int64(e.dur))
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Phase 2: fan the design points out over the workers. Each point is
+	// independent given its WG size's analysis; results land in their
+	// slot by index so the output order matches the serial exploration.
 	designs := Space(k, p)
-	res.Points = make([]Point, 0, len(designs))
-
-	tModel := time.Duration(0)
-	tSim := time.Duration(0)
-	for _, d := range designs {
-		an := analyses[d.WGSize]
+	type slot struct {
+		pt   Point
+		keep bool
+	}
+	slots := make([]slot, len(designs))
+	var modelNanos, simNanos int64
+	runShards(workers, len(designs), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		d := designs[i]
+		e, _ := cache.get(k, p, d.WGSize)
+		if e.err != nil {
+			fail(e.err)
+			return
+		}
+		an := e.an
 		if opts.PruneInfeasible && !an.ResourceUsage(d).Feasible {
-			continue
+			return
 		}
 		pt := Point{Design: d}
 
 		m0 := time.Now()
 		pt.Est = an.Predict(d).Cycles
-		tModel += time.Since(m0)
+		atomic.AddInt64(&modelNanos, int64(time.Since(m0)))
 
 		if !opts.SkipBaseline {
 			if est, err := baseline.SDAccel(an, d); err == nil {
 				pt.Baseline = est
 			} else {
 				pt.Baseline = -1
-				res.BaselineFailures++
 			}
 		}
 
 		if !opts.SkipActual {
 			s0 := time.Now()
-			f, err := k.Compile(d.WGSize)
+			sim, err := rtlsim.Simulate(e.f, p, k.Config(d.WGSize), d,
+				rtlsim.Options{MaxGroups: opts.SimMaxGroups, Ctx: ctx})
 			if err != nil {
-				return nil, err
-			}
-			sim, err := rtlsim.Simulate(f, p, k.Config(d.WGSize), d, rtlsim.Options{MaxGroups: opts.SimMaxGroups})
-			if err != nil {
-				return nil, fmt.Errorf("dse %s %v: %w", k.ID(), d, err)
+				if ctx.Err() == nil {
+					fail(fmt.Errorf("dse %s %v: %w", k.ID(), d, err))
+				}
+				return
 			}
 			pt.Actual = sim.Cycles
-			tSim += time.Since(s0)
+			atomic.AddInt64(&simNanos, int64(time.Since(s0)))
+		}
+		slots[i] = slot{pt: pt, keep: true}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	res.Points = make([]Point, 0, len(designs))
+	for i := range slots {
+		if !slots[i].keep {
+			continue
+		}
+		pt := slots[i].pt
+		if !opts.SkipBaseline && pt.Baseline < 0 {
+			res.BaselineFailures++
 		}
 		res.Points = append(res.Points, pt)
 	}
-	res.ModelTime = prep + tModel
-	res.SimTime = tSim
+	res.ModelTime = time.Duration(prepNanos + modelNanos)
+	res.SimTime = time.Duration(simNanos)
+	res.WallTime = time.Since(t0)
 	return res, nil
+}
+
+// runShards fans n items over min(workers, n) goroutines pulling indices
+// from a shared counter, and joins them all before returning (fn handles
+// cancellation itself by returning early).
+func runShards(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // AvgErrors returns the mean absolute relative error (percent) of the
@@ -166,26 +288,31 @@ func (r *Result) AvgErrors() (flexcl, sdaccel float64) {
 	return flexcl, sdaccel
 }
 
-// BestByModel returns the design the FlexCL model ranks fastest.
-func (r *Result) BestByModel() Point {
-	best := r.Points[0]
-	for _, pt := range r.Points[1:] {
-		if pt.Est < best.Est {
+// BestByModel returns the design the FlexCL model ranks fastest. ok is
+// false when the result holds no points at all (for example when
+// PruneInfeasible dropped the entire space).
+func (r *Result) BestByModel() (best Point, ok bool) {
+	for i, pt := range r.Points {
+		if i == 0 || pt.Est < best.Est {
 			best = pt
 		}
 	}
-	return best
+	return best, len(r.Points) > 0
 }
 
-// BestActual returns the true optimum (requires measured points).
-func (r *Result) BestActual() Point {
-	best := r.Points[0]
-	for _, pt := range r.Points[1:] {
-		if pt.Actual > 0 && (best.Actual <= 0 || pt.Actual < best.Actual) {
-			best = pt
+// BestActual returns the true optimum among the measured points. ok is
+// false when no point has a ground-truth measurement (model-only
+// explorations, or an empty result).
+func (r *Result) BestActual() (best Point, ok bool) {
+	for _, pt := range r.Points {
+		if pt.Actual <= 0 {
+			continue
+		}
+		if !ok || pt.Actual < best.Actual {
+			best, ok = pt, true
 		}
 	}
-	return best
+	return best, ok
 }
 
 // ActualOf looks up the measured cycles of a design.
@@ -201,8 +328,16 @@ func (r *Result) ActualOf(d model.Design) float64 {
 // GapToOptimum returns how far (percent) the model-selected design is
 // from the true optimum, by actual performance (§4.3: 2.1 % average).
 func (r *Result) GapToOptimum() float64 {
-	sel := r.ActualOf(r.BestByModel().Design)
-	opt := r.BestActual().Actual
+	best, ok := r.BestByModel()
+	if !ok {
+		return 0
+	}
+	optPt, ok := r.BestActual()
+	if !ok {
+		return 0
+	}
+	sel := r.ActualOf(best.Design)
+	opt := optPt.Actual
 	if opt <= 0 || sel <= 0 {
 		return 0
 	}
@@ -221,8 +356,12 @@ func BaselineDesign(k *bench.Kernel) model.Design {
 
 // SpeedupOverBaseline returns actual(baseline)/actual(selected).
 func (r *Result) SpeedupOverBaseline() float64 {
+	best, ok := r.BestByModel()
+	if !ok {
+		return 1
+	}
 	base := r.ActualOf(BaselineDesign(r.Kernel))
-	sel := r.ActualOf(r.BestByModel().Design)
+	sel := r.ActualOf(best.Design)
 	if base <= 0 || sel <= 0 {
 		return 1
 	}
@@ -293,7 +432,11 @@ func HeuristicSearch(k *bench.Kernel, analyses map[int64]*model.Analysis) (model
 // NearOptimal reports whether design d's actual performance is within
 // tol percent of the optimum in r.
 func (r *Result) NearOptimal(d model.Design, tol float64) bool {
-	opt := r.BestActual().Actual
+	optPt, ok := r.BestActual()
+	if !ok {
+		return false
+	}
+	opt := optPt.Actual
 	act := r.ActualOf(d)
 	if opt <= 0 || act <= 0 {
 		return false

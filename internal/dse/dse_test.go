@@ -128,14 +128,21 @@ func TestSortedByActual(t *testing.T) {
 			t.Fatal("not sorted by actual cycles")
 		}
 	}
-	if pts[0].Design != r.BestActual().Design {
+	best, ok := r.BestActual()
+	if !ok {
+		t.Fatal("no measured points")
+	}
+	if pts[0].Design != best.Design {
 		t.Error("first sorted point is not the actual best")
 	}
 }
 
 func TestNearOptimalPredicate(t *testing.T) {
 	r := explore(t, "nn", "nn", dse.Options{SkipBaseline: true})
-	best := r.BestActual()
+	best, ok := r.BestActual()
+	if !ok {
+		t.Fatal("no measured points")
+	}
 	if !r.NearOptimal(best.Design, 0.1) {
 		t.Error("the optimum itself is not near-optimal")
 	}

@@ -1,0 +1,124 @@
+package dse_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/dse"
+	"repro/internal/model"
+)
+
+// fixtureResult builds a small hand-checkable exploration over nn/nn's
+// real design vocabulary. Four points, of which three are measured:
+//
+//	base (the unoptimized BaselineDesign): Est 1000, Actual  800, Baseline 1100
+//	mid:                                   Est  500, Actual  400, Baseline  -1 (failed)
+//	best (model's pick, true optimum):     Est  100, Actual  200, Baseline  150
+//	unmeasured:                            Est   90, Actual    0, Baseline    0
+func fixtureResult(t *testing.T) (*dse.Result, dse.Point, dse.Point, dse.Point) {
+	t.Helper()
+	k := bench.Find("nn", "nn")
+	if k == nil {
+		t.Fatal("nn/nn missing")
+	}
+	base := dse.Point{Design: dse.BaselineDesign(k), Est: 1000, Actual: 800, Baseline: 1100}
+	mid := dse.Point{
+		Design: model.Design{WGSize: 64, WIPipeline: true, PE: 2, CU: 1, Mode: model.ModeBarrier},
+		Est:    500, Actual: 400, Baseline: -1,
+	}
+	best := dse.Point{
+		Design: model.Design{WGSize: 128, WIPipeline: true, PE: 4, CU: 2, Mode: model.ModePipeline},
+		Est:    100, Actual: 200, Baseline: 150,
+	}
+	unmeasured := dse.Point{
+		Design: model.Design{WGSize: 256, WIPipeline: true, PE: 8, CU: 4, Mode: model.ModePipeline},
+		Est:    90, Actual: 0, Baseline: 0,
+	}
+	r := &dse.Result{Kernel: k, Points: []dse.Point{base, mid, best, unmeasured}, BaselineFailures: 1}
+	return r, base, mid, best
+}
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAvgErrorsFixture(t *testing.T) {
+	r, _, _, _ := fixtureResult(t)
+	// FlexCL errors over the three measured points:
+	//   |1000-800|/800 = 25 %, |500-400|/400 = 25 %, |100-200|/200 = 50 %
+	//   mean = 100/3 %.
+	// SDAccel errors over the measured points it supported (base, best):
+	//   |1100-800|/800 = 37.5 %, |150-200|/200 = 25 %  -> mean 31.25 %.
+	fe, se := r.AvgErrors()
+	if !near(fe, 100.0/3.0) {
+		t.Errorf("FlexCL avg error = %v, want %v", fe, 100.0/3.0)
+	}
+	if !near(se, 31.25) {
+		t.Errorf("SDAccel avg error = %v, want 31.25", se)
+	}
+}
+
+func TestAvgErrorsNoMeasurements(t *testing.T) {
+	r := &dse.Result{Points: []dse.Point{{Est: 10}, {Est: 20}}}
+	fe, se := r.AvgErrors()
+	if fe != 0 || se != 0 {
+		t.Errorf("AvgErrors without measurements = %v, %v, want 0, 0", fe, se)
+	}
+}
+
+func TestBestAndGapFixture(t *testing.T) {
+	r, _, _, best := fixtureResult(t)
+	// The model's pick is the unmeasured point (Est 90)... which has no
+	// Actual, so GapToOptimum falls back to 0 via sel <= 0. Drop the
+	// unmeasured point to exercise the interesting path.
+	r.Points = r.Points[:3]
+	got, ok := r.BestByModel()
+	if !ok || got.Design != best.Design {
+		t.Fatalf("BestByModel = %+v, %v; want the Est-100 point", got, ok)
+	}
+	gotA, ok := r.BestActual()
+	if !ok || gotA.Design != best.Design {
+		t.Fatalf("BestActual = %+v, %v; want the Actual-200 point", gotA, ok)
+	}
+	// Selected design IS the optimum: gap 0.
+	if gap := r.GapToOptimum(); !near(gap, 0) {
+		t.Errorf("GapToOptimum = %v, want 0", gap)
+	}
+	// Speedup = actual(baseline design) / actual(selected) = 800/200.
+	if sp := r.SpeedupOverBaseline(); !near(sp, 4) {
+		t.Errorf("SpeedupOverBaseline = %v, want 4", sp)
+	}
+}
+
+func TestGapWhenModelPicksWrong(t *testing.T) {
+	r, _, mid, best := fixtureResult(t)
+	r.Points = r.Points[:3]
+	// Make the model prefer the mid point (Est 50 < 100): the selected
+	// design's actual is 400 vs optimum 200 -> gap 100 %.
+	r.Points[1].Est = 50
+	sel, ok := r.BestByModel()
+	if !ok || sel.Design != mid.Design {
+		t.Fatalf("BestByModel = %+v, want the mid point", sel)
+	}
+	if gap := r.GapToOptimum(); !near(gap, 100) {
+		t.Errorf("GapToOptimum = %v, want 100", gap)
+	}
+	// Optimality-rate predicate: the true optimum is near-optimal at any
+	// tolerance; the selected (2x slower) point only within >= 100 %.
+	if !r.NearOptimal(best.Design, 0) {
+		t.Error("optimum not NearOptimal at tol 0")
+	}
+	if r.NearOptimal(mid.Design, 99) {
+		t.Error("2x-slower design NearOptimal at 99 %")
+	}
+	if !r.NearOptimal(mid.Design, 100) {
+		t.Error("2x-slower design not NearOptimal at exactly 100 %")
+	}
+}
+
+func TestActualOfMissingDesign(t *testing.T) {
+	r, _, _, _ := fixtureResult(t)
+	missing := model.Design{WGSize: 999, PE: 1, CU: 1}
+	if v := r.ActualOf(missing); v != 0 {
+		t.Errorf("ActualOf(missing) = %v, want 0", v)
+	}
+}

@@ -26,6 +26,9 @@ type Config struct {
 	SimMaxGroups int
 	// MaxKernels truncates suites for quick runs (0 = all).
 	MaxKernels int
+	// Workers shards each kernel's design space over this many
+	// goroutines (0 = runtime.GOMAXPROCS, 1 = serial).
+	Workers int
 }
 
 func (c Config) platform() *device.Platform {
@@ -87,6 +90,7 @@ func suiteTable(title string, kernels []*bench.Kernel, cfg Config) (*report.Tabl
 		r, err := dse.Explore(k, dse.Options{
 			Platform:     cfg.platform(),
 			SimMaxGroups: cfg.simGroups(),
+			Workers:      cfg.Workers,
 		})
 		if err != nil {
 			return nil, nil, fmt.Errorf("table2 %s: %w", k.ID(), err)
@@ -132,6 +136,7 @@ func Fig4(cfg Config) (map[string]*report.Series, error) {
 			Platform:     cfg.platform(),
 			SimMaxGroups: cfg.simGroups(),
 			SkipBaseline: true,
+			Workers:      cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -167,6 +172,7 @@ func Robustness(cfg Config) ([]RobustnessRow, error) {
 			Platform:     p,
 			SimMaxGroups: cfg.simGroups(),
 			SkipBaseline: true,
+			Workers:      cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -199,6 +205,7 @@ func DSEQuality(cfg Config, kernels []*bench.Kernel) (*DSEQualityResult, error) 
 			Platform:     cfg.platform(),
 			SimMaxGroups: cfg.simGroups(),
 			SkipBaseline: true,
+			Workers:      cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -234,28 +241,25 @@ func SearchComparison(cfg Config) (*SearchComparisonResult, error) {
 	res := &SearchComparisonResult{}
 	const tolPct = 1.0 // "optimal" = within 1 % of the measured optimum
 	for _, k := range kernels {
+		// Sharing one prep cache between the exhaustive exploration and
+		// the heuristic search compiles each WG size exactly once.
+		cache := dse.NewPrepCache()
 		r, err := dse.Explore(k, dse.Options{
 			Platform:     cfg.platform(),
 			SimMaxGroups: cfg.simGroups(),
 			SkipBaseline: true,
+			Workers:      cfg.Workers,
+			Cache:        cache,
 		})
 		if err != nil {
 			return nil, err
 		}
-		analyses := map[int64]*model.Analysis{}
-		for _, wg := range k.WGSizes() {
-			f, err := k.Compile(wg)
-			if err != nil {
-				return nil, err
-			}
-			an, err := model.Analyze(f, cfg.platform(), k.Config(wg), model.AnalysisOptions{})
-			if err != nil {
-				return nil, err
-			}
-			analyses[wg] = an
+		analyses, err := cache.Analyses(k, cfg.platform())
+		if err != nil {
+			return nil, err
 		}
 		res.Kernels++
-		if r.NearOptimal(r.BestByModel().Design, tolPct) {
+		if best, ok := r.BestByModel(); ok && r.NearOptimal(best.Design, tolPct) {
 			res.FlexCLOptimal++
 		}
 		hd, _ := dse.HeuristicSearch(k, analyses)

@@ -2,6 +2,8 @@ package interp
 
 import (
 	"math"
+	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/ir"
 	"repro/internal/opencl/ast"
@@ -379,12 +381,20 @@ func (w *wiState) cells(a *ir.Alloca) []Val {
 	return cells
 }
 
+// Work-items of a group run as concurrent goroutines, and OpenCL lets
+// unsynchronized work-items race on global memory with an undefined
+// value but a well-formed program (bfs work-items all storing the same
+// termination flag, streamcluster accumulating switch costs). Plain Go
+// slice accesses would make those kernels data races under the Go
+// memory model, so buffer cells are read and written with per-element
+// atomics: the winning value stays unspecified, exactly as in OpenCL,
+// but the execution is defined.
 func readBuf(b *Buffer, base, lanes int64, t ast.Type) Val {
 	get := func(i int64) Val {
 		if b.Elem.Base.IsFloat() {
-			return FloatVal(b.F[i])
+			return FloatVal(math.Float64frombits(atomic.LoadUint64((*uint64)(unsafe.Pointer(&b.F[i])))))
 		}
-		return IntVal(b.I[i])
+		return IntVal(atomic.LoadInt64(&b.I[i]))
 	}
 	if lanes == 1 {
 		return get(base)
@@ -399,9 +409,9 @@ func readBuf(b *Buffer, base, lanes int64, t ast.Type) Val {
 func writeBuf(b *Buffer, base, lanes int64, v Val) {
 	put := func(i int64, s Val) {
 		if b.Elem.Base.IsFloat() {
-			b.F[i] = s.F
+			atomic.StoreUint64((*uint64)(unsafe.Pointer(&b.F[i])), math.Float64bits(s.F))
 		} else {
-			b.I[i] = s.I
+			atomic.StoreInt64(&b.I[i], s.I)
 		}
 	}
 	if lanes == 1 {

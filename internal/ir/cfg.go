@@ -156,6 +156,16 @@ func Dominates(idom map[*Block]*Block, a, b *Block) bool {
 	}
 }
 
+// EnsureLoops runs AnalyzeLoops at most once per function. Read-only
+// consumers of a fully built function (the analytical model, the
+// cycle-level simulator, the CDFG builder) call this instead of
+// AnalyzeLoops so one compiled kernel can be shared by many goroutines
+// without racing on CFG and loop state. Code that mutates the IR after
+// construction must call AnalyzeLoops explicitly to recompute.
+func (f *Func) EnsureLoops() {
+	f.loopsOnce.Do(f.AnalyzeLoops)
+}
+
 // AnalyzeLoops finds natural loops (back edges whose target dominates the
 // source), populates f.Loops innermost-last, assigns parents, and copies
 // trip/unroll hints from the header maps.

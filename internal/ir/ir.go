@@ -12,6 +12,7 @@ package ir
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/opencl/ast"
 )
@@ -362,6 +363,10 @@ type Func struct {
 
 	nextInstrID int
 	nextBlockID int
+
+	// loopsOnce backs EnsureLoops: the one-time loop analysis that makes
+	// a fully built function shareable across goroutines.
+	loopsOnce sync.Once
 }
 
 // NewFunc returns an empty function.

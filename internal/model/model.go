@@ -60,7 +60,7 @@ func Analyze(f *ir.Func, p *device.Platform, cfg *interp.Config, opts AnalysisOp
 	if opts.OpSamples <= 0 {
 		opts.OpSamples = 256
 	}
-	f.AnalyzeLoops()
+	f.EnsureLoops()
 	prof, err := interp.ProfileKernel(f, cfg, opts.ProfileGroups)
 	if err != nil {
 		return nil, fmt.Errorf("model: profiling %s: %w", f.Name, err)

@@ -1,0 +1,49 @@
+package lexer_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/opencl/lexer"
+	"repro/internal/opencl/token"
+)
+
+// FuzzLexer feeds arbitrary bytes through the tokenizer: it must reach
+// EOF in bounded steps and never panic, whatever the input. The seed
+// corpus is every bundled Rodinia/PolyBench kernel source plus the
+// hostile fragments below, so mutations start from realistic OpenCL
+// rather than noise. Run continuously with
+// `go test -run='^$' -fuzz=FuzzLexer ./internal/opencl/lexer`.
+func FuzzLexer(f *testing.F) {
+	for _, k := range bench.All() {
+		f.Add([]byte(k.Source))
+	}
+	for _, s := range []string{
+		"",
+		"__kernel void k() {}",
+		"0x 0x1p 1e+ 1.f .5f 'a' '\\",
+		"/* unterminated",
+		"// line\r\n#define A(x) x##y\n",
+		"\"string with \\\" escape",
+		"#include <no>\n#pragma OPENCL EXTENSION cl_khr_fp64 : enable",
+		"a\xffb\x00c",
+		">>= <<= ... ->",
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		l := lexer.New("fuzz.cl", src)
+		// Every Next() consumes at least one byte or drains pending
+		// expansion tokens, so a generous per-byte budget distinguishes
+		// a hang from slow progress.
+		budget := 16*len(src) + 1024
+		for i := 0; ; i++ {
+			if i > budget {
+				t.Fatalf("lexer did not reach EOF within %d tokens on %d bytes", budget, len(src))
+			}
+			if tok := l.Next(); tok.Kind == token.EOF {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,33 @@
+package parser_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/opencl/parser"
+)
+
+// FuzzParser complements FuzzParse (same invariant: parse must return
+// cleanly, never panic or hang) with the realistic end of the input
+// space: the seed corpus is every bundled Rodinia/PolyBench kernel
+// source, so the fuzzer mutates working OpenCL instead of rediscovering
+// its grammar from fragments. It lives in an external test package
+// because importing the benchmark registry from `package parser` would
+// be an import cycle. Run continuously with
+// `go test -run='^$' -fuzz=FuzzParser ./internal/opencl/parser`.
+func FuzzParser(f *testing.F) {
+	for _, k := range bench.All() {
+		f.Add([]byte(k.Source))
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		// The WG macro is normally predefined by the compile driver;
+		// parsing without it must still degrade to diagnostics, and the
+		// defined case must not behave differently panic-wise.
+		for _, defines := range []map[string]string{nil, {"WG": "64"}} {
+			file, err := parser.Parse("fuzz.cl", src, defines)
+			if err == nil && file == nil {
+				t.Fatal("nil file without error")
+			}
+		}
+	})
+}

@@ -17,6 +17,7 @@
 package rtlsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -48,12 +49,17 @@ type Options struct {
 	// MaxGroups caps the number of simulated work-groups; the remainder
 	// is extrapolated from the simulated mean (0 = simulate all).
 	MaxGroups int
+	// Ctx, when non-nil, cancels the simulation between work-groups
+	// (long launches abort with the context's error).
+	Ctx context.Context
 }
 
 // Simulate runs the kernel at one design point and returns its measured
 // cycle count. The interp buffers are mutated (the run is functional).
+// The function itself is only read, so one compiled kernel may be shared
+// by concurrent simulations (each with its own Config).
 func Simulate(f *ir.Func, p *device.Platform, cfg *interp.Config, d model.Design, opts Options) (*Result, error) {
-	f.AnalyzeLoops()
+	f.EnsureLoops()
 	nd := cfg.Range.Normalize()
 	wgSize := nd.WorkGroupSize()
 	totalGroups := nd.TotalGroups()
@@ -129,6 +135,9 @@ func Simulate(f *ir.Func, p *device.Platform, cfg *interp.Config, d model.Design
 	// effective-CU-parallelism bound of Eq. 8.
 	var dispatch int64
 	for wg := int64(0); wg < simGroups && wg < int64(len(wgBursts)); wg++ {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return nil, fmt.Errorf("rtlsim: %s: %w", f.Name, opts.Ctx.Err())
+		}
 		cu := int(wg % int64(d.CU))
 		jit := int64(device.Mix64(seed^uint64(wg))%17) - 8
 		dispatch += int64(p.WGSchedOverhead) + jit

@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet test race fuzz-smoke bench-explore ci
+.PHONY: build vet test race cover serve fuzz-smoke bench-explore ci
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,17 @@ test:
 # test must stay clean under the race detector.
 race:
 	$(GO) test -race ./...
+
+# Coverage profile + per-function summary (coverage.out/coverage.txt are
+# uploaded as a CI artifact).
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out > coverage.txt
+	@tail -n 1 coverage.txt
+
+# Run the HTTP prediction/DSE service (see docs/SERVE.md).
+serve:
+	$(GO) run ./cmd/flexcl-serve
 
 # Short fuzzing pass over the frontend targets: the seed corpora (all
 # bundled Rodinia/PolyBench kernels plus hostile fragments) run on every

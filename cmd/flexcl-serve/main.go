@@ -1,0 +1,91 @@
+// Command flexcl-serve runs the FlexCL prediction/DSE service: an HTTP
+// JSON API answering single-design predictions synchronously and full
+// design-space explorations as polled async jobs, with Prometheus-text
+// metrics, expvar, structured logs and graceful SIGTERM drain.
+//
+// Usage:
+//
+//	flexcl-serve [-addr :8080] [-workers 2] [-dse-workers 0]
+//	             [-pred-cache 4096] [-timeout 10s] [-explore-timeout 5m]
+//	             [-drain 30s] [-log text|json]
+//
+// Try it:
+//
+//	curl -s localhost:8080/v1/kernels | head
+//	curl -s -X POST localhost:8080/v1/predict -d \
+//	  '{"bench":"hotspot","kernel":"hotspot","design":{"wg_size":64,"wi_pipeline":true,"pe":4,"cu":2,"mode":"pipeline"}}'
+//	curl -s -X POST localhost:8080/v1/explore -d '{"bench":"nn","kernel":"nn"}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -s localhost:8080/metrics
+//
+// See docs/SERVE.md for the full API reference.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 2, "concurrent exploration jobs")
+		dseWorkers  = flag.Int("dse-workers", 0, "goroutines per exploration (0 = cores/workers)")
+		queue       = flag.Int("queue", 64, "max queued exploration jobs")
+		predCache   = flag.Int("pred-cache", 4096, "LRU prediction cache entries (negative disables)")
+		timeout     = flag.Duration("timeout", 10*time.Second, "synchronous request deadline")
+		exploreTO   = flag.Duration("explore-timeout", 5*time.Minute, "per-job exploration deadline")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		logFormat   = flag.String("log", "text", "log format: text or json")
+		logLevelStr = flag.String("log-level", "info", "log level: debug, info, warn, error")
+	)
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevelStr)); err != nil {
+		fmt.Fprintf(os.Stderr, "flexcl-serve: bad -log-level %q\n", *logLevelStr)
+		os.Exit(2)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, opts)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "flexcl-serve: bad -log %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+
+	s := serve.New(serve.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		DSEWorkers:     *dseWorkers,
+		QueueDepth:     *queue,
+		PredCacheSize:  *predCache,
+		RequestTimeout: *timeout,
+		ExploreTimeout: *exploreTO,
+		DrainTimeout:   *drain,
+		Logger:         logger,
+	})
+
+	// SIGTERM/SIGINT cancel the context; Serve then drains in-flight
+	// requests and jobs before returning.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	if err := s.ListenAndServe(ctx); err != nil {
+		logger.Error("serve", "err", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,185 @@
+package repro_test
+
+// Golden-corpus regression suite: one file per bundled Rodinia/PolyBench
+// kernel under testdata/golden/ pins the analytical model's cycle
+// predictions over a fixed design grid. Any change to the model, the
+// frontend, the scheduler or the DRAM model that shifts a prediction
+// fails here with a per-kernel diff — model drift must be a conscious
+// choice, recorded by regenerating the corpus:
+//
+//	go test -run TestGoldenCorpus -update .
+//
+// The grid spans every WG size of each kernel's sweep × four canonical
+// designs (unoptimized, pipelined, a mid parallel point, the max
+// parallel point), exercising both communication modes.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/dse"
+	"repro/internal/model"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden from current model output")
+
+// goldenPrep shares compiled kernels and analyses across the parallel
+// per-kernel subtests.
+var goldenPrep = dse.NewPrepCache()
+
+func goldenDesigns(wg int64) []model.Design {
+	return []model.Design{
+		{WGSize: wg, WIPipeline: false, PE: 1, CU: 1, Mode: model.ModeBarrier},
+		{WGSize: wg, WIPipeline: true, PE: 1, CU: 1, Mode: model.ModeBarrier},
+		{WGSize: wg, WIPipeline: true, PE: 4, CU: 2, Mode: model.ModePipeline},
+		{WGSize: wg, WIPipeline: true, PE: 16, CU: 4, Mode: model.ModePipeline},
+	}
+}
+
+func goldenPath(k *bench.Kernel) string {
+	name := k.Suite + "__" + strings.ReplaceAll(k.ID(), "/", "__") + ".golden"
+	return filepath.Join("testdata", "golden", name)
+}
+
+// goldenCompute predicts the full grid for one kernel, returning
+// "design cycles" lines in deterministic order.
+func goldenCompute(t testing.TB, k *bench.Kernel) []string {
+	t.Helper()
+	p := device.Virtex7()
+	var lines []string
+	for _, wg := range k.WGSizes() {
+		an, err := goldenPrep.Analysis(k, p, wg)
+		if err != nil {
+			t.Fatalf("analysis %s wg=%d: %v", k.ID(), wg, err)
+		}
+		for _, d := range goldenDesigns(wg) {
+			cycles := an.Predict(d).Cycles
+			lines = append(lines, d.String()+" "+
+				strconv.FormatFloat(cycles, 'g', -1, 64))
+		}
+	}
+	return lines
+}
+
+func parseGolden(t *testing.T, path string) map[string]float64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing: %v\nrun `go test -run TestGoldenCorpus -update .` to create it", err)
+	}
+	out := make(map[string]float64)
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		design, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("%s:%d: malformed line %q", path, ln+1, line)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("%s:%d: bad cycles %q: %v", path, ln+1, val, err)
+		}
+		out[design] = v
+	}
+	return out
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	kernels := bench.All()
+	if len(kernels) == 0 {
+		t.Fatal("empty corpus")
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range kernels {
+		k := k
+		t.Run(k.Suite+"/"+k.ID(), func(t *testing.T) {
+			t.Parallel()
+			lines := goldenCompute(t, k)
+			path := goldenPath(k)
+			if *update {
+				var sb strings.Builder
+				fmt.Fprintf(&sb, "# golden cycle predictions for %s/%s on virtex7\n", k.Suite, k.ID())
+				fmt.Fprintf(&sb, "# regenerate: go test -run TestGoldenCorpus -update .\n")
+				for _, l := range lines {
+					sb.WriteString(l)
+					sb.WriteByte('\n')
+				}
+				if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want := parseGolden(t, path)
+			got := make(map[string]float64, len(lines))
+			for _, l := range lines {
+				design, val, _ := strings.Cut(l, " ")
+				v, _ := strconv.ParseFloat(val, 64)
+				got[design] = v
+			}
+			var diffs []string
+			for design, w := range want {
+				g, ok := got[design]
+				switch {
+				case !ok:
+					diffs = append(diffs, fmt.Sprintf("  %-40s pinned but no longer in the grid", design))
+				case g != w:
+					rel := 0.0
+					if w != 0 {
+						rel = (g - w) / w * 100
+					}
+					diffs = append(diffs, fmt.Sprintf("  %-40s want %.6g  got %.6g  (%+.3f%%)",
+						design, w, g, rel))
+				}
+			}
+			for design := range got {
+				if _, ok := want[design]; !ok {
+					diffs = append(diffs, fmt.Sprintf("  %-40s new grid point, not pinned", design))
+				}
+			}
+			if len(diffs) > 0 {
+				sort.Strings(diffs)
+				t.Errorf("model drift for %s (%d of %d grid points):\n%s\n"+
+					"If intentional, regenerate with `go test -run TestGoldenCorpus -update .` and commit the diff.",
+					k.ID(), len(diffs), len(want), strings.Join(diffs, "\n"))
+			}
+		})
+	}
+}
+
+// TestGoldenNoOrphans fails when testdata/golden contains files for
+// kernels that no longer exist (renames must clean up their pins).
+func TestGoldenNoOrphans(t *testing.T) {
+	if *update {
+		t.Skip("skipped during -update")
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatalf("golden corpus missing: %v", err)
+	}
+	valid := make(map[string]bool)
+	for _, k := range bench.All() {
+		valid[filepath.Base(goldenPath(k))] = true
+	}
+	for _, e := range entries {
+		if !valid[e.Name()] {
+			t.Errorf("orphan golden file %s (kernel removed or renamed?)", e.Name())
+		}
+	}
+	if len(entries) != len(valid) {
+		t.Errorf("%d golden files for %d kernels", len(entries), len(valid))
+	}
+}

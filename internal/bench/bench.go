@@ -7,8 +7,11 @@
 package bench
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -71,6 +74,29 @@ type Kernel struct {
 
 // ID returns "bench/kernel".
 func (k *Kernel) ID() string { return k.Bench + "/" + k.Name }
+
+// SourceHash returns a stable hex digest of everything that determines
+// the kernel's compiled form — source text, entry point and macro
+// definitions — so caches keyed on it are invalidated the moment the
+// kernel text changes.
+func (k *Kernel) SourceHash() string {
+	h := sha256.New()
+	h.Write([]byte(k.Fn))
+	h.Write([]byte{0})
+	h.Write([]byte(k.Source))
+	keys := make([]string, 0, len(k.Defines))
+	for key := range k.Defines {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		h.Write([]byte{0})
+		h.Write([]byte(key))
+		h.Write([]byte{'='})
+		h.Write([]byte(k.Defines[key]))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
 
 // NWI returns the total work-items of the launch.
 func (k *Kernel) NWI() int64 {
@@ -254,6 +280,16 @@ func Suite(name string) []*Kernel {
 		}
 	}
 	return out
+}
+
+// FindID returns the kernel with the given "bench/kernel" ID (the form
+// Kernel.ID renders and the serving API accepts), or nil.
+func FindID(id string) *Kernel {
+	b, n, ok := strings.Cut(id, "/")
+	if !ok {
+		return nil
+	}
+	return Find(b, n)
 }
 
 // Find returns the kernel with the given bench and kernel name, or nil.

@@ -23,8 +23,9 @@ import (
 // platform, or an exploration followed by a heuristic search) to reuse
 // the preparation work; the zero Options use a private per-call cache.
 type PrepCache struct {
-	mu sync.Mutex
-	m  map[prepKey]*prepEntry
+	mu    sync.Mutex
+	m     map[prepKey]*prepEntry
+	stats CacheStats
 }
 
 type prepKey struct {
@@ -58,6 +59,9 @@ func (c *PrepCache) get(k *bench.Kernel, p *device.Platform, wg int64) (e *prepE
 	if !ok {
 		e = &prepEntry{}
 		c.m[key] = e
+		c.stats.Misses++
+	} else {
+		c.stats.Hits++
 	}
 	c.mu.Unlock()
 
@@ -98,9 +102,31 @@ func (c *PrepCache) Analyses(k *bench.Kernel, p *device.Platform) (map[int64]*mo
 	return out, nil
 }
 
+// Analysis returns the prepared analysis for one WG size, computing and
+// caching it on first use. It is the per-point entry the prediction
+// service uses; Explore and HeuristicSearch share the same entries.
+func (c *PrepCache) Analysis(k *bench.Kernel, p *device.Platform, wg int64) (*model.Analysis, error) {
+	e, _ := c.get(k, p, wg)
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.an, nil
+}
+
 // Len returns the number of prepared entries (including failed ones).
 func (c *PrepCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// Stats returns a snapshot of the cache's hit/miss counters. A lookup
+// counts as a miss when it created the entry (whether or not this
+// caller went on to compute it) and a hit when the entry already
+// existed — so an Explore of d design points over w WG sizes records w
+// misses and d+w-ish hits, the reuse the cache exists to provide.
+func (c *PrepCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
 }

@@ -1,0 +1,107 @@
+package dse
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// Best* selectors must behave on degenerate results: empty spaces
+// (everything pruned) and single-point spaces.
+
+func TestBestByModelEdgeCases(t *testing.T) {
+	tests := []struct {
+		name   string
+		points []Point
+		wantOK bool
+		want   float64 // Est of expected best when ok
+	}{
+		{name: "empty", points: nil, wantOK: false},
+		{
+			name:   "single point",
+			points: []Point{{Design: model.Design{WGSize: 16, PE: 1, CU: 1}, Est: 42}},
+			wantOK: true, want: 42,
+		},
+		{
+			name: "ties keep first",
+			points: []Point{
+				{Design: model.Design{WGSize: 16, PE: 1, CU: 1}, Est: 7},
+				{Design: model.Design{WGSize: 32, PE: 1, CU: 1}, Est: 7},
+			},
+			wantOK: true, want: 7,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			r := &Result{Points: tc.points}
+			best, ok := r.BestByModel()
+			if ok != tc.wantOK {
+				t.Fatalf("ok = %v, want %v", ok, tc.wantOK)
+			}
+			if ok && best.Est != tc.want {
+				t.Errorf("best.Est = %v, want %v", best.Est, tc.want)
+			}
+			if ok && len(tc.points) > 1 && best.Design != tc.points[0].Design {
+				t.Errorf("tie not broken toward first point: %v", best.Design)
+			}
+		})
+	}
+}
+
+func TestBestActualEdgeCases(t *testing.T) {
+	tests := []struct {
+		name   string
+		points []Point
+		wantOK bool
+		want   float64
+	}{
+		{name: "empty", points: nil, wantOK: false},
+		{
+			name:   "single unmeasured point",
+			points: []Point{{Est: 10}}, // Actual == 0: model-only exploration
+			wantOK: false,
+		},
+		{
+			name:   "single measured point",
+			points: []Point{{Est: 10, Actual: 100}},
+			wantOK: true, want: 100,
+		},
+		{
+			name: "unmeasured points skipped",
+			points: []Point{
+				{Est: 1, Actual: 0},
+				{Est: 2, Actual: 50},
+				{Est: 3, Actual: 40},
+			},
+			wantOK: true, want: 40,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			r := &Result{Points: tc.points}
+			best, ok := r.BestActual()
+			if ok != tc.wantOK {
+				t.Fatalf("ok = %v, want %v", ok, tc.wantOK)
+			}
+			if ok && best.Actual != tc.want {
+				t.Errorf("best.Actual = %v, want %v", best.Actual, tc.want)
+			}
+		})
+	}
+}
+
+// Derived metrics must not divide by zero or invent numbers on
+// degenerate results.
+func TestDerivedMetricsOnEmptyResult(t *testing.T) {
+	r := &Result{}
+	if gap := r.GapToOptimum(); gap != 0 {
+		t.Errorf("GapToOptimum on empty = %v", gap)
+	}
+	fe, se := r.AvgErrors()
+	if fe != 0 || se != 0 {
+		t.Errorf("AvgErrors on empty = %v, %v", fe, se)
+	}
+	if pts := r.SortedByActual(); len(pts) != 0 {
+		t.Errorf("SortedByActual on empty returned %d points", len(pts))
+	}
+}

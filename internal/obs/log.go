@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// ResponseRecorder wraps a ResponseWriter to capture the status code
+// and body size for logging and metrics.
+type ResponseRecorder struct {
+	http.ResponseWriter
+	Code  int
+	Bytes int64
+}
+
+// NewResponseRecorder wraps w; Code defaults to 200 (net/http writes
+// 200 implicitly when the handler never calls WriteHeader).
+func NewResponseRecorder(w http.ResponseWriter) *ResponseRecorder {
+	return &ResponseRecorder{ResponseWriter: w, Code: http.StatusOK}
+}
+
+// WriteHeader records the status code.
+func (r *ResponseRecorder) WriteHeader(code int) {
+	r.Code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Write records the body size.
+func (r *ResponseRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.Bytes += int64(n)
+	return n, err
+}
+
+// AccessLog wraps a handler with one structured log line per request:
+// method, path, status, response bytes and wall time.
+func AccessLog(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		t0 := time.Now()
+		rec := NewResponseRecorder(w)
+		next.ServeHTTP(rec, req)
+		log.Info("http",
+			"method", req.Method,
+			"path", req.URL.Path,
+			"code", rec.Code,
+			"bytes", rec.Bytes,
+			"dur_ms", float64(time.Since(t0).Microseconds())/1000,
+			"remote", req.RemoteAddr,
+		)
+	})
+}

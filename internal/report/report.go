@@ -80,16 +80,33 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
-// CSV renders the table as comma-separated values.
+// CSV renders the table as RFC 4180 comma-separated values: cells
+// containing commas, quotes or line breaks are quoted, with embedded
+// quotes doubled.
 func (t *Table) CSV() string {
 	var sb strings.Builder
-	sb.WriteString(strings.Join(t.Headers, ","))
-	sb.WriteByte('\n')
-	for _, r := range t.Rows {
-		sb.WriteString(strings.Join(r, ","))
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(csvField(c))
+		}
 		sb.WriteByte('\n')
 	}
+	writeRow(t.Headers)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
 	return sb.String()
+}
+
+// csvField quotes a cell when RFC 4180 requires it.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\r\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }
 
 // Series is an (x, y...) numeric series for figure regeneration.

@@ -38,6 +38,27 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+func TestTableCSVEscaping(t *testing.T) {
+	tb := New("", "Kernel", "Note")
+	// A kernel name containing a comma must be quoted, not split into
+	// two cells (RFC 4180 §2.6); embedded quotes are doubled (§2.7).
+	tb.Add("srad/reduce, compress", `says "fast"`)
+	tb.Add("nn", "plain")
+	tb.Add("multi\nline", "cr\rcell")
+	got := tb.CSV()
+	want := "Kernel,Note\n" +
+		"\"srad/reduce, compress\",\"says \"\"fast\"\"\"\n" +
+		"nn,plain\n" +
+		"\"multi\nline\",\"cr\rcell\"\n"
+	if got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+	// Every record must parse back to exactly two fields.
+	if strings.Count(strings.Split(got, "\n")[1], `","`) != 1 {
+		t.Fatalf("comma cell not isolated: %q", got)
+	}
+}
+
 func TestSeriesRendering(t *testing.T) {
 	s := NewSeries("Figure 4", "id", "actual", "est")
 	s.Add(0, 100, 95)

@@ -1,0 +1,391 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/dse"
+	"repro/internal/obs"
+)
+
+// Job states.
+const (
+	JobQueued   = "queued"
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobFailed   = "failed"
+	JobCanceled = "canceled"
+)
+
+// Job is one asynchronous design-space exploration.
+type Job struct {
+	ID string
+
+	mu       sync.Mutex
+	state    string
+	err      string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	req      exploreRequest
+	summary  *exploreSummary
+}
+
+type exploreRequest struct {
+	Bench        string `json:"bench"`
+	Kernel       string `json:"kernel"`
+	Platform     string `json:"platform"`
+	Prune        bool   `json:"prune_infeasible"`
+	Sim          bool   `json:"sim"`
+	SimMaxGroups int    `json:"sim_max_groups"`
+	Workers      int    `json:"workers"`
+	Top          int    `json:"top"`
+}
+
+type pointJSON struct {
+	Design DesignJSON `json:"design"`
+	Est    float64    `json:"est_cycles"`
+	Actual float64    `json:"actual_cycles,omitempty"`
+}
+
+type exploreSummary struct {
+	Points           int         `json:"points"`
+	BaselineFailures int         `json:"baseline_failures,omitempty"`
+	WallMS           float64     `json:"wall_ms"`
+	ModelMS          float64     `json:"model_ms"`
+	SimMS            float64     `json:"sim_ms,omitempty"`
+	Best             *pointJSON  `json:"best,omitempty"`
+	Top              []pointJSON `json:"top,omitempty"`
+}
+
+type jobView struct {
+	ID       string          `json:"id"`
+	State    string          `json:"state"`
+	Kernel   string          `json:"kernel"`
+	Platform string          `json:"platform"`
+	Created  time.Time       `json:"created"`
+	Started  *time.Time      `json:"started,omitempty"`
+	Finished *time.Time      `json:"finished,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Summary  *exploreSummary `json:"summary,omitempty"`
+}
+
+func (j *Job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:       j.ID,
+		State:    j.state,
+		Kernel:   j.req.Bench + "/" + j.req.Kernel,
+		Platform: j.req.Platform,
+		Created:  j.created,
+		Error:    j.err,
+		Summary:  j.summary,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+func (j *Job) setState(state string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	switch state {
+	case JobRunning:
+		j.started = time.Now()
+	case JobDone, JobFailed, JobCanceled:
+		j.finished = time.Now()
+	}
+}
+
+// jobPool runs exploration jobs on a fixed set of worker goroutines
+// with a bounded intake queue. Closing the pool (graceful drain) stops
+// intake but lets queued and running jobs finish; the drain deadline
+// cancels stragglers hard through their context.
+type jobPool struct {
+	srv     *Server
+	queue   chan *Job
+	wg      sync.WaitGroup
+	workers int
+
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+
+	mu       sync.Mutex
+	seq      uint64
+	jobs     map[string]*Job
+	order    []string // insertion order, for history trimming
+	retained int
+	closed   bool
+}
+
+func newJobPool(srv *Server, workers, depth, retained int) *jobPool {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &jobPool{
+		srv:        srv,
+		queue:      make(chan *Job, depth),
+		workers:    workers,
+		hardCtx:    ctx,
+		hardCancel: cancel,
+		jobs:       make(map[string]*Job),
+		retained:   retained,
+	}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *jobPool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		if p.hardCtx.Err() != nil {
+			j.setState(JobCanceled)
+			continue
+		}
+		j.setState(JobRunning)
+		p.srv.runExplore(p.hardCtx, j)
+	}
+}
+
+// submit enqueues a job, or reports why it can't (draining / full).
+func (p *jobPool) submit(req exploreRequest) (*Job, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("server is draining")
+	}
+	p.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("j%06d", p.seq),
+		state:   JobQueued,
+		created: time.Now(),
+		req:     req,
+	}
+	select {
+	case p.queue <- j:
+	default:
+		return nil, fmt.Errorf("job queue full (%d queued)", cap(p.queue))
+	}
+	p.jobs[j.ID] = j
+	p.order = append(p.order, j.ID)
+	p.trimLocked()
+	return j, nil
+}
+
+// trimLocked drops the oldest finished jobs beyond the retention bound.
+func (p *jobPool) trimLocked() {
+	for len(p.order) > p.retained {
+		dropped := false
+		for i, id := range p.order {
+			j := p.jobs[id]
+			j.mu.Lock()
+			fin := j.state == JobDone || j.state == JobFailed || j.state == JobCanceled
+			j.mu.Unlock()
+			if fin {
+				delete(p.jobs, id)
+				p.order = append(p.order[:i], p.order[i+1:]...)
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			return // everything live; let it grow
+		}
+	}
+}
+
+func (p *jobPool) get(id string) (*Job, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	return j, ok
+}
+
+// counts returns jobs by state.
+func (p *jobPool) counts() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int)
+	for _, j := range p.jobs {
+		j.mu.Lock()
+		out[j.state]++
+		j.mu.Unlock()
+	}
+	return out
+}
+
+func (p *jobPool) exportMetrics(reg *obs.Registry) {
+	c := p.counts()
+	for _, state := range []string{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled} {
+		reg.Gauge("jobs", fmt.Sprintf(`state="%s"`, state)).Set(float64(c[state]))
+	}
+	reg.Gauge("jobs_inflight", "").Set(float64(c[JobQueued] + c[JobRunning]))
+}
+
+// stop drains the pool: no new intake, queued + running jobs finish.
+// When ctx expires first, remaining jobs are cancelled through the hard
+// context and stop returns the deadline error.
+func (p *jobPool) stop(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		p.hardCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// runExplore executes one job through the shared prep cache.
+func (s *Server) runExplore(ctx context.Context, j *Job) {
+	req := j.req
+	k := bench.FindID(req.Bench + "/" + req.Kernel)
+	p := device.Platforms()[req.Platform]
+	if k == nil || p == nil { // validated at submit; belt and braces
+		j.mu.Lock()
+		j.err = "kernel or platform vanished"
+		j.mu.Unlock()
+		j.setState(JobFailed)
+		return
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.ExploreTimeout)
+	defer cancel()
+	t0 := time.Now()
+	r, err := dse.ExploreContext(ctx, k, dse.Options{
+		Platform:        p,
+		SkipActual:      !req.Sim,
+		SkipBaseline:    true,
+		SimMaxGroups:    req.SimMaxGroups,
+		PruneInfeasible: req.Prune,
+		Workers:         req.Workers,
+		Cache:           s.prep,
+	})
+	if err != nil {
+		j.mu.Lock()
+		j.err = err.Error()
+		j.mu.Unlock()
+		if ctx.Err() != nil {
+			j.setState(JobCanceled)
+		} else {
+			j.setState(JobFailed)
+		}
+		s.log.Warn("explore job failed", "id", j.ID, "kernel", k.ID(), "err", err)
+		return
+	}
+	sum := &exploreSummary{
+		Points:           len(r.Points),
+		BaselineFailures: r.BaselineFailures,
+		WallMS:           float64(r.WallTime.Microseconds()) / 1000,
+		ModelMS:          float64(r.ModelTime.Microseconds()) / 1000,
+		SimMS:            float64(r.SimTime.Microseconds()) / 1000,
+	}
+	if best, ok := r.BestByModel(); ok {
+		sum.Best = &pointJSON{Design: designToJSON(best.Design), Est: best.Est, Actual: best.Actual}
+	}
+	top := req.Top
+	if top <= 0 {
+		top = 10
+	}
+	byEst := append([]dse.Point(nil), r.Points...)
+	sort.SliceStable(byEst, func(a, b int) bool { return byEst[a].Est < byEst[b].Est })
+	if top > len(byEst) {
+		top = len(byEst)
+	}
+	for _, pt := range byEst[:top] {
+		sum.Top = append(sum.Top, pointJSON{
+			Design: designToJSON(pt.Design), Est: pt.Est, Actual: pt.Actual,
+		})
+	}
+	j.mu.Lock()
+	j.summary = sum
+	j.mu.Unlock()
+	j.setState(JobDone)
+	s.log.Info("explore job done", "id", j.ID, "kernel", k.ID(),
+		"points", len(r.Points), "wall", time.Since(t0).Round(time.Millisecond))
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var req exploreRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	k, ok := resolveKernel(w, req.Bench, req.Kernel)
+	if !ok {
+		return
+	}
+	p, ok := resolvePlatform(w, req.Platform)
+	if !ok {
+		return
+	}
+	req.Platform = platformName(p)
+	if req.SimMaxGroups < 0 || req.Workers < 0 || req.Top < 0 {
+		writeErr(w, http.StatusBadRequest, "sim_max_groups, workers and top must be ≥ 0")
+		return
+	}
+	if req.Sim && req.SimMaxGroups == 0 {
+		req.SimMaxGroups = 8
+	}
+	if req.Workers == 0 {
+		req.Workers = s.cfg.DSEWorkers
+	}
+	j, err := s.pool.submit(req)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "cannot accept job: %v", err)
+		return
+	}
+	s.log.Info("explore job queued", "id", j.ID, "kernel", k.ID(), "platform", p.Name)
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":     j.ID,
+		"state":  JobQueued,
+		"url":    "/v1/jobs/" + j.ID,
+		"kernel": k.ID(),
+	})
+}
+
+// platformName maps a resolved platform back to its catalogue key.
+func platformName(p *device.Platform) string {
+	for name, cand := range device.Platforms() {
+		if cand.Name == p.Name {
+			return name
+		}
+	}
+	return p.Name
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.pool.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}

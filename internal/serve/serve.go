@@ -1,0 +1,550 @@
+// Package serve implements flexcl-serve: a long-running HTTP JSON
+// service in front of the FlexCL analytical model and design-space
+// explorer. The point of the paper's model is that prediction is cheap
+// enough to answer "what will this kernel/config cost?" interactively;
+// this service is that interactive surface.
+//
+// Endpoints:
+//
+//	POST /v1/predict   — one kernel+design prediction (synchronous)
+//	POST /v1/explore   — enqueue an async design-space exploration job
+//	GET  /v1/jobs/{id} — poll an exploration job
+//	GET  /v1/kernels   — list the bundled Rodinia/PolyBench corpus
+//	GET  /metrics      — Prometheus text exposition
+//	GET  /debug/vars   — expvar JSON
+//	GET  /healthz      — liveness
+//
+// Explorations run on a bounded worker pool that reuses one
+// dse.PrepCache across all requests; predictions additionally hit an
+// LRU cache keyed by (kernel source hash, platform, design). Requests
+// carry deadlines (504 on expiry) and SIGTERM drains in-flight work
+// before the process exits.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/dse"
+	"repro/internal/model"
+	"repro/internal/obs"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Addr is the listen address (":0" picks an ephemeral port).
+	Addr string
+	// Workers bounds concurrent exploration jobs (0 = 2).
+	Workers int
+	// DSEWorkers shards each exploration's design points
+	// (0 = GOMAXPROCS/Workers, at least 1).
+	DSEWorkers int
+	// QueueDepth bounds queued-but-not-running jobs (0 = 64).
+	QueueDepth int
+	// PredCacheSize bounds the LRU prediction cache (0 = 4096 entries;
+	// negative disables caching).
+	PredCacheSize int
+	// RequestTimeout is the synchronous-endpoint deadline
+	// (0 = 10 s); expired requests answer 504.
+	RequestTimeout time.Duration
+	// ExploreTimeout is the per-job deadline (0 = 5 min).
+	ExploreTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown (0 = 30 s).
+	DrainTimeout time.Duration
+	// MaxRetainedJobs bounds the finished-job history (0 = 1024).
+	MaxRetainedJobs int
+	// Logger receives request and job logs (nil = slog.Default()).
+	Logger *slog.Logger
+	// Namespace prefixes exported metrics (empty = "flexcl").
+	Namespace string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.DSEWorkers <= 0 {
+		c.DSEWorkers = runtime.GOMAXPROCS(0) / c.Workers
+		if c.DSEWorkers < 1 {
+			c.DSEWorkers = 1
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.PredCacheSize == 0 {
+		c.PredCacheSize = 4096
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.ExploreTimeout <= 0 {
+		c.ExploreTimeout = 5 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.MaxRetainedJobs <= 0 {
+		c.MaxRetainedJobs = 1024
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.Namespace == "" {
+		c.Namespace = "flexcl"
+	}
+	return c
+}
+
+// Server is the flexcl prediction/DSE service.
+type Server struct {
+	cfg  Config
+	log  *slog.Logger
+	reg  *obs.Registry
+	prep *dse.PrepCache
+	pred *dse.PredCache
+	pool *jobPool
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// New builds a Server from cfg; call Listen + Serve (or ListenAndServe)
+// to run it, or Handler to mount it in a test server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:  cfg,
+		log:  cfg.Logger,
+		reg:  obs.NewRegistry(cfg.Namespace),
+		prep: dse.NewPrepCache(),
+		pred: dse.NewPredCache(cfg.PredCacheSize),
+	}
+	s.pool = newJobPool(s, cfg.Workers, cfg.QueueDepth, cfg.MaxRetainedJobs)
+	s.reg.Help("requests_total", "HTTP requests by route and status code.")
+	s.reg.Help("request_seconds", "HTTP request latency by route.")
+	s.reg.Help("predict_cache_hit_ratio", "LRU prediction cache hit ratio since start.")
+	s.reg.Help("jobs_inflight", "Exploration jobs currently queued or running.")
+	s.reg.PublishExpvar(cfg.Namespace)
+	return s
+}
+
+// Metrics returns the server's metric registry (tests and embedders).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Handler returns the full middleware-wrapped HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/kernels", s.handleKernels)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return obs.AccessLog(s.log, s.instrument(s.deadline(mux)))
+}
+
+// deadline attaches the per-request timeout to the request context.
+func (s *Server) deadline(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// route maps a request path to its bounded metric label (job IDs must
+// not explode the label space).
+func route(path string) string {
+	if strings.HasPrefix(path, "/v1/jobs/") {
+		return "/v1/jobs/{id}"
+	}
+	return path
+}
+
+// instrument records the request counter and latency histogram.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec := obs.NewResponseRecorder(w)
+		next.ServeHTTP(rec, r)
+		rt := route(r.URL.Path)
+		s.reg.Counter("requests_total",
+			fmt.Sprintf(`route="%s",code="%d"`, rt, rec.Code)).Inc()
+		s.reg.Histogram("request_seconds", fmt.Sprintf(`route="%s"`, rt)).
+			Observe(time.Since(t0).Seconds())
+	})
+}
+
+// Listen binds the configured address and returns the bound address
+// (useful with ":0").
+func (s *Server) Listen() (net.Addr, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound listen address, or "" before Listen.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve runs the service until ctx is cancelled (SIGTERM in main), then
+// drains gracefully: the listener closes, in-flight HTTP requests
+// finish, and queued + running exploration jobs complete — all within
+// DrainTimeout, after which remaining jobs are cancelled hard.
+func (s *Server) Serve(ctx context.Context) error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("serve: Serve called before Listen")
+	}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	s.log.Info("listening", "addr", ln.Addr().String(),
+		"workers", s.cfg.Workers, "dse_workers", s.cfg.DSEWorkers,
+		"pred_cache", s.pred.Cap())
+
+	select {
+	case err := <-errc:
+		sctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		s.pool.stop(sctx)
+		return err
+	case <-ctx.Done():
+	}
+	s.log.Info("draining", "timeout", s.cfg.DrainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	if derr := s.pool.stop(dctx); derr != nil && err == nil {
+		err = derr
+	}
+	s.log.Info("drained")
+	return err
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	if _, err := s.Listen(); err != nil {
+		return err
+	}
+	return s.Serve(ctx)
+}
+
+// ---- request/response types ----
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// DesignJSON is the wire form of a model.Design.
+type DesignJSON struct {
+	WGSize     int64  `json:"wg_size"`
+	WIPipeline bool   `json:"wi_pipeline"`
+	PE         int    `json:"pe"`
+	CU         int    `json:"cu"`
+	Mode       string `json:"mode"` // "barrier" | "pipeline"
+}
+
+func designToJSON(d model.Design) DesignJSON {
+	return DesignJSON{
+		WGSize: d.WGSize, WIPipeline: d.WIPipeline, PE: d.PE, CU: d.CU,
+		Mode: d.Mode.String(),
+	}
+}
+
+type predictRequest struct {
+	Bench    string     `json:"bench"`
+	Kernel   string     `json:"kernel"`
+	Platform string     `json:"platform"`
+	Design   DesignJSON `json:"design"`
+}
+
+type predictResponse struct {
+	Bench         string     `json:"bench"`
+	Kernel        string     `json:"kernel"`
+	Platform      string     `json:"platform"`
+	Design        DesignJSON `json:"design"`
+	EffectiveMode string     `json:"effective_mode"`
+	Cycles        float64    `json:"cycles"`
+	Seconds       float64    `json:"seconds"`
+	IIComp        int        `json:"ii_comp"`
+	Depth         int        `json:"pipeline_depth"`
+	NPE           int        `json:"n_pe"`
+	NCU           int        `json:"n_cu"`
+	Cached        bool       `json:"cached"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeStrict decodes a JSON body, rejecting unknown fields and
+// trailing garbage — both answer 400.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// resolveKernel maps (bench, kernel) to the corpus entry: empty names
+// are 400, unknown kernels 404.
+func resolveKernel(w http.ResponseWriter, benchName, kernelName string) (*bench.Kernel, bool) {
+	if benchName == "" || kernelName == "" {
+		writeErr(w, http.StatusBadRequest, "bench and kernel are required")
+		return nil, false
+	}
+	k := bench.Find(benchName, kernelName)
+	if k == nil {
+		writeErr(w, http.StatusNotFound, "unknown kernel %s/%s (see GET /v1/kernels)",
+			benchName, kernelName)
+		return nil, false
+	}
+	return k, true
+}
+
+// resolvePlatform maps a platform name ("" = virtex7) to its catalogue
+// entry, answering 400 for unknown names.
+func resolvePlatform(w http.ResponseWriter, name string) (*device.Platform, bool) {
+	if name == "" {
+		name = "virtex7"
+	}
+	p, ok := device.Platforms()[name]
+	if !ok {
+		known := make([]string, 0, len(device.Platforms()))
+		for n := range device.Platforms() {
+			known = append(known, n)
+		}
+		writeErr(w, http.StatusBadRequest, "unknown platform %q (known: %s)",
+			name, strings.Join(known, ", "))
+		return nil, false
+	}
+	return p, true
+}
+
+// resolveDesign validates the wire design against the kernel's sweep
+// bounds and the platform's resource limits, applying friendly
+// defaults (zero values mean "the unoptimized choice").
+func resolveDesign(w http.ResponseWriter, k *bench.Kernel, p *device.Platform, dj DesignJSON) (model.Design, bool) {
+	var zero model.Design
+	wgs := k.WGSizes()
+	if dj.WGSize == 0 {
+		dj.WGSize = wgs[0]
+	}
+	valid := false
+	for _, wg := range wgs {
+		if wg == dj.WGSize {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		writeErr(w, http.StatusBadRequest, "wg_size %d not in the kernel's sweep %v",
+			dj.WGSize, wgs)
+		return zero, false
+	}
+	if dj.PE == 0 {
+		dj.PE = 1
+	}
+	if dj.CU == 0 {
+		dj.CU = 1
+	}
+	if dj.PE < 1 || dj.PE > p.MaxPE {
+		writeErr(w, http.StatusBadRequest, "pe %d out of range [1, %d]", dj.PE, p.MaxPE)
+		return zero, false
+	}
+	if dj.CU < 1 || dj.CU > p.MaxCU {
+		writeErr(w, http.StatusBadRequest, "cu %d out of range [1, %d]", dj.CU, p.MaxCU)
+		return zero, false
+	}
+	if dj.PE > 1 && !dj.WIPipeline {
+		writeErr(w, http.StatusBadRequest,
+			"pe %d requires wi_pipeline (parallel PEs share the pipeline control)", dj.PE)
+		return zero, false
+	}
+	var mode model.CommMode
+	switch dj.Mode {
+	case "", "barrier":
+		mode = model.ModeBarrier
+	case "pipeline":
+		mode = model.ModePipeline
+	default:
+		writeErr(w, http.StatusBadRequest, "mode %q must be \"barrier\" or \"pipeline\"", dj.Mode)
+		return zero, false
+	}
+	return model.Design{
+		WGSize: dj.WGSize, WIPipeline: dj.WIPipeline, PE: dj.PE, CU: dj.CU,
+		Mode: mode,
+	}, true
+}
+
+// predict computes (or recalls) one estimate. The analysis runs in its
+// own goroutine so an expired request context answers 504 immediately;
+// the abandoned computation still lands in the prep cache for the
+// retry.
+func (s *Server) predict(ctx context.Context, k *bench.Kernel, p *device.Platform, d model.Design) (*model.Estimate, bool, error) {
+	key := k.SourceHash() + "|" + p.Name + "|" + d.String()
+	if est, ok := s.pred.Get(key); ok {
+		return est, true, nil
+	}
+	type out struct {
+		est *model.Estimate
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		an, err := s.prep.Analysis(k, p, d.WGSize)
+		if err != nil {
+			ch <- out{nil, err}
+			return
+		}
+		ch <- out{an.Predict(d), nil}
+	}()
+	select {
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	case o := <-ch:
+		if o.err != nil {
+			return nil, false, o.err
+		}
+		s.pred.Put(key, o.est)
+		return o.est, false, nil
+	}
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	k, ok := resolveKernel(w, req.Bench, req.Kernel)
+	if !ok {
+		return
+	}
+	p, ok := resolvePlatform(w, req.Platform)
+	if !ok {
+		return
+	}
+	d, ok := resolveDesign(w, k, p, req.Design)
+	if !ok {
+		return
+	}
+	est, cached, err := s.predict(r.Context(), k, p, d)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeErr(w, http.StatusGatewayTimeout, "prediction timed out after %v",
+				s.cfg.RequestTimeout)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, "analysis failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{
+		Bench:         k.Bench,
+		Kernel:        k.Name,
+		Platform:      p.Name,
+		Design:        designToJSON(d),
+		EffectiveMode: est.Mode.String(),
+		Cycles:        est.Cycles,
+		Seconds:       est.Seconds,
+		IIComp:        est.IIComp,
+		Depth:         est.Depth,
+		NPE:           est.NPE,
+		NCU:           est.NCU,
+		Cached:        cached,
+	})
+}
+
+type kernelInfo struct {
+	ID           string  `json:"id"`
+	Suite        string  `json:"suite"`
+	Bench        string  `json:"bench"`
+	Kernel       string  `json:"kernel"`
+	WorkItems    int64   `json:"work_items"`
+	WGSizes      []int64 `json:"wg_sizes"`
+	DesignPoints int     `json:"design_points"`
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	p := device.Virtex7()
+	all := bench.All()
+	out := make([]kernelInfo, 0, len(all))
+	for _, k := range all {
+		out = append(out, kernelInfo{
+			ID:           k.ID(),
+			Suite:        k.Suite,
+			Bench:        k.Bench,
+			Kernel:       k.Name,
+			WorkItems:    k.NWI(),
+			WGSizes:      k.WGSizes(),
+			DesignPoints: len(dse.Space(k, p)),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"kernels": out, "count": len(out)})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Fold the cache snapshots into gauges at scrape time so the text
+	// endpoint always reflects the current counters.
+	ps := s.pred.Stats()
+	s.reg.Gauge("predict_cache_hits", "").Set(float64(ps.Hits))
+	s.reg.Gauge("predict_cache_misses", "").Set(float64(ps.Misses))
+	s.reg.Gauge("predict_cache_evictions", "").Set(float64(ps.Evictions))
+	s.reg.Gauge("predict_cache_entries", "").Set(float64(s.pred.Len()))
+	s.reg.Gauge("predict_cache_hit_ratio", "").Set(ps.HitRatio())
+	qs := s.prep.Stats()
+	s.reg.Gauge("prep_cache_hits", "").Set(float64(qs.Hits))
+	s.reg.Gauge("prep_cache_misses", "").Set(float64(qs.Misses))
+	s.reg.Gauge("prep_cache_entries", "").Set(float64(s.prep.Len()))
+	s.pool.exportMetrics(s.reg)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}

@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet test race cover serve fuzz-smoke bench-explore ci
+.PHONY: build vet test race cover serve fuzz-smoke bench-explore check check-smoke ci
 
 build:
 	$(GO) build ./...
@@ -41,4 +41,13 @@ fuzz-smoke:
 bench-explore:
 	$(GO) test -run='^$$' -bench=BenchmarkExploreParallel -benchtime=3x .
 
-ci: build vet race fuzz-smoke
+# Cross-layer correctness audit (see docs/CHECK.md): model invariants,
+# differential bands vs the simulator, serve consistency. check-smoke is
+# the time-boxed subset CI runs on every push; check is the full corpus.
+check:
+	$(GO) run ./cmd/flexcl-check
+
+check-smoke:
+	$(GO) run ./cmd/flexcl-check -smoke -timeout 5m
+
+ci: build vet race fuzz-smoke check-smoke

@@ -95,8 +95,15 @@ func main() {
 
 	if *sim {
 		fe, _ := r.AvgErrors()
-		fmt.Printf("\navg |error| %.1f%%  selected-design gap to optimum %.1f%%  speedup over unoptimized %.0fx\n",
-			fe, r.GapToOptimum(), r.SpeedupOverBaseline())
+		gapStr, spStr := "n/a", "n/a"
+		if gap, ok := r.GapToOptimum(); ok {
+			gapStr = fmt.Sprintf("%.1f%%", gap)
+		}
+		if sp, ok := r.SpeedupOverBaseline(); ok {
+			spStr = fmt.Sprintf("%.0fx", sp)
+		}
+		fmt.Printf("\navg |error| %.1f%%  selected-design gap to optimum %s  speedup over unoptimized %s\n",
+			fe, gapStr, spStr)
 	}
 }
 

@@ -1,0 +1,59 @@
+package check
+
+// Allow excuses a known, documented model limitation: a finding
+// matching an entry is kept in the report (it still prints) but marked
+// Allowed and excluded from Report.Violations(), so flexcl-check exits
+// zero. Every entry must say why the limitation is accepted; an empty
+// Reason would hide a bug behind a shrug.
+type Allow struct {
+	// Check is the exact check name ("" matches any check).
+	Check string
+	// Kernel is the exact "bench/kernel" ID ("" matches any kernel).
+	Kernel string
+	// Reason is the documented justification, shown in the report.
+	Reason string
+}
+
+func (a Allow) matches(f Finding) bool {
+	if a.Check != "" && a.Check != f.Check {
+		return false
+	}
+	if a.Kernel != "" && a.Kernel != f.Kernel {
+		return false
+	}
+	return true
+}
+
+// applyAllowlist marks findings excused by the allowlist in place.
+func applyAllowlist(fs []Finding, allow []Allow) {
+	for i := range fs {
+		for _, a := range allow {
+			if a.matches(fs[i]) {
+				fs[i].Allowed = true
+				fs[i].Reason = a.Reason
+				break
+			}
+		}
+	}
+}
+
+// DefaultAllowlist is the repository's accepted-limitations register.
+// An entry here is a statement that the flagged behaviour is a known
+// property of the analytical model (with its grounding in docs/CHECK.md),
+// not a regression; anything the checker flags that is NOT listed here
+// is a bug to fix. Prefer tightening a check's formulation over adding
+// an entry, and add an entry only when the deviation is understood and
+// documented. The structural model properties already live in the
+// checks themselves (pipeline-mode monotonicity exclusion, attributed
+// contention terms, the dls·ΔCU slack), so this list stays short.
+func DefaultAllowlist() []Allow {
+	return []Allow{
+		{
+			Check:  "error-band",
+			Kernel: "bfs/bfs_1",
+			Reason: "data-dependent control flow: the model's prefix-profiled trip counts " +
+				"(§3.2) over-estimate the average frontier work per item by ~60–90% vs " +
+				"full simulation — the irregular-kernel error source §4.2 acknowledges",
+		},
+	}
+}

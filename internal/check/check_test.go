@@ -1,0 +1,411 @@
+package check
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/model"
+)
+
+// stubModel is a deliberately controllable Predictor: healthy by
+// default, with hook points each test bends to violate exactly one
+// invariant. The checks must catch every bend — a checker that cannot
+// fire is worse than no checker.
+type stubModel struct {
+	// predict overrides the full-model estimate (nil = healthy).
+	predict func(d model.Design) *model.Estimate
+	// predictWith overrides ablated estimates (nil = same as predict).
+	predictWith func(d model.Design, ab model.Ablations) *model.Estimate
+}
+
+// healthy satisfies every invariant: cycles fall as PE·CU parallelism
+// grows, the breakdown fields are sane, and ablations are neutral.
+func healthy(d model.Design) *model.Estimate {
+	return &model.Estimate{
+		Design: d,
+		Mode:   model.ModeBarrier,
+		IIComp: 1,
+		Depth:  5,
+		NPE:    d.PE,
+		NCU:    d.CU,
+		Cycles: 10000/float64(d.PE*d.CU) + 5,
+	}
+}
+
+func (s *stubModel) Predict(d model.Design) *model.Estimate {
+	if s.predict != nil {
+		return s.predict(d)
+	}
+	return healthy(d)
+}
+
+func (s *stubModel) PredictWith(d model.Design, ab model.Ablations) *model.Estimate {
+	if s.predictWith != nil {
+		return s.predictWith(d, ab)
+	}
+	// Deliberately NOT s.Predict: a stub that breaks the full model
+	// keeps healthy ablations, so each test trips exactly one check.
+	return healthy(d)
+}
+
+// grid is a small barrier-mode design grid with PE and CU chains.
+func grid() []model.Design {
+	var ds []model.Design
+	for _, pe := range []int{1, 2, 4} {
+		for _, cu := range []int{1, 2} {
+			ds = append(ds, model.Design{
+				WGSize: 16, WIPipeline: true, PE: pe, CU: cu, Mode: model.ModeBarrier,
+			})
+		}
+	}
+	return ds
+}
+
+func checksFired(fs []Finding) map[string]int {
+	m := map[string]int{}
+	for _, f := range fs {
+		m[f.Check]++
+	}
+	return m
+}
+
+func TestInvariantsCleanOnHealthyModel(t *testing.T) {
+	fs, checks, attributed := InvariantFindings("synthetic/ok", &stubModel{}, grid(), 48)
+	if len(fs) != 0 {
+		t.Fatalf("healthy model produced findings: %v", fs)
+	}
+	if checks == 0 {
+		t.Fatal("no checks evaluated")
+	}
+	if attributed != 0 {
+		t.Fatalf("healthy model attributed %d pairs", attributed)
+	}
+}
+
+// TestBrokenModelsAreCaught proves no false negatives: each stub breaks
+// one invariant and the matching check must fire (and only it).
+func TestBrokenModelsAreCaught(t *testing.T) {
+	tests := []struct {
+		name      string
+		stub      *stubModel
+		wantCheck string
+		// allowOthers tolerates legitimate co-firing (garbage estimates
+		// can violate several invariants at once).
+		allowOthers bool
+	}{
+		{
+			name: "nan cycles",
+			stub: &stubModel{predict: func(d model.Design) *model.Estimate {
+				e := healthy(d)
+				e.Cycles = math.NaN()
+				return e
+			}},
+			wantCheck: "positive-finite",
+		},
+		{
+			name: "negative cycles",
+			stub: &stubModel{predict: func(d model.Design) *model.Estimate {
+				e := healthy(d)
+				e.Cycles, e.Seconds = -12, -1
+				return e
+			}},
+			wantCheck: "positive-finite",
+			// Negative cycles also flip the monotonicity tolerance, so
+			// mono checks legitimately co-fire on the garbage values.
+			allowOthers: true,
+		},
+		{
+			name: "infinite cycles",
+			stub: &stubModel{predict: func(d model.Design) *model.Estimate {
+				e := healthy(d)
+				e.Cycles = math.Inf(1)
+				return e
+			}},
+			wantCheck: "positive-finite",
+		},
+		{
+			name: "zero II",
+			stub: &stubModel{predict: func(d model.Design) *model.Estimate {
+				e := healthy(d)
+				e.IIComp = 0
+				return e
+			}},
+			wantCheck: "ii-depth",
+		},
+		{
+			name: "NPE above requested",
+			stub: &stubModel{predict: func(d model.Design) *model.Estimate {
+				e := healthy(d)
+				e.NPE = d.PE + 1
+				return e
+			}},
+			wantCheck: "npe-ncu",
+		},
+		{
+			name: "NCU below one",
+			stub: &stubModel{predict: func(d model.Design) *model.Estimate {
+				e := healthy(d)
+				e.NCU = 0
+				return e
+			}},
+			wantCheck: "npe-ncu",
+		},
+		{
+			name: "cycles grow with PE, unattributed",
+			stub: &stubModel{predict: func(d model.Design) *model.Estimate {
+				e := healthy(d)
+				e.Cycles = 1000 * float64(d.PE)
+				return e
+			}},
+			wantCheck: "mono-pe",
+		},
+		{
+			name: "cycles grow with CU beyond slack, unattributed",
+			stub: &stubModel{predict: func(d model.Design) *model.Estimate {
+				e := healthy(d)
+				e.Cycles = 1000 * float64(d.CU)
+				return e
+			}},
+			wantCheck: "mono-cu",
+		},
+		{
+			name: "ablated estimate beats its own depth",
+			stub: &stubModel{predictWith: func(d model.Design, ab model.Ablations) *model.Estimate {
+				e := healthy(d)
+				if ab.SingleMemLatency {
+					e.Cycles = float64(e.Depth) / 2
+				}
+				return e
+			}},
+			wantCheck: "ablate-floor-A1-single-mem",
+		},
+		{
+			name: "uncoalesced cheaper than coalesced",
+			stub: &stubModel{predictWith: func(d model.Design, ab model.Ablations) *model.Estimate {
+				e := healthy(d)
+				if ab.NoCoalescing {
+					e.Cycles /= 2
+				}
+				return e
+			}},
+			wantCheck: "ablate-coalesce",
+		},
+		{
+			name: "MII schedule slower than SMS",
+			stub: &stubModel{predictWith: func(d model.Design, ab model.Ablations) *model.Estimate {
+				e := healthy(d)
+				if ab.IIFromMII {
+					e.Cycles *= 2
+				}
+				return e
+			}},
+			wantCheck: "ablate-mii",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, _, _ := InvariantFindings("synthetic/broken", tc.stub, grid(), 48)
+			fired := checksFired(fs)
+			if fired[tc.wantCheck] == 0 {
+				t.Fatalf("check %q did not fire; fired: %v", tc.wantCheck, fired)
+			}
+			if !tc.allowOthers {
+				for check := range fired {
+					if check != tc.wantCheck {
+						t.Errorf("unrelated check %q fired (%d findings)", check, fired[check])
+					}
+				}
+			}
+			for _, f := range fs {
+				if f.Family != FamilyInvariant || f.Kernel != "synthetic/broken" ||
+					f.Design == "" || f.Expected == "" || f.Got == "" {
+					t.Errorf("malformed finding: %+v", f)
+				}
+			}
+		})
+	}
+}
+
+// TestMonotonicityAttribution: a slowdown the estimate itself explains
+// (II/Depth up, or effective parallelism down) is counted as attributed
+// contention, not reported — and pipeline-mode chains are skipped
+// entirely (Eq. 11–12).
+func TestMonotonicityAttribution(t *testing.T) {
+	attributedStub := &stubModel{predict: func(d model.Design) *model.Estimate {
+		e := healthy(d)
+		// Slower AND visibly contended: II grows with parallelism.
+		e.Cycles = 1000 * float64(d.PE*d.CU)
+		e.IIComp = d.PE * d.CU
+		return e
+	}}
+	fs, _, attributed := InvariantFindings("synthetic/contended", attributedStub, grid(), 48)
+	if n := checksFired(fs)["mono-pe"] + checksFired(fs)["mono-cu"]; n != 0 {
+		t.Fatalf("attributed slowdowns reported as violations: %v", fs)
+	}
+	if attributed == 0 {
+		t.Fatal("no pairs counted as attributed")
+	}
+
+	pipelineStub := &stubModel{predict: func(d model.Design) *model.Estimate {
+		e := healthy(d)
+		e.Mode = model.ModePipeline
+		e.Cycles = 1000 * float64(d.PE*d.CU) // wildly non-monotone
+		return e
+	}}
+	fs, _, attributed = InvariantFindings("synthetic/pipeline", pipelineStub, grid(), 48)
+	if len(fs) != 0 || attributed != 0 {
+		t.Fatalf("pipeline-mode chains not excluded: findings=%v attributed=%d", fs, attributed)
+	}
+}
+
+// TestCUSlack: CU growth may legitimately cost dls·ΔCU (Eq. 7's fixed
+// dispatch charge) — within the slack no finding, past it one fires.
+func TestCUSlack(t *testing.T) {
+	const dls = 48.0
+	mk := func(extra float64) *stubModel {
+		return &stubModel{predict: func(d model.Design) *model.Estimate {
+			e := healthy(d)
+			e.Cycles = 1000 + float64(d.CU-1)*(dls+extra) - 100/float64(d.PE)
+			return e
+		}}
+	}
+	fs, _, _ := InvariantFindings("synthetic/slack", mk(-1), grid(), dls)
+	if n := checksFired(fs)["mono-cu"]; n != 0 {
+		t.Fatalf("slowdown within dls slack reported: %v", fs)
+	}
+	fs, _, _ = InvariantFindings("synthetic/slack", mk(+10), grid(), dls)
+	if n := checksFired(fs)["mono-cu"]; n == 0 {
+		t.Fatal("slowdown past dls slack not reported")
+	}
+}
+
+func TestAllowlist(t *testing.T) {
+	fs := []Finding{
+		{Check: "error-band", Kernel: "bfs/bfs_1"},
+		{Check: "error-band", Kernel: "nn/nn"},
+		{Check: "mono-pe", Kernel: "bfs/bfs_1"},
+	}
+	applyAllowlist(fs, []Allow{{Check: "error-band", Kernel: "bfs/bfs_1", Reason: "known"}})
+	if !fs[0].Allowed || fs[0].Reason != "known" {
+		t.Errorf("matching finding not allowed: %+v", fs[0])
+	}
+	if fs[1].Allowed || fs[2].Allowed {
+		t.Errorf("non-matching findings allowed: %+v %+v", fs[1], fs[2])
+	}
+
+	rep := &Report{Findings: fs}
+	if got := len(rep.Violations()); got != 2 {
+		t.Errorf("violations = %d, want 2", got)
+	}
+	if got := len(rep.Allowed()); got != 1 {
+		t.Errorf("allowed = %d, want 1", got)
+	}
+
+	// Wildcards: empty Check matches any check, empty Kernel any kernel.
+	fs2 := []Finding{{Check: "x", Kernel: "a/b"}, {Check: "y", Kernel: "c/d"}}
+	applyAllowlist(fs2, []Allow{{Reason: "blanket"}})
+	if !fs2[0].Allowed || !fs2[1].Allowed {
+		t.Error("blanket allow entry did not match everything")
+	}
+}
+
+func TestReportTable(t *testing.T) {
+	rep := &Report{
+		Findings: []Finding{
+			{Family: FamilyServe, Check: "b", Kernel: "k2", Design: "d", Expected: "e", Got: "g"},
+			{Family: FamilyInvariant, Check: "a", Kernel: "k1", Design: "d", Expected: "e", Got: "g",
+				Allowed: true, Reason: "why"},
+		},
+		Checks: 2, Kernels: 1,
+	}
+	s := rep.Table().String()
+	for _, want := range []string{"invariant", "serve", "yes: why", "k1", "k2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+	// Families sort invariant first.
+	if strings.Index(s, "invariant") > strings.Index(s, "serve") {
+		t.Error("table not sorted family-first")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Family: FamilyInvariant, Check: "mono-pe", Kernel: "a/b",
+		Design: "d1 -> d2", Expected: "less", Got: "more"}
+	s := f.String()
+	if !strings.Contains(s, "mono-pe") || !strings.Contains(s, "a/b") {
+		t.Errorf("String() = %q", s)
+	}
+	f.Allowed, f.Reason = true, "known"
+	if !strings.Contains(f.String(), "allowed: known") {
+		t.Errorf("allowed String() = %q", f.String())
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.platform() == nil {
+		t.Fatal("nil default platform")
+	}
+	if got := len(o.families()); got != 3 {
+		t.Errorf("default families = %d, want 3", got)
+	}
+	if o.simGroups() != 64 {
+		t.Errorf("default sim groups = %d, want 64", o.simGroups())
+	}
+	if (Options{Smoke: true}).simGroups() != 8 {
+		t.Error("smoke sim groups != 8")
+	}
+	if o.errorBand() <= 0 {
+		t.Error("default error band not positive")
+	}
+	full, smoke := len(o.kernels()), len((Options{Smoke: true}).kernels())
+	if full != len(bench.All()) {
+		t.Errorf("default corpus = %d kernels, want %d", full, len(bench.All()))
+	}
+	if smoke >= full || smoke == 0 {
+		t.Errorf("smoke subset = %d of %d", smoke, full)
+	}
+}
+
+func TestRunRejectsUnknownFamily(t *testing.T) {
+	_, err := Run(context.Background(), Options{Families: []string{"nonsense"}})
+	if err == nil || !strings.Contains(err.Error(), "nonsense") {
+		t.Fatalf("err = %v, want unknown-family error", err)
+	}
+}
+
+// TestRunSingleKernel is the end-to-end path: invariants over a real
+// kernel's real design space must come back clean.
+func TestRunSingleKernel(t *testing.T) {
+	k := bench.Find("kmeans", "swap")
+	if k == nil {
+		t.Fatal("kmeans/swap missing")
+	}
+	rep, err := Run(context.Background(), Options{
+		Kernels:  []*bench.Kernel{k},
+		Families: []string{FamilyInvariant},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Violations(); len(v) != 0 {
+		t.Fatalf("violations on kmeans/swap: %v", v)
+	}
+	if rep.Checks == 0 || rep.Kernels != 1 {
+		t.Errorf("checks=%d kernels=%d", rep.Checks, rep.Kernels)
+	}
+}
+
+func TestFingerprintDiff(t *testing.T) {
+	if got := fingerprintDiff("a\nb\nc", "a\nX\nc"); !strings.Contains(got, "line 2") {
+		t.Errorf("diff = %q", got)
+	}
+	if got := fingerprintDiff("a\nb", "a\nb\nc"); !strings.Contains(got, "lengths differ") {
+		t.Errorf("length diff = %q", got)
+	}
+}

@@ -1,0 +1,229 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Predictor is the model surface the invariant checks consume.
+// *model.Analysis satisfies it; tests substitute deliberately broken
+// implementations to prove each check can actually fire.
+type Predictor interface {
+	Predict(d model.Design) *model.Estimate
+	PredictWith(d model.Design, ab model.Ablations) *model.Estimate
+}
+
+// relTol is the relative tolerance for monotonicity comparisons: two
+// estimates within one part in 10⁹ are "equal", so float association
+// noise never trips a check.
+const relTol = 1e-9
+
+// InvariantFindings audits one kernel's prediction surface: every
+// design in designs is predicted (full model plus the ablation grid)
+// and the per-point and cross-point invariants below are asserted. dls
+// is the platform's ΔL_schedule (work-group scheduling overhead in
+// cycles), the slack term for CU-scaling comparisons.
+//
+// Checks (paper grounding in docs/CHECK.md):
+//
+//	positive-finite  Cycles > 0 and finite; Seconds ≥ 0 and finite.
+//	ii-depth         II_comp ≥ 1 and Depth ≥ 1 (Eq. 1–4: a schedule
+//	                 issues at least every cycle and has ≥ 1 stage).
+//	npe-ncu          1 ≤ N_PE ≤ P and 1 ≤ N_CU ≤ N (Eq. 6, 8: the
+//	                 effective parallelism is capped by the requested).
+//	mono-pe          With WG size, pipelining, mode and CU fixed,
+//	                 growing PE must not increase cycles — unless the
+//	                 estimate itself attributes the slowdown to a
+//	                 documented contention term (II↑ or Depth↑ from
+//	                 shared-DSP pressure, Eq. 4; or N_CU↓ from the Eq. 8
+//	                 feedback). Pipeline-effective-mode points are
+//	                 excluded: Eq. 11's channel occupancy N_PE·N_CU·L_mem
+//	                 makes them legitimately non-monotone.
+//	mono-cu          Same for CU scaling with PE fixed, with dls·ΔCU of
+//	                 slack (Eq. 7 charges N·ΔL_schedule up front) and
+//	                 N_PE↓ as the attributed term (per-CU DSP budget
+//	                 halves, Eq. 6).
+//	ablate-finite-*  Every single-component ablation stays positive and
+//	                 finite.
+//	ablate-floor-*   An ablated estimate can never beat its own pipeline
+//	                 depth: Cycles ≥ Depth (one wave through the PE).
+//	ablate-coalesce  Pricing raw accesses instead of coalesced bursts
+//	                 (NoCoalescing) cannot speed the kernel up.
+//	ablate-mii       Skipping SMS refinement (IIFromMII) cannot slow it
+//	                 down: II = MII ≤ II_SMS. Both are asserted with
+//	                 NoSchedOverhead co-enabled, which removes the Eq. 8
+//	                 N_CU feedback that would otherwise couple a lower
+//	                 CU latency to a worse batch count.
+func InvariantFindings(kernelID string, pr Predictor, designs []model.Design, dls float64) (findings []Finding, checks, attributed int) {
+	add := func(check string, d model.Design, expected, got string) {
+		findings = append(findings, Finding{
+			Family:   FamilyInvariant,
+			Check:    check,
+			Kernel:   kernelID,
+			Design:   d.String(),
+			Expected: expected,
+			Got:      got,
+		})
+	}
+
+	ests := make(map[model.Design]*model.Estimate, len(designs))
+	for _, d := range designs {
+		e := pr.Predict(d)
+		ests[d] = e
+
+		checks++
+		if !positiveFinite(e.Cycles) || math.IsNaN(e.Seconds) || math.IsInf(e.Seconds, 0) || e.Seconds < 0 {
+			add("positive-finite", d, "0 < Cycles < +Inf, finite Seconds",
+				fmt.Sprintf("cycles=%v seconds=%v", e.Cycles, e.Seconds))
+		}
+		checks++
+		if e.IIComp < 1 || e.Depth < 1 {
+			add("ii-depth", d, "IIComp >= 1 && Depth >= 1",
+				fmt.Sprintf("ii=%d depth=%d", e.IIComp, e.Depth))
+		}
+		checks++
+		if e.NPE < 1 || e.NPE > d.PE || e.NCU < 1 || e.NCU > d.CU {
+			add("npe-ncu", d, fmt.Sprintf("1 <= NPE <= %d && 1 <= NCU <= %d", d.PE, d.CU),
+				fmt.Sprintf("npe=%d ncu=%d", e.NPE, e.NCU))
+		}
+
+		// Single-component ablations: well-formed and above the depth
+		// floor.
+		for _, ab := range []struct {
+			name string
+			ab   model.Ablations
+		}{
+			{"A1-single-mem", model.Ablations{SingleMemLatency: true}},
+			{"A2-no-sched", model.Ablations{NoSchedOverhead: true}},
+			{"A3-ii-mii", model.Ablations{IIFromMII: true}},
+			{"A4-no-coalesce", model.Ablations{NoCoalescing: true}},
+		} {
+			ae := pr.PredictWith(d, ab.ab)
+			checks++
+			if !positiveFinite(ae.Cycles) {
+				add("ablate-finite-"+ab.name, d, "0 < Cycles < +Inf",
+					fmt.Sprintf("cycles=%v", ae.Cycles))
+			}
+			checks++
+			if float64(ae.Depth) > ae.Cycles*(1+relTol) {
+				add("ablate-floor-"+ab.name, d, "Cycles >= Depth",
+					fmt.Sprintf("cycles=%v depth=%d", ae.Cycles, ae.Depth))
+			}
+		}
+
+		// Ablation order relations, with NoSchedOverhead co-enabled to
+		// decouple the Eq. 8 N_CU feedback.
+		a2 := pr.PredictWith(d, model.Ablations{NoSchedOverhead: true})
+		a24 := pr.PredictWith(d, model.Ablations{NoSchedOverhead: true, NoCoalescing: true})
+		a23 := pr.PredictWith(d, model.Ablations{NoSchedOverhead: true, IIFromMII: true})
+		checks++
+		if a24.Cycles < a2.Cycles*(1-relTol) {
+			add("ablate-coalesce", d, "uncoalesced >= coalesced cycles",
+				fmt.Sprintf("uncoalesced=%v coalesced=%v", a24.Cycles, a2.Cycles))
+		}
+		checks++
+		if a23.Cycles > a2.Cycles*(1+relTol) {
+			add("ablate-mii", d, "II=MII cycles <= II=SMS cycles",
+				fmt.Sprintf("mii=%v sms=%v", a23.Cycles, a2.Cycles))
+		}
+	}
+
+	mf, mc, ma := monotonicityFindings(kernelID, designs, ests, dls)
+	findings = append(findings, mf...)
+	checks += mc
+	attributed += ma
+	return findings, checks, attributed
+}
+
+func positiveFinite(v float64) bool {
+	return v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v)
+}
+
+// chainKey groups designs into scaling chains: all parameters fixed
+// except the one being swept (PE chains fix cu, CU chains fix pe).
+type chainKey struct {
+	wg   int64
+	pipe bool
+	mode model.CommMode
+	cu   int
+	pe   int
+}
+
+// monotonicityFindings checks the mono-pe / mono-cu invariants over the
+// already-predicted design grid. Chains whose endpoints run in
+// effective pipeline mode are skipped entirely (Eq. 11–12); attributed
+// barrier-mode slowdowns are counted, not reported.
+func monotonicityFindings(kernelID string, designs []model.Design, ests map[model.Design]*model.Estimate, dls float64) (findings []Finding, checks, attributed int) {
+	pair := func(check string, d1, d2 model.Design, e1, e2 *model.Estimate, slack float64) {
+		findings = append(findings, Finding{
+			Family: FamilyInvariant,
+			Check:  check,
+			Kernel: kernelID,
+			Design: d1.String() + " -> " + d2.String(),
+			Expected: fmt.Sprintf("cycles(next) <= %v (+%v slack)",
+				e1.Cycles, slack),
+			Got: fmt.Sprintf("cycles=%v (ii %d->%d depth %d->%d npe %d->%d ncu %d->%d)",
+				e2.Cycles, e1.IIComp, e2.IIComp, e1.Depth, e2.Depth,
+				e1.NPE, e2.NPE, e1.NCU, e2.NCU),
+		})
+	}
+
+	peChains := map[chainKey][]model.Design{}
+	cuChains := map[chainKey][]model.Design{}
+	for _, d := range designs {
+		pk := chainKey{wg: d.WGSize, pipe: d.WIPipeline, mode: d.Mode, cu: d.CU}
+		ck := chainKey{wg: d.WGSize, pipe: d.WIPipeline, mode: d.Mode, pe: d.PE}
+		peChains[pk] = append(peChains[pk], d)
+		cuChains[ck] = append(cuChains[ck], d)
+	}
+
+	for _, ds := range peChains {
+		sort.Slice(ds, func(i, j int) bool { return ds[i].PE < ds[j].PE })
+		for i := 1; i < len(ds); i++ {
+			e1, e2 := ests[ds[i-1]], ests[ds[i]]
+			if e1 == nil || e2 == nil || e1.Mode != model.ModeBarrier || e2.Mode != model.ModeBarrier {
+				continue
+			}
+			checks++
+			if e2.Cycles > e1.Cycles*(1+relTol) {
+				// Documented contention terms for PE growth: DSP-slot
+				// pressure raising the schedule (Eq. 4), or the Eq. 8
+				// feedback lowering N_CU (lower L_comp^CU ⇒ fewer CUs
+				// are worth scheduling ⇒ more batches).
+				if e2.IIComp > e1.IIComp || e2.Depth > e1.Depth || e2.NCU < e1.NCU {
+					attributed++
+				} else {
+					pair("mono-pe", ds[i-1], ds[i], e1, e2, 0)
+				}
+			}
+		}
+	}
+
+	for _, ds := range cuChains {
+		sort.Slice(ds, func(i, j int) bool { return ds[i].CU < ds[j].CU })
+		for i := 1; i < len(ds); i++ {
+			e1, e2 := ests[ds[i-1]], ests[ds[i]]
+			if e1 == nil || e2 == nil || e1.Mode != model.ModeBarrier || e2.Mode != model.ModeBarrier {
+				continue
+			}
+			// Eq. 7 charges N·ΔL_schedule of fixed dispatch cost, so CU
+			// growth legitimately costs dls per added CU.
+			slack := dls * float64(ds[i].CU-ds[i-1].CU)
+			checks++
+			if e2.Cycles > e1.Cycles*(1+relTol)+slack {
+				// Documented contention terms for CU growth: the per-CU
+				// DSP budget shrinks (Eq. 6 lowers N_PE, Eq. 4 raises
+				// the schedule).
+				if e2.IIComp > e1.IIComp || e2.Depth > e1.Depth || e2.NPE < e1.NPE {
+					attributed++
+				} else {
+					pair("mono-cu", ds[i-1], ds[i], e1, e2, slack)
+				}
+			}
+		}
+	}
+	return findings, checks, attributed
+}

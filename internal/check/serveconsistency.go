@@ -1,0 +1,272 @@
+package check
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// Wire mirrors of internal/serve's JSON. Cycle values are kept as
+// json.Number so the comparison is byte-for-byte on what the service
+// actually emitted — a float round-trip would mask low-bit drift, and
+// low-bit drift is exactly what a cache-aliasing bug produces.
+type wireDesign struct {
+	WGSize     int64  `json:"wg_size"`
+	WIPipeline bool   `json:"wi_pipeline"`
+	PE         int    `json:"pe"`
+	CU         int    `json:"cu"`
+	Mode       string `json:"mode"`
+}
+
+type wirePredict struct {
+	Design wireDesign  `json:"design"`
+	Cycles json.Number `json:"cycles"`
+	Cached bool        `json:"cached"`
+}
+
+type wirePoint struct {
+	Design wireDesign  `json:"design"`
+	Est    json.Number `json:"est_cycles"`
+}
+
+type wireJob struct {
+	State   string `json:"state"`
+	Error   string `json:"error"`
+	Summary *struct {
+		Points int         `json:"points"`
+		Top    []wirePoint `json:"top"`
+	} `json:"summary"`
+}
+
+// ServeConsistency audits the HTTP service end to end: for each kernel
+// it predicts sampled designs through POST /v1/predict (twice, so the
+// second answer crosses the prediction cache) and explores the full
+// space through POST /v1/explore, then demands the three answers agree
+// byte-for-byte on the estimated cycles:
+//
+//	pred-cache-stability        first predict == cached re-predict
+//	predict-explore-consistency predict == the design's point in the
+//	                            exploration result
+//
+// Both checks catch aliasing drift between dse.PredCache, the shared
+// dse.PrepCache, and the exploration path (a cached estimate mutated by
+// any layer shows up as a byte difference here). The server runs
+// in-process on an httptest listener; no network access is needed.
+func ServeConsistency(ctx context.Context, kernels []*bench.Kernel, opts Options) (findings []Finding, checks int, err error) {
+	p := opts.platform()
+	srv := serve.New(serve.Config{
+		Workers:        2,
+		RequestTimeout: 2 * time.Minute,
+		ExploreTimeout: 10 * time.Minute,
+		Logger:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		cctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if cerr := srv.Close(cctx); cerr != nil && err == nil {
+			err = fmt.Errorf("check: draining serve fixture: %w", cerr)
+		}
+	}()
+	client := ts.Client()
+
+	for _, k := range kernels {
+		if err := ctx.Err(); err != nil {
+			return findings, checks, err
+		}
+		wgs := k.WGSizes()
+		if len(wgs) == 0 {
+			continue
+		}
+		wg := wgs[0]
+		// The serial baseline plus the maximally parallel point: the two
+		// ends of the space, and the designs most likely to collide in a
+		// miskeyed cache.
+		designs := []wireDesign{
+			{WGSize: wg, WIPipeline: false, PE: 1, CU: 1, Mode: "barrier"},
+			{WGSize: wg, WIPipeline: true, PE: p.MaxPE, CU: p.MaxCU, Mode: "pipeline"},
+		}
+
+		preds := make([]wirePredict, len(designs))
+		for i, d := range designs {
+			p1, err := postPredict(ctx, client, ts.URL, k, d)
+			if err != nil {
+				return findings, checks, err
+			}
+			p2, err := postPredict(ctx, client, ts.URL, k, d)
+			if err != nil {
+				return findings, checks, err
+			}
+			preds[i] = p1
+			checks++
+			if p1.Cycles != p2.Cycles {
+				findings = append(findings, Finding{
+					Family:   FamilyServe,
+					Check:    "pred-cache-stability",
+					Kernel:   k.ID(),
+					Design:   designString(d),
+					Expected: "re-predict returns identical bytes: " + string(p1.Cycles),
+					Got:      fmt.Sprintf("%s (cached=%v)", p2.Cycles, p2.Cached),
+				})
+			}
+		}
+
+		top, err := explore(ctx, client, ts.URL, k)
+		if err != nil {
+			return findings, checks, err
+		}
+		for i, d := range designs {
+			checks++
+			pt, ok := findPoint(top, d)
+			if !ok {
+				findings = append(findings, Finding{
+					Family:   FamilyServe,
+					Check:    "predict-explore-consistency",
+					Kernel:   k.ID(),
+					Design:   designString(d),
+					Expected: "design present in the exploration result",
+					Got:      fmt.Sprintf("absent from %d returned points", len(top)),
+				})
+				continue
+			}
+			if preds[i].Cycles != pt.Est {
+				findings = append(findings, Finding{
+					Family:   FamilyServe,
+					Check:    "predict-explore-consistency",
+					Kernel:   k.ID(),
+					Design:   designString(d),
+					Expected: "explore est_cycles == predict cycles: " + string(preds[i].Cycles),
+					Got:      string(pt.Est),
+				})
+			}
+		}
+	}
+	return findings, checks, nil
+}
+
+func designString(d wireDesign) string {
+	return (model.Design{
+		WGSize: d.WGSize, WIPipeline: d.WIPipeline, PE: d.PE, CU: d.CU,
+		Mode: parseMode(d.Mode),
+	}).String()
+}
+
+func parseMode(s string) model.CommMode {
+	if s == "pipeline" {
+		return model.ModePipeline
+	}
+	return model.ModeBarrier
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, body any, out any) (int, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return resp.StatusCode, fmt.Errorf("decoding %s response (%d): %w", url, resp.StatusCode, err)
+	}
+	return resp.StatusCode, nil
+}
+
+func postPredict(ctx context.Context, client *http.Client, base string, k *bench.Kernel, d wireDesign) (wirePredict, error) {
+	body := map[string]any{
+		"bench": k.Bench, "kernel": k.Name, "platform": "virtex7",
+		"design": d,
+	}
+	var out wirePredict
+	code, err := postJSON(ctx, client, base+"/v1/predict", body, &out)
+	if err != nil {
+		return out, fmt.Errorf("check: predict %s %s: %w", k.ID(), designString(d), err)
+	}
+	if code != http.StatusOK {
+		return out, fmt.Errorf("check: predict %s %s: HTTP %d", k.ID(), designString(d), code)
+	}
+	return out, nil
+}
+
+// explore submits a model-only exploration covering the whole space
+// (top large enough to return every point) and polls the job to
+// completion.
+func explore(ctx context.Context, client *http.Client, base string, k *bench.Kernel) ([]wirePoint, error) {
+	body := map[string]any{
+		"bench": k.Bench, "kernel": k.Name, "platform": "virtex7",
+		"sim": false, "top": 1 << 20,
+	}
+	var sub struct {
+		ID  string `json:"id"`
+		URL string `json:"url"`
+	}
+	code, err := postJSON(ctx, client, base+"/v1/explore", body, &sub)
+	if err != nil {
+		return nil, fmt.Errorf("check: explore %s: %w", k.ID(), err)
+	}
+	if code != http.StatusAccepted {
+		return nil, fmt.Errorf("check: explore %s: HTTP %d", k.ID(), code)
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+sub.ID, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("check: polling job %s: %w", sub.ID, err)
+		}
+		var jv wireJob
+		derr := json.NewDecoder(resp.Body).Decode(&jv)
+		resp.Body.Close()
+		if derr != nil {
+			return nil, fmt.Errorf("check: decoding job %s: %w", sub.ID, derr)
+		}
+		switch jv.State {
+		case "done":
+			if jv.Summary == nil {
+				return nil, fmt.Errorf("check: job %s done without summary", sub.ID)
+			}
+			return jv.Summary.Top, nil
+		case "failed", "canceled":
+			return nil, fmt.Errorf("check: explore %s %s: %s", k.ID(), jv.State, jv.Error)
+		}
+	}
+}
+
+func findPoint(points []wirePoint, d wireDesign) (wirePoint, bool) {
+	for _, pt := range points {
+		if pt.Design == d {
+			return pt, true
+		}
+	}
+	return wirePoint{}, false
+}

@@ -327,45 +327,61 @@ func (r *Result) ActualOf(d model.Design) float64 {
 
 // GapToOptimum returns how far (percent) the model-selected design is
 // from the true optimum, by actual performance (§4.3: 2.1 % average).
-func (r *Result) GapToOptimum() float64 {
+// ok is false when the gap is unmeasurable — no points, no ground-truth
+// measurements, or the model-selected design itself was never simulated
+// — so partial-simulation runs cannot masquerade as "0 % from optimum".
+func (r *Result) GapToOptimum() (gap float64, ok bool) {
 	best, ok := r.BestByModel()
 	if !ok {
-		return 0
+		return 0, false
 	}
 	optPt, ok := r.BestActual()
 	if !ok {
-		return 0
+		return 0, false
 	}
 	sel := r.ActualOf(best.Design)
 	opt := optPt.Actual
 	if opt <= 0 || sel <= 0 {
-		return 0
+		return 0, false
 	}
-	return (sel - opt) / opt * 100
+	return (sel - opt) / opt * 100, true
 }
 
 // BaselineDesign is the unoptimized reference configuration (§4.3's
 // "baseline unoptimized design"): smallest work-group, no pipelining,
-// single PE and CU, barrier mode.
-func BaselineDesign(k *bench.Kernel) model.Design {
-	return model.Design{
-		WGSize: k.WGSizes()[0], WIPipeline: false, PE: 1, CU: 1,
-		Mode: model.ModeBarrier,
+// single PE and CU, barrier mode. ok is false when the kernel's
+// work-group sweep is empty, leaving no work-group size to anchor the
+// baseline to.
+func BaselineDesign(k *bench.Kernel) (model.Design, bool) {
+	wgs := k.WGSizes()
+	if len(wgs) == 0 {
+		return model.Design{}, false
 	}
+	return model.Design{
+		WGSize: wgs[0], WIPipeline: false, PE: 1, CU: 1,
+		Mode: model.ModeBarrier,
+	}, true
 }
 
-// SpeedupOverBaseline returns actual(baseline)/actual(selected).
-func (r *Result) SpeedupOverBaseline() float64 {
+// SpeedupOverBaseline returns actual(baseline)/actual(selected). ok is
+// false when either side lacks a ground-truth measurement (or the
+// baseline design does not exist), so partial-simulation runs report
+// "unknown" instead of an ideal 1×.
+func (r *Result) SpeedupOverBaseline() (speedup float64, ok bool) {
 	best, ok := r.BestByModel()
-	if !ok {
-		return 1
+	if !ok || r.Kernel == nil {
+		return 0, false
 	}
-	base := r.ActualOf(BaselineDesign(r.Kernel))
+	bd, ok := BaselineDesign(r.Kernel)
+	if !ok {
+		return 0, false
+	}
+	base := r.ActualOf(bd)
 	sel := r.ActualOf(best.Design)
 	if base <= 0 || sel <= 0 {
-		return 1
+		return 0, false
 	}
-	return base / sel
+	return base / sel, true
 }
 
 // HeuristicSearch reproduces the step-by-step search of [16]: starting
@@ -373,7 +389,10 @@ func (r *Result) SpeedupOverBaseline() float64 {
 // coarse model, assuming independence between optimizations. Returns the
 // chosen design and the number of coarse-model evaluations.
 func HeuristicSearch(k *bench.Kernel, analyses map[int64]*model.Analysis) (model.Design, int) {
-	cur := BaselineDesign(k)
+	cur, ok := BaselineDesign(k)
+	if !ok {
+		return model.Design{}, 0
+	}
 	evals := 0
 	score := func(d model.Design) float64 {
 		evals++

@@ -74,10 +74,18 @@ func TestExploreWithGroundTruth(t *testing.T) {
 
 func TestSelectionNearOptimal(t *testing.T) {
 	r := explore(t, "kmeans", "swap", dse.Options{SkipBaseline: true})
-	if gap := r.GapToOptimum(); gap > 25 {
+	gap, ok := r.GapToOptimum()
+	if !ok {
+		t.Fatal("GapToOptimum not measurable on a fully simulated exploration")
+	}
+	if gap > 25 {
 		t.Errorf("model-selected design %.1f%% from optimum", gap)
 	}
-	if sp := r.SpeedupOverBaseline(); sp < 1 {
+	sp, ok := r.SpeedupOverBaseline()
+	if !ok {
+		t.Fatal("SpeedupOverBaseline not measurable on a fully simulated exploration")
+	}
+	if sp < 1 {
 		t.Errorf("selected design slower than unoptimized baseline (%.2fx)", sp)
 	}
 }
@@ -114,9 +122,27 @@ func TestHeuristicSearchFindsSomething(t *testing.T) {
 
 func TestBaselineDesign(t *testing.T) {
 	k := bench.Find("nn", "nn")
-	d := dse.BaselineDesign(k)
+	d, ok := dse.BaselineDesign(k)
+	if !ok {
+		t.Fatal("BaselineDesign not ok for a kernel with a WG sweep")
+	}
 	if d.WIPipeline || d.PE != 1 || d.CU != 1 || d.Mode != model.ModeBarrier {
 		t.Errorf("baseline design not unoptimized: %v", d)
+	}
+}
+
+func TestBaselineDesignEmptySweep(t *testing.T) {
+	// MinWG above MaxWG leaves the power-of-two sweep empty; the old
+	// implementation panicked on WGSizes()[0].
+	k := &bench.Kernel{Bench: "synthetic", Name: "empty", MinWG: 512, MaxWG: 256}
+	if len(k.WGSizes()) != 0 {
+		t.Fatalf("fixture sweep not empty: %v", k.WGSizes())
+	}
+	if d, ok := dse.BaselineDesign(k); ok {
+		t.Errorf("BaselineDesign ok on an empty sweep: %v", d)
+	}
+	if d, evals := dse.HeuristicSearch(k, nil); evals != 0 || d != (model.Design{}) {
+		t.Errorf("HeuristicSearch on an empty sweep = %v, %d evals", d, evals)
 	}
 }
 

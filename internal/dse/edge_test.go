@@ -94,8 +94,11 @@ func TestBestActualEdgeCases(t *testing.T) {
 // degenerate results.
 func TestDerivedMetricsOnEmptyResult(t *testing.T) {
 	r := &Result{}
-	if gap := r.GapToOptimum(); gap != 0 {
-		t.Errorf("GapToOptimum on empty = %v", gap)
+	if gap, ok := r.GapToOptimum(); ok || gap != 0 {
+		t.Errorf("GapToOptimum on empty = %v, %v; want 0, false", gap, ok)
+	}
+	if sp, ok := r.SpeedupOverBaseline(); ok || sp != 0 {
+		t.Errorf("SpeedupOverBaseline on empty = %v, %v; want 0, false", sp, ok)
 	}
 	fe, se := r.AvgErrors()
 	if fe != 0 || se != 0 {

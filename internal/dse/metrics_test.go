@@ -22,7 +22,11 @@ func fixtureResult(t *testing.T) (*dse.Result, dse.Point, dse.Point, dse.Point) 
 	if k == nil {
 		t.Fatal("nn/nn missing")
 	}
-	base := dse.Point{Design: dse.BaselineDesign(k), Est: 1000, Actual: 800, Baseline: 1100}
+	bd, ok := dse.BaselineDesign(k)
+	if !ok {
+		t.Fatal("BaselineDesign not ok for nn/nn")
+	}
+	base := dse.Point{Design: bd, Est: 1000, Actual: 800, Baseline: 1100}
 	mid := dse.Point{
 		Design: model.Design{WGSize: 64, WIPipeline: true, PE: 2, CU: 1, Mode: model.ModeBarrier},
 		Est:    500, Actual: 400, Baseline: -1,
@@ -67,9 +71,16 @@ func TestAvgErrorsNoMeasurements(t *testing.T) {
 
 func TestBestAndGapFixture(t *testing.T) {
 	r, _, _, best := fixtureResult(t)
-	// The model's pick is the unmeasured point (Est 90)... which has no
-	// Actual, so GapToOptimum falls back to 0 via sel <= 0. Drop the
-	// unmeasured point to exercise the interesting path.
+	// The model's pick is the unmeasured point (Est 90), which has no
+	// Actual: the gap and speedup are unmeasurable and must say so
+	// instead of reporting the ideal 0 % / 1×.
+	if gap, ok := r.GapToOptimum(); ok {
+		t.Errorf("GapToOptimum measurable with an unsimulated selection (= %v)", gap)
+	}
+	if sp, ok := r.SpeedupOverBaseline(); ok {
+		t.Errorf("SpeedupOverBaseline measurable with an unsimulated selection (= %v)", sp)
+	}
+	// Drop the unmeasured point to exercise the measured path.
 	r.Points = r.Points[:3]
 	got, ok := r.BestByModel()
 	if !ok || got.Design != best.Design {
@@ -80,12 +91,28 @@ func TestBestAndGapFixture(t *testing.T) {
 		t.Fatalf("BestActual = %+v, %v; want the Actual-200 point", gotA, ok)
 	}
 	// Selected design IS the optimum: gap 0.
-	if gap := r.GapToOptimum(); !near(gap, 0) {
-		t.Errorf("GapToOptimum = %v, want 0", gap)
+	if gap, ok := r.GapToOptimum(); !ok || !near(gap, 0) {
+		t.Errorf("GapToOptimum = %v, %v; want 0, true", gap, ok)
 	}
 	// Speedup = actual(baseline design) / actual(selected) = 800/200.
-	if sp := r.SpeedupOverBaseline(); !near(sp, 4) {
-		t.Errorf("SpeedupOverBaseline = %v, want 4", sp)
+	if sp, ok := r.SpeedupOverBaseline(); !ok || !near(sp, 4) {
+		t.Errorf("SpeedupOverBaseline = %v, %v; want 4, true", sp, ok)
+	}
+}
+
+// TestMetricsWithoutBaselineMeasurement: when the unoptimized baseline
+// design was never simulated, the speedup is unknown — previously it
+// reported an ideal 1×.
+func TestMetricsWithoutBaselineMeasurement(t *testing.T) {
+	r, _, _, _ := fixtureResult(t)
+	r.Points = r.Points[:3]
+	r.Points[0].Actual = 0 // un-simulate the baseline point
+	if sp, ok := r.SpeedupOverBaseline(); ok {
+		t.Errorf("SpeedupOverBaseline measurable without the baseline measurement (= %v)", sp)
+	}
+	// The gap stays measurable: it needs only the selection + optimum.
+	if _, ok := r.GapToOptimum(); !ok {
+		t.Error("GapToOptimum should stay measurable without the baseline point")
 	}
 }
 
@@ -99,8 +126,8 @@ func TestGapWhenModelPicksWrong(t *testing.T) {
 	if !ok || sel.Design != mid.Design {
 		t.Fatalf("BestByModel = %+v, want the mid point", sel)
 	}
-	if gap := r.GapToOptimum(); !near(gap, 100) {
-		t.Errorf("GapToOptimum = %v, want 100", gap)
+	if gap, ok := r.GapToOptimum(); !ok || !near(gap, 100) {
+		t.Errorf("GapToOptimum = %v, %v; want 100, true", gap, ok)
 	}
 	// Optimality-rate predicate: the true optimum is near-optimal at any
 	// tolerance; the selected (2x slower) point only within >= 100 %.

@@ -72,13 +72,17 @@ func TestExplorePruneAllIsSafe(t *testing.T) {
 	if _, ok := r.BestActual(); ok {
 		t.Error("BestActual ok on empty result")
 	}
-	if gap := r.GapToOptimum(); gap != 0 {
-		t.Errorf("GapToOptimum on empty result = %v, want 0", gap)
+	if gap, ok := r.GapToOptimum(); ok {
+		t.Errorf("GapToOptimum measurable on empty result (= %v)", gap)
 	}
-	if sp := r.SpeedupOverBaseline(); sp != 1 {
-		t.Errorf("SpeedupOverBaseline on empty result = %v, want 1", sp)
+	if sp, ok := r.SpeedupOverBaseline(); ok {
+		t.Errorf("SpeedupOverBaseline measurable on empty result (= %v)", sp)
 	}
-	if r.NearOptimal(dse.BaselineDesign(k), 100) {
+	bd, ok := dse.BaselineDesign(k)
+	if !ok {
+		t.Fatal("BaselineDesign not ok")
+	}
+	if r.NearOptimal(bd, 100) {
 		t.Error("NearOptimal true on empty result")
 	}
 }

@@ -142,6 +142,36 @@ func TestPredCacheConcurrentCounting(t *testing.T) {
 	}
 }
 
+// TestPredCacheIsolation: the cache must not alias its stored estimate
+// with any caller's pointer — mutating either the value passed to Put or
+// a value returned by Get must not change what later Gets observe.
+func TestPredCacheIsolation(t *testing.T) {
+	c := NewPredCache(4)
+	in := est(100)
+	c.Put("k", in)
+	in.Cycles = -1 // caller keeps mutating its own estimate
+	got1, ok := c.Get("k")
+	if !ok || got1.Cycles != 100 {
+		t.Fatalf("Get after mutating the Put argument = %+v, ok=%v; want cycles 100", got1, ok)
+	}
+	got1.Cycles = -2 // caller mutates its returned copy
+	got1.NPE = 99
+	got2, ok := c.Get("k")
+	if !ok || got2.Cycles != 100 || got2.NPE != 0 {
+		t.Fatalf("Get after mutating a previous Get result = %+v, ok=%v; want cycles 100", got2, ok)
+	}
+	if got1 == got2 {
+		t.Fatal("two Gets returned the same pointer")
+	}
+}
+
+func TestEstimateCloneNil(t *testing.T) {
+	var e *model.Estimate
+	if e.Clone() != nil {
+		t.Error("Clone of nil estimate should be nil")
+	}
+}
+
 func TestCacheStatsHitRatioEmpty(t *testing.T) {
 	if r := (CacheStats{}).HitRatio(); r != 0 {
 		t.Errorf("empty hit ratio = %v", r)

@@ -62,6 +62,12 @@ type SuiteSummary struct {
 	TotalSimTime     time.Duration
 	AvgGap           float64 // percent from optimum (model-selected)
 	AvgSpeedup       float64 // over unoptimized baseline design
+	// GapKernels/SpeedupKernels count the kernels whose gap/speedup was
+	// actually measurable (selected + optimum/baseline designs
+	// simulated); the averages above are over these counts, so a
+	// partial-simulation run cannot pull them toward "ideal".
+	GapKernels     int
+	SpeedupKernels int
 }
 
 // Table2 reproduces Table 2: per-kernel average estimation error of the
@@ -105,8 +111,14 @@ func suiteTable(title string, kernels []*bench.Kernel, cfg Config) (*report.Tabl
 		sum.AvgSDAccelErr += se
 		sum.TotalModelTime += r.ModelTime
 		sum.TotalSimTime += r.SimTime
-		sum.AvgGap += r.GapToOptimum()
-		sum.AvgSpeedup += r.SpeedupOverBaseline()
+		if gap, ok := r.GapToOptimum(); ok {
+			sum.AvgGap += gap
+			sum.GapKernels++
+		}
+		if sp, ok := r.SpeedupOverBaseline(); ok {
+			sum.AvgSpeedup += sp
+			sum.SpeedupKernels++
+		}
 		fails += r.BaselineFailures
 		points += len(r.Points)
 	}
@@ -114,8 +126,12 @@ func suiteTable(title string, kernels []*bench.Kernel, cfg Config) (*report.Tabl
 		n := float64(sum.Kernels)
 		sum.AvgFlexCLErr /= n
 		sum.AvgSDAccelErr /= n
-		sum.AvgGap /= n
-		sum.AvgSpeedup /= n
+	}
+	if sum.GapKernels > 0 {
+		sum.AvgGap /= float64(sum.GapKernels)
+	}
+	if sum.SpeedupKernels > 0 {
+		sum.AvgSpeedup /= float64(sum.SpeedupKernels)
 	}
 	if points > 0 {
 		sum.BaselineFailRate = float64(fails) / float64(points)
@@ -189,6 +205,11 @@ type DSEQualityResult struct {
 	AvgGap      float64 // % from optimum (paper: 2.1 %)
 	AvgSpeedup  float64 // over unoptimized (paper: 273×)
 	SpeedupRate float64 // model-vs-sim evaluation wall-time ratio
+	// GapKernels/SpeedupKernels count the kernels whose metric was
+	// measurable (see dse.Result.GapToOptimum); the averages are over
+	// these counts.
+	GapKernels     int
+	SpeedupKernels int
 }
 
 // DSEQuality measures how close the model-selected designs are to the
@@ -211,14 +232,22 @@ func DSEQuality(cfg Config, kernels []*bench.Kernel) (*DSEQualityResult, error) 
 			return nil, err
 		}
 		res.Kernels++
-		res.AvgGap += r.GapToOptimum()
-		res.AvgSpeedup += r.SpeedupOverBaseline()
+		if gap, ok := r.GapToOptimum(); ok {
+			res.AvgGap += gap
+			res.GapKernels++
+		}
+		if sp, ok := r.SpeedupOverBaseline(); ok {
+			res.AvgSpeedup += sp
+			res.SpeedupKernels++
+		}
 		tm += r.ModelTime
 		ts += r.SimTime
 	}
-	if res.Kernels > 0 {
-		res.AvgGap /= float64(res.Kernels)
-		res.AvgSpeedup /= float64(res.Kernels)
+	if res.GapKernels > 0 {
+		res.AvgGap /= float64(res.GapKernels)
+	}
+	if res.SpeedupKernels > 0 {
+		res.AvgSpeedup /= float64(res.SpeedupKernels)
 	}
 	if tm > 0 {
 		res.SpeedupRate = float64(ts) / float64(tm)

@@ -133,17 +133,61 @@ type Profile struct {
 // Run executes every work-group of the kernel, mutating the buffers.
 // It returns an execution error (bad memory access, missing argument).
 func Run(f *ir.Func, cfg *Config) error {
-	_, err := execute(f, cfg, -1, false)
+	_, err := execute(f, cfg, prefixSample(-1), false)
 	return err
 }
 
 // ProfileKernel executes up to maxGroups work-groups (default 2) and
 // collects trip counts and global-memory traces. Buffers are mutated.
+// The profiled groups are the first maxGroups of the launch — FlexCL's
+// own choice (§3.2), whose sampling bias is part of the modeled error.
 func ProfileKernel(f *ir.Func, cfg *Config, maxGroups int) (*Profile, error) {
 	if maxGroups <= 0 {
 		maxGroups = 2
 	}
-	return execute(f, cfg, maxGroups, true)
+	return execute(f, cfg, prefixSample(maxGroups), true)
+}
+
+// ProfileKernelSpread is ProfileKernel with representative sampling:
+// the maxGroups profiled work-groups are spread evenly across the whole
+// launch instead of taken from its start. Ground-truth consumers
+// (rtlsim) use this so extrapolating a sample to the full launch is not
+// biased by atypical leading groups (boundary tiles, early-exit rows);
+// the analytical model deliberately keeps the paper's prefix sampling.
+// Work-groups of one launch are independent (OpenCL offers no
+// inter-group ordering), so any subset is as valid to execute as a
+// prefix. Buffers are mutated.
+func ProfileKernelSpread(f *ir.Func, cfg *Config, maxGroups int) (*Profile, error) {
+	if maxGroups <= 0 {
+		maxGroups = 2
+	}
+	total := cfg.Range.Normalize().TotalGroups()
+	if int64(maxGroups) >= total {
+		return execute(f, cfg, prefixSample(maxGroups), true)
+	}
+	m, t := int64(maxGroups), total
+	// Include gid iff ⌊(gid+1)·m/t⌋ > ⌊gid·m/t⌋: exactly m groups,
+	// evenly spread across the launch, in dispatch order,
+	// deterministically.
+	sel := func(gid int64) bool {
+		return (gid+1)*m/t > gid*m/t
+	}
+	return execute(f, cfg, groupSample{sel: sel, last: t - 1}, true)
+}
+
+// groupSample selects which work-groups (by linear dispatch index) an
+// execution runs. last bounds the scan so prefix runs stop early.
+type groupSample struct {
+	sel  func(gid int64) bool
+	last int64 // highest gid worth visiting; -1 = all
+}
+
+// prefixSample selects the first n groups (n < 0 = every group).
+func prefixSample(n int) groupSample {
+	if n < 0 {
+		return groupSample{sel: func(int64) bool { return true }, last: -1}
+	}
+	return groupSample{sel: func(gid int64) bool { return gid < int64(n) }, last: int64(n) - 1}
 }
 
 // errGroupAborted marks work-items unwound because a peer died.
@@ -152,7 +196,7 @@ var errGroupAborted = errors.New("interp: work-group aborted after a peer error"
 // execError aborts a work-item with a diagnostic.
 type execError struct{ err error }
 
-func execute(f *ir.Func, cfg *Config, maxGroups int, trace bool) (*Profile, error) {
+func execute(f *ir.Func, cfg *Config, sample groupSample, trace bool) (*Profile, error) {
 	nd := cfg.Range.Normalize()
 	groups := nd.NumGroups()
 	wgSize := nd.WorkGroupSize()
@@ -173,18 +217,20 @@ func execute(f *ir.Func, cfg *Config, maxGroups int, trace bool) (*Profile, erro
 	prof := &Profile{BlockCounts: make(map[*ir.Block]float64)}
 	var mu sync.Mutex // guards prof and atomics
 
-	groupCount := 0
+	gid := int64(0)
 loop:
 	for gz := int64(0); gz < groups[2]; gz++ {
 		for gy := int64(0); gy < groups[1]; gy++ {
 			for gx := int64(0); gx < groups[0]; gx++ {
-				if maxGroups >= 0 && groupCount >= maxGroups {
+				if sample.last >= 0 && gid > sample.last {
 					break loop
 				}
-				groupCount++
-				if err := runGroup(f, cfg, nd, [3]int64{gx, gy, gz}, trace, prof, &mu); err != nil {
-					return prof, err
+				if sample.sel(gid) {
+					if err := runGroup(f, cfg, nd, [3]int64{gx, gy, gz}, trace, prof, &mu); err != nil {
+						return prof, err
+					}
 				}
+				gid++
 			}
 		}
 	}

@@ -1,0 +1,90 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/opencl/ast"
+)
+
+// spreadKernel writes each work-item's group index, so the profile's
+// traces reveal exactly which groups ran.
+func spreadConfig(groups int64) (*Config, *Buffer) {
+	out := NewFloatBuffer(ast.KFloat, int(groups*16))
+	return &Config{
+		Range:   NDRange{Global: [3]int64{groups * 16}, Local: [3]int64{16}},
+		Buffers: map[string]*Buffer{"out": out},
+	}, out
+}
+
+// Each work-item writes group+1, so an untouched (zero) slot is
+// distinguishable from group 0 having run.
+const spreadSrc = `
+__kernel void mark(__global float* out) {
+    int i = get_global_id(0);
+    out[i] = (float)(get_group_id(0) + 1);
+}`
+
+func TestProfileKernelSpreadCoversLaunch(t *testing.T) {
+	k := compileKernel(t, spreadSrc, "mark")
+	cfg, out := spreadConfig(16)
+	prof, err := ProfileKernelSpread(k, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.WorkItems != 4*16 {
+		t.Fatalf("profiled WIs = %d, want 64 (4 groups of 16)", prof.WorkItems)
+	}
+	// Exactly 4 groups ran, spread across all 16 — not the first 4.
+	ran := map[int64]bool{}
+	for g := int64(0); g < 16; g++ {
+		if out.F[g*16] == float64(g+1) {
+			ran[g] = true
+		}
+	}
+	if len(ran) != 4 {
+		t.Fatalf("groups executed = %v, want 4", ran)
+	}
+	var beyondPrefix bool
+	for g := range ran {
+		if g >= 4 {
+			beyondPrefix = true
+		}
+	}
+	if !beyondPrefix {
+		t.Errorf("sample %v is the launch prefix, want a spread", ran)
+	}
+}
+
+func TestProfileKernelSpreadDegeneratesToFull(t *testing.T) {
+	k := compileKernel(t, spreadSrc, "mark")
+	cfg, out := spreadConfig(3)
+	prof, err := ProfileKernelSpread(k, cfg, 8) // more than the launch has
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.WorkItems != 3*16 {
+		t.Fatalf("profiled WIs = %d, want all 48", prof.WorkItems)
+	}
+	for g := int64(0); g < 3; g++ {
+		if out.F[g*16] != float64(g+1) {
+			t.Errorf("group %d did not run", g)
+		}
+	}
+}
+
+func TestProfileKernelSpreadDeterministic(t *testing.T) {
+	k := compileKernel(t, spreadSrc, "mark")
+	cfg1, out1 := spreadConfig(32)
+	cfg2, out2 := spreadConfig(32)
+	if _, err := ProfileKernelSpread(k, cfg1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProfileKernelSpread(k, cfg2, 5); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out1.F {
+		if out1.F[i] != out2.F[i] {
+			t.Fatalf("sample differs between runs at %d", i)
+		}
+	}
+}

@@ -107,6 +107,18 @@ type Estimate struct {
 	Seconds     float64
 }
 
+// Clone returns an independent copy of the estimate. Estimate is a flat
+// value type (no interior pointers), so a shallow copy is a deep copy;
+// Clone exists so shared caches can hand out copies without aliasing
+// their stored entry (see dse.PredCache).
+func (e *Estimate) Clone() *Estimate {
+	if e == nil {
+		return nil
+	}
+	c := *e
+	return &c
+}
+
 // peResources derives the scheduler's per-PE issue limits from the
 // platform and the design's parallelism: local ports and DSP cores are
 // CU-level resources shared by the replicated PEs.

@@ -47,7 +47,10 @@ type Result struct {
 // Options tunes the simulation.
 type Options struct {
 	// MaxGroups caps the number of simulated work-groups; the remainder
-	// is extrapolated from the simulated mean (0 = simulate all).
+	// is extrapolated from the simulated mean (0 = simulate all). The
+	// sample is spread evenly across the launch rather than taken from
+	// its start, so kernels whose leading groups are atypical (boundary
+	// tiles, early-exit rows) extrapolate without bias.
 	MaxGroups int
 	// Ctx, when non-nil, cancels the simulation between work-groups
 	// (long launches abort with the context's error).
@@ -68,8 +71,10 @@ func Simulate(f *ir.Func, p *device.Platform, cfg *interp.Config, d model.Design
 		simGroups = int64(opts.MaxGroups)
 	}
 
-	// Functional execution with full tracing of the simulated groups.
-	prof, err := interp.ProfileKernel(f, cfg, int(simGroups))
+	// Functional execution with full tracing of the simulated groups,
+	// sampled across the whole launch (a prefix sample biases the
+	// extrapolation whenever work varies with the group index).
+	prof, err := interp.ProfileKernelSpread(f, cfg, int(simGroups))
 	if err != nil {
 		return nil, fmt.Errorf("rtlsim: %s: %w", f.Name, err)
 	}

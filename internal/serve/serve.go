@@ -255,6 +255,15 @@ func (s *Server) Serve(ctx context.Context) error {
 	return err
 }
 
+// Close drains the job pool without an HTTP listener: queued and
+// running explorations finish (or are cancelled when ctx expires).
+// It is the shutdown path for embedders that mounted Handler() in
+// their own server (httptest fixtures, flexcl-check) instead of
+// calling Serve.
+func (s *Server) Close(ctx context.Context) error {
+	return s.pool.stop(ctx)
+}
+
 // ListenAndServe is Listen followed by Serve.
 func (s *Server) ListenAndServe(ctx context.Context) error {
 	if _, err := s.Listen(); err != nil {

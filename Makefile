@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet test race cover serve fuzz-smoke bench-explore check check-smoke ci
+.PHONY: build vet test race cover serve fuzz-smoke bench-explore bench-serve check check-smoke ci
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,13 @@ fuzz-smoke:
 # "Exploration performance").
 bench-explore:
 	$(GO) test -run='^$$' -bench=BenchmarkExploreParallel -benchtime=3x .
+
+# Prediction-path benchmarks: coalesced vs uncoalesced concurrent
+# predictions (compare the computes/op metric — the singleflight prep
+# cache turns 32 compile+analyze executions into 1) and the cache-hit
+# latency floor. See docs/API.md "Coalescing".
+bench-serve:
+	$(GO) test -run='^$$' -bench='BenchmarkPredict|BenchmarkServe' -benchtime=1x ./internal/serve
 
 # Cross-layer correctness audit (see docs/CHECK.md): model invariants,
 # differential bands vs the simulator, serve consistency. check-smoke is

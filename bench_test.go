@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -64,7 +65,7 @@ func benchFig4(b *testing.B, benchName, kernel string) {
 		b.Fatalf("kernel %s/%s missing", benchName, kernel)
 	}
 	for i := 0; i < b.N; i++ {
-		r, err := dse.Explore(k, dse.Options{SimMaxGroups: 4, SkipBaseline: true})
+		r, err := dse.Explore(context.Background(), k, dse.Options{SimMaxGroups: 4, SkipBaseline: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +95,7 @@ func BenchmarkRobustnessKU060(b *testing.B) {
 func BenchmarkDSESpeed(b *testing.B) {
 	k := bench.Find("pathfinder", "dynproc")
 	for i := 0; i < b.N; i++ {
-		r, err := dse.Explore(k, dse.Options{SimMaxGroups: 4, SkipBaseline: true})
+		r, err := dse.Explore(context.Background(), k, dse.Options{SimMaxGroups: 4, SkipBaseline: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func BenchmarkExploreParallel(b *testing.B) {
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				r, err := dse.Explore(k, dse.Options{
+				r, err := dse.Explore(context.Background(), k, dse.Options{
 					SimMaxGroups: 4, SkipBaseline: true, Workers: bc.workers,
 				})
 				if err != nil {
@@ -217,7 +218,7 @@ func benchAblation(b *testing.B, ab model.Ablations, label string) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			an, err := model.Analyze(f, p, k.Config(d.WGSize), model.AnalysisOptions{})
+			an, err := model.Analyze(context.Background(), f, p, k.Config(d.WGSize), model.AnalysisOptions{})
 			if err != nil {
 				b.Fatal(err)
 			}

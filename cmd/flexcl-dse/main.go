@@ -60,7 +60,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	r, err := core.ExploreContext(context.Background(), k, core.ExploreOptions{
+	r, err := core.ExploreOpts(context.Background(), k, core.ExploreOptions{
 		Platform:     p,
 		SimMaxGroups: 8,
 		SkipActual:   !*sim,

@@ -6,19 +6,24 @@
 // Usage:
 //
 //	flexcl-serve [-addr :8080] [-workers 2] [-dse-workers 0]
+//	             [-max-predicts 0] [-predict-queue 128] [-retry-after 1s]
+//	             [-max-batch 256] [-batch-timeout 2m]
 //	             [-pred-cache 4096] [-timeout 10s] [-explore-timeout 5m]
 //	             [-drain 30s] [-log text|json]
 //
 // Try it:
 //
-//	curl -s localhost:8080/v1/kernels | head
-//	curl -s -X POST localhost:8080/v1/predict -d \
-//	  '{"bench":"hotspot","kernel":"hotspot","design":{"wg_size":64,"wi_pipeline":true,"pe":4,"cu":2,"mode":"pipeline"}}'
-//	curl -s -X POST localhost:8080/v1/explore -d '{"bench":"nn","kernel":"nn"}'
-//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -s localhost:8080/v2/kernels | head
+//	curl -s -X POST localhost:8080/v2/predict -d \
+//	  '{"kernel":{"id":"hotspot/hotspot"},"design":{"wg_size":64,"wi_pipeline":true,"pe":4,"cu":2,"mode":"pipeline"}}'
+//	curl -s -X POST localhost:8080/v2/predict:batch -d \
+//	  '{"items":[{"kernel":{"id":"nn/nn"},"design":{}},{"kernel":{"id":"nw/nw1"},"design":{}}]}'
+//	curl -s -X POST localhost:8080/v2/explore -d '{"kernel":{"id":"nn/nn"}}'
+//	curl -s localhost:8080/v2/jobs/j000001
 //	curl -s localhost:8080/metrics
 //
-// See docs/SERVE.md for the full API reference.
+// See docs/API.md for the wire reference (v2 and the frozen v1) and
+// docs/SERVE.md for operations.
 package main
 
 import (
@@ -40,6 +45,11 @@ func main() {
 		workers     = flag.Int("workers", 2, "concurrent exploration jobs")
 		dseWorkers  = flag.Int("dse-workers", 0, "goroutines per exploration (0 = cores/workers)")
 		queue       = flag.Int("queue", 64, "max queued exploration jobs")
+		maxPredicts = flag.Int("max-predicts", 0, "concurrent prediction analyses (0 = cores)")
+		predQueue   = flag.Int("predict-queue", 128, "admission queue depth per lane; beyond it requests are shed with 429")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
+		maxBatch    = flag.Int("max-batch", 256, "max items per /v2/predict:batch request")
+		batchTO     = flag.Duration("batch-timeout", 2*time.Minute, "batch request deadline")
 		predCache   = flag.Int("pred-cache", 4096, "LRU prediction cache entries (negative disables)")
 		timeout     = flag.Duration("timeout", 10*time.Second, "synchronous request deadline")
 		exploreTO   = flag.Duration("explore-timeout", 5*time.Minute, "per-job exploration deadline")
@@ -68,15 +78,20 @@ func main() {
 	logger := slog.New(handler)
 
 	s := serve.New(serve.Config{
-		Addr:           *addr,
-		Workers:        *workers,
-		DSEWorkers:     *dseWorkers,
-		QueueDepth:     *queue,
-		PredCacheSize:  *predCache,
-		RequestTimeout: *timeout,
-		ExploreTimeout: *exploreTO,
-		DrainTimeout:   *drain,
-		Logger:         logger,
+		Addr:                  *addr,
+		Workers:               *workers,
+		DSEWorkers:            *dseWorkers,
+		QueueDepth:            *queue,
+		MaxConcurrentPredicts: *maxPredicts,
+		PredictQueueDepth:     *predQueue,
+		RetryAfter:            *retryAfter,
+		MaxBatchItems:         *maxBatch,
+		BatchTimeout:          *batchTO,
+		PredCacheSize:         *predCache,
+		RequestTimeout:        *timeout,
+		ExploreTimeout:        *exploreTO,
+		DrainTimeout:          *drain,
+		Logger:                logger,
 	})
 
 	// SIGTERM/SIGINT cancel the context; Serve then drains in-flight

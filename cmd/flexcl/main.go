@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -81,7 +82,7 @@ func main() {
 	}
 
 	launch := makeLaunch(f, *global, *wg, args)
-	an, err := core.Analyze(f, p, launch)
+	an, err := core.Analyze(context.Background(), f, p, launch)
 	fatal(err)
 
 	d := core.Design{

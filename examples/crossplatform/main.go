@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			an, err := core.Analyze(f, p, k.Config(d.WGSize))
+			an, err := core.Analyze(context.Background(), f, p, k.Config(d.WGSize))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -65,7 +66,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	an, err := core.Analyze(f, core.Virtex7(), k.Config(256))
+	an, err := core.Analyze(context.Background(), f, core.Virtex7(), k.Config(256))
 	if err != nil {
 		log.Fatal(err)
 	}

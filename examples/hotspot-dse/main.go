@@ -27,7 +27,7 @@ func main() {
 	// Phase 1: model-only exploration (this is what replaces hours of
 	// synthesis per design point), sharded over every core. Workers: 1
 	// would produce the identical ranking, just serially.
-	modelOnly, err := core.ExploreContext(context.Background(), k, core.ExploreOptions{
+	modelOnly, err := core.ExploreOpts(context.Background(), k, core.ExploreOptions{
 		Platform:   platform,
 		SkipActual: true, SkipBaseline: true,
 		Workers: runtime.GOMAXPROCS(0),

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -72,7 +73,7 @@ func main() {
 		fmt.Printf("  L_mem^wi = %.2f cycles (Eq. 9)\n", trace.MemLatencyWI(cls, lat))
 
 		// How the memory behaviour decides the communication mode.
-		an, err := core.Analyze(k, p, makeLaunch(n, wg))
+		an, err := core.Analyze(context.Background(), k, p, makeLaunch(n, wg))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,7 +52,7 @@ func main() {
 
 	fmt.Println("design                               estimate     simulated    error")
 	for _, d := range designs {
-		an, err := core.Analyze(k, platform, makeLaunch(d.WGSize))
+		an, err := core.Analyze(context.Background(), k, platform, makeLaunch(d.WGSize))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -66,7 +67,7 @@ func main() {
 	}
 
 	// The estimate also converts to wall time on the platform clock.
-	an, _ := core.Analyze(k, platform, makeLaunch(64))
+	an, _ := core.Analyze(context.Background(), k, platform, makeLaunch(64))
 	best := an.Predict(designs[2])
 	fmt.Printf("\nbest shown design runs in ~%.1f µs at %.0f MHz\n",
 		best.Seconds*1e6, platform.ClockMHz)

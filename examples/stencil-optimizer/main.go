@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -75,7 +76,7 @@ func main() {
 
 		// Rank the whole design space analytically, then validate the
 		// winner in the simulator.
-		r, err := core.Explore(w, core.Virtex7(), true)
+		r, err := core.Explore(context.Background(), w, core.Virtex7(), true)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -87,7 +88,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		an, err := core.Analyze(f, core.Virtex7(), w.Config(best.Design.WGSize))
+		an, err := core.Analyze(context.Background(), f, core.Virtex7(), w.Config(best.Design.WGSize))
 		if err != nil {
 			log.Fatal(err)
 		}

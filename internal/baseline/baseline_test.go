@@ -1,6 +1,7 @@
 package baseline_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -20,7 +21,7 @@ func analyzeKernel(t *testing.T, benchName, kernel string, wg int64) *model.Anal
 	if err != nil {
 		t.Fatal(err)
 	}
-	an, err := model.Analyze(f, device.Virtex7(), k.Config(wg), model.AnalysisOptions{})
+	an, err := model.Analyze(context.Background(), f, device.Virtex7(), k.Config(wg), model.AnalysisOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -98,6 +98,31 @@ func (k *Kernel) SourceHash() string {
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
+// CacheKey returns a stable hex digest of everything that determines
+// the kernel's *analysis*: the compiled form (SourceHash) plus the
+// workload — NDRange geometry, buffer specs and scalar arguments.
+// Analyses cached under this key may be shared by any two Kernel values
+// with equal keys, even distinct allocations (e.g. inline kernels
+// submitted by different API requests carrying identical source and
+// launch), which is what lets a serving layer coalesce their
+// compile+analyze work.
+func (k *Kernel) CacheKey() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|g=%v|2d=%v", k.SourceHash(), k.Global, k.TwoD)
+	for _, b := range k.Bufs {
+		fmt.Fprintf(h, "|b=%s,%v,%d,%d,%d,%d,%d", b.Name, b.Float, b.Kind, b.Len, b.Fill, b.Aux, b.Mod)
+	}
+	keys := make([]string, 0, len(k.Scalars))
+	for key := range k.Scalars {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		fmt.Fprintf(h, "|s=%s=%d", key, k.Scalars[key])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
 // NWI returns the total work-items of the launch.
 func (k *Kernel) NWI() int64 {
 	n := int64(1)

@@ -7,7 +7,7 @@
 //
 //	prog, _ := core.Compile("vadd.cl", src, nil)
 //	k := prog.Kernel("vadd")
-//	an, _ := core.Analyze(k, core.Virtex7(), launch)
+//	an, _ := core.Analyze(ctx, k, core.Virtex7(), launch)
 //	est := an.Predict(core.Design{WGSize: 64, WIPipeline: true, PE: 4, CU: 2,
 //	    Mode: core.ModePipeline})
 //	fmt.Println(est.Cycles, est.Seconds)
@@ -132,9 +132,11 @@ func (p *Program) Kernel(name string) *ir.Func {
 // Analyze runs FlexCL's kernel analysis (§3.2) for one launch: dynamic
 // profiling of a few work-groups for trip counts and the memory trace,
 // plus platform micro-benchmark profiling. The launch's buffers are
-// mutated (profiling executes the kernel).
-func Analyze(f *ir.Func, p *Platform, launch *Launch) (*Analysis, error) {
-	return model.Analyze(f, p, launch, model.AnalysisOptions{})
+// mutated (profiling executes the kernel). ctx cancellation is honored
+// at stage boundaries; pass context.Background() when there is no
+// deadline to propagate.
+func Analyze(ctx context.Context, f *ir.Func, p *Platform, launch *Launch) (*Analysis, error) {
+	return model.Analyze(ctx, f, p, launch, model.AnalysisOptions{})
 }
 
 // Simulate runs the cycle-level ground-truth simulator ("System Run") at
@@ -151,9 +153,9 @@ func Run(f *ir.Func, launch *Launch) error {
 
 // Explore evaluates a workload's full design space with the analytical
 // model and (unless modelOnly) the ground-truth simulator. The space is
-// sharded over all available cores; use ExploreContext for full control.
-func Explore(w *Workload, p *Platform, modelOnly bool) (*Exploration, error) {
-	return ExploreContext(context.Background(), w, ExploreOptions{
+// sharded over all available cores; use ExploreOpts for full control.
+func Explore(ctx context.Context, w *Workload, p *Platform, modelOnly bool) (*Exploration, error) {
+	return ExploreOpts(ctx, w, ExploreOptions{
 		Platform:     p,
 		SimMaxGroups: 8,
 		SkipActual:   modelOnly,
@@ -161,12 +163,12 @@ func Explore(w *Workload, p *Platform, modelOnly bool) (*Exploration, error) {
 	})
 }
 
-// ExploreContext evaluates a workload's design space with explicit
+// ExploreOpts evaluates a workload's design space with explicit
 // options and cancellation: opts.Workers shards the point evaluations
 // (0 = all cores, 1 = serial; the output is identical either way), and
 // cancelling ctx stops the exploration.
-func ExploreContext(ctx context.Context, w *Workload, opts ExploreOptions) (*Exploration, error) {
-	return dse.ExploreContext(ctx, w, opts)
+func ExploreOpts(ctx context.Context, w *Workload, opts ExploreOptions) (*Exploration, error) {
+	return dse.Explore(ctx, w, opts)
 }
 
 // DesignSpace enumerates the default design space for a work-group size

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -75,7 +76,7 @@ func TestAnalyzePredictSimulateRoundTrip(t *testing.T) {
 	}
 	k := prog.Kernel("vadd")
 	p := core.Virtex7()
-	an, err := core.Analyze(k, p, vaddLaunch(4096, 64))
+	an, err := core.Analyze(context.Background(), k, p, vaddLaunch(4096, 64))
 	if err != nil {
 		t.Fatal(err)
 	}

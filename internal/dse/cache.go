@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -13,11 +14,17 @@ import (
 
 // PrepCache memoizes the per-work-group-size preparation of an
 // exploration — kernel compilation plus FlexCL analysis — keyed by
-// (kernel, platform, WG size). Each key is prepared exactly once no
-// matter how many phases or worker goroutines request it: the first
-// caller computes under a per-entry sync.Once while the rest block on
-// the same entry (singleflight semantics), so a full Explore compiles
-// each WG size once instead of once per simulated design point.
+// (kernel workload hash, platform, WG size). Each key is prepared
+// exactly once no matter how many phases or worker goroutines request
+// it: the first caller computes while the rest block on the entry's
+// done channel (singleflight semantics), so a full Explore compiles
+// each WG size once instead of once per simulated design point, and N
+// concurrent service requests for the same kernel share one fill.
+//
+// The key is bench.Kernel.CacheKey (source hash + workload), not the
+// kernel's identity, so two distinct Kernel allocations carrying the
+// same source and launch — e.g. inline kernels submitted by separate
+// API requests — coalesce onto one entry.
 //
 // A cache may be shared across Explore calls (e.g. a suite sweep on one
 // platform, or an exploration followed by a heuristic search) to reuse
@@ -29,13 +36,15 @@ type PrepCache struct {
 }
 
 type prepKey struct {
-	kernel   string
+	kernel   string // bench.Kernel.CacheKey()
 	wg       int64
 	platform string
 }
 
 type prepEntry struct {
-	once sync.Once
+	// done is closed by the computing goroutine once f/an/err/dur are
+	// final; waiters must not read them before <-done.
+	done chan struct{}
 	f    *ir.Func
 	an   *model.Analysis
 	err  error
@@ -45,47 +54,127 @@ type prepEntry struct {
 	dur time.Duration
 }
 
+// PrepOutcome reports how a context-aware cache lookup was satisfied.
+type PrepOutcome int
+
+// Lookup outcomes, in increasing order of luck.
+const (
+	// PrepComputed: this call created the entry and did the
+	// compile+analyze work.
+	PrepComputed PrepOutcome = iota
+	// PrepCoalesced: the entry's fill was in flight; this call joined it
+	// and waited instead of duplicating the work.
+	PrepCoalesced
+	// PrepCached: the entry was already complete.
+	PrepCached
+)
+
+func (o PrepOutcome) String() string {
+	switch o {
+	case PrepCoalesced:
+		return "coalesced"
+	case PrepCached:
+		return "cached"
+	default:
+		return "computed"
+	}
+}
+
 // NewPrepCache returns an empty cache.
 func NewPrepCache() *PrepCache {
 	return &PrepCache{m: make(map[prepKey]*prepEntry)}
 }
 
-// get returns the prepared entry for one WG size, computing it if this
-// is the first request. computed reports whether this call did the work.
-func (c *PrepCache) get(k *bench.Kernel, p *device.Platform, wg int64) (e *prepEntry, computed bool) {
-	key := prepKey{kernel: k.ID(), wg: wg, platform: p.Name}
+// entry returns the cache slot for one WG size, creating it if absent.
+// created reports whether this caller must run compute; coalesced
+// reports that the entry existed but its fill was still in flight.
+func (c *PrepCache) entry(k *bench.Kernel, p *device.Platform, wg int64) (e *prepEntry, created, coalesced bool) {
+	key := prepKey{kernel: k.CacheKey(), wg: wg, platform: p.Name}
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, ok := c.m[key]
 	if !ok {
-		e = &prepEntry{}
+		e = &prepEntry{done: make(chan struct{})}
 		c.m[key] = e
 		c.stats.Misses++
-	} else {
-		c.stats.Hits++
+		c.stats.Computes++
+		return e, true, false
 	}
-	c.mu.Unlock()
+	c.stats.Hits++
+	select {
+	case <-e.done:
+	default:
+		coalesced = true
+		c.stats.Coalesced++
+	}
+	return e, false, coalesced
+}
 
-	e.once.Do(func() {
-		computed = true
-		t0 := time.Now()
-		f, err := k.Compile(wg)
-		if err != nil {
-			e.err = err
-			return
-		}
-		// Freeze the loop analysis now, while this entry is still
-		// exclusive: afterwards the function is shared read-only by
-		// every concurrent Predict and Simulate.
-		f.EnsureLoops()
-		an, err := model.Analyze(f, p, k.Config(wg), model.AnalysisOptions{ProfileGroups: 8})
-		if err != nil {
-			e.err = fmt.Errorf("dse %s wg=%d: %w", k.ID(), wg, err)
-			return
-		}
-		e.f, e.an = f, an
-		e.dur = time.Since(t0)
-	})
-	return e, computed
+// compute fills the entry and closes done. It deliberately ignores the
+// caller's context: the entry is shared, so one impatient request must
+// not poison the fill every coalesced waiter (and the retry after a
+// 504) depends on.
+func (e *prepEntry) compute(k *bench.Kernel, p *device.Platform, wg int64) {
+	defer close(e.done)
+	t0 := time.Now()
+	f, err := k.Compile(wg)
+	if err != nil {
+		e.err = err
+		return
+	}
+	// Freeze the loop analysis now, while this entry is still
+	// exclusive: afterwards the function is shared read-only by
+	// every concurrent Predict and Simulate.
+	f.EnsureLoops()
+	an, err := model.Analyze(context.Background(), f, p, k.Config(wg), model.AnalysisOptions{ProfileGroups: 8})
+	if err != nil {
+		e.err = fmt.Errorf("dse %s wg=%d: %w", k.ID(), wg, err)
+		return
+	}
+	e.f, e.an = f, an
+	e.dur = time.Since(t0)
+}
+
+// get returns the prepared entry for one WG size, computing it if this
+// is the first request and blocking (without a deadline) while another
+// goroutine computes it. computed reports whether this call did the
+// work. It is the synchronous path Explore uses; services with request
+// deadlines use AnalysisContext.
+func (c *PrepCache) get(k *bench.Kernel, p *device.Platform, wg int64) (e *prepEntry, computed bool) {
+	e, created, _ := c.entry(k, p, wg)
+	if created {
+		e.compute(k, p, wg)
+		return e, true
+	}
+	<-e.done
+	return e, false
+}
+
+// AnalysisContext returns the prepared analysis for one WG size,
+// respecting ctx while waiting. The first caller for a key starts the
+// compile+analyze fill on its own goroutine; concurrent callers for the
+// same key coalesce onto that fill instead of duplicating it. When ctx
+// expires first the caller gets ctx's error immediately while the fill
+// keeps running in the background and lands in the cache for the retry.
+func (c *PrepCache) AnalysisContext(ctx context.Context, k *bench.Kernel, p *device.Platform, wg int64) (*model.Analysis, PrepOutcome, error) {
+	e, created, coalesced := c.entry(k, p, wg)
+	outcome := PrepCached
+	switch {
+	case created:
+		outcome = PrepComputed
+		go e.compute(k, p, wg)
+	case coalesced:
+		outcome = PrepCoalesced
+	}
+	select {
+	case <-ctx.Done():
+		return nil, outcome, ctx.Err()
+	case <-e.done:
+	}
+	if e.err != nil {
+		return nil, outcome, e.err
+	}
+	return e.an, outcome, nil
 }
 
 // Analyses returns the kernel's per-WG-size analysis map on platform p
@@ -103,8 +192,8 @@ func (c *PrepCache) Analyses(k *bench.Kernel, p *device.Platform) (map[int64]*mo
 }
 
 // Analysis returns the prepared analysis for one WG size, computing and
-// caching it on first use. It is the per-point entry the prediction
-// service uses; Explore and HeuristicSearch share the same entries.
+// caching it on first use. Explore and HeuristicSearch share the same
+// entries; deadline-carrying callers should prefer AnalysisContext.
 func (c *PrepCache) Analysis(k *bench.Kernel, p *device.Platform, wg int64) (*model.Analysis, error) {
 	e, _ := c.get(k, p, wg)
 	if e.err != nil {
@@ -121,10 +210,12 @@ func (c *PrepCache) Len() int {
 }
 
 // Stats returns a snapshot of the cache's hit/miss counters. A lookup
-// counts as a miss when it created the entry (whether or not this
-// caller went on to compute it) and a hit when the entry already
-// existed — so an Explore of d design points over w WG sizes records w
-// misses and d+w-ish hits, the reuse the cache exists to provide.
+// counts as a miss when it created the entry and a hit when the entry
+// already existed — so an Explore of d design points over w WG sizes
+// records w misses and d+w-ish hits, the reuse the cache exists to
+// provide. Computes counts actual compile+analyze executions (== Misses
+// for this cache, every created entry is computed exactly once) and
+// Coalesced counts lookups that joined a fill still in flight.
 func (c *PrepCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()

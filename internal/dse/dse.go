@@ -91,16 +91,13 @@ type Options struct {
 
 // Explore evaluates every design point of the kernel with the FlexCL
 // model, the SDAccel baseline and (optionally) ground-truth simulation.
-func Explore(k *bench.Kernel, opts Options) (*Result, error) {
-	return ExploreContext(context.Background(), k, opts)
-}
-
-// ExploreContext is Explore with cancellation: the design space is
-// sharded over opts.Workers goroutines, each WG size is compiled and
-// analyzed exactly once through the prep cache, and the first worker
-// error (or ctx cancellation) stops the exploration without leaking
-// goroutines.
-func ExploreContext(ctx context.Context, k *bench.Kernel, opts Options) (*Result, error) {
+// ctx is the first parameter of every deadline-carrying entry point in
+// this codebase (pass context.Background() when there is nothing to
+// propagate): the design space is sharded over opts.Workers goroutines,
+// each WG size is compiled and analyzed exactly once through the prep
+// cache, and the first worker error (or ctx cancellation) stops the
+// exploration without leaking goroutines.
+func Explore(ctx context.Context, k *bench.Kernel, opts Options) (*Result, error) {
 	p := opts.Platform
 	if p == nil {
 		p = device.Virtex7()

@@ -1,6 +1,7 @@
 package dse_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
@@ -18,7 +19,7 @@ func explore(t *testing.T, benchName, kernel string, opts dse.Options) *dse.Resu
 	if opts.SimMaxGroups == 0 {
 		opts.SimMaxGroups = 4
 	}
-	r, err := dse.Explore(k, opts)
+	r, err := dse.Explore(context.Background(), k, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestHeuristicSearchFindsSomething(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		an, err := model.Analyze(f, p, k.Config(wg), model.AnalysisOptions{})
+		an, err := model.Analyze(context.Background(), f, p, k.Config(wg), model.AnalysisOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,13 +185,13 @@ func TestPruneInfeasible(t *testing.T) {
 	tiny := device.Virtex7()
 	tiny.DSPTotal = 64
 	k := bench.Find("kmeans", "center")
-	full, err := dse.Explore(k, dse.Options{
+	full, err := dse.Explore(context.Background(), k, dse.Options{
 		Platform: tiny, SkipActual: true, SkipBaseline: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pruned, err := dse.Explore(k, dse.Options{
+	pruned, err := dse.Explore(context.Background(), k, dse.Options{
 		Platform: tiny, SkipActual: true, SkipBaseline: true,
 		PruneInfeasible: true,
 	})

@@ -21,11 +21,11 @@ func TestExploreDeterministic(t *testing.T) {
 		if k == nil {
 			t.Fatalf("kernel %s/%s missing", id[0], id[1])
 		}
-		serial, err := dse.Explore(k, dse.Options{SimMaxGroups: 2, Workers: 1})
+		serial, err := dse.Explore(context.Background(), k, dse.Options{SimMaxGroups: 2, Workers: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		parallel, err := dse.Explore(k, dse.Options{SimMaxGroups: 2, Workers: 8})
+		parallel, err := dse.Explore(context.Background(), k, dse.Options{SimMaxGroups: 2, Workers: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,7 +56,7 @@ func TestExplorePruneAllIsSafe(t *testing.T) {
 	dspless := device.Virtex7()
 	dspless.DSPTotal = 0
 	k := bench.Find("kmeans", "center")
-	r, err := dse.Explore(k, dse.Options{
+	r, err := dse.Explore(context.Background(), k, dse.Options{
 		Platform: dspless, SkipActual: true, SkipBaseline: true,
 		PruneInfeasible: true,
 	})
@@ -107,7 +107,7 @@ func TestExploreCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	k := bench.Find("nn", "nn")
-	_, err := dse.ExploreContext(ctx, k, dse.Options{SimMaxGroups: 2, Workers: 4})
+	_, err := dse.Explore(ctx, k, dse.Options{SimMaxGroups: 2, Workers: 4})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -120,7 +120,7 @@ func TestPrepCacheSharing(t *testing.T) {
 	k := bench.Find("nn", "nn")
 	cache := dse.NewPrepCache()
 	opts := dse.Options{SkipActual: true, SkipBaseline: true, Cache: cache, Workers: 4}
-	r1, err := dse.Explore(k, opts)
+	r1, err := dse.Explore(context.Background(), k, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestPrepCacheSharing(t *testing.T) {
 	if want := len(k.WGSizes()); entries != want {
 		t.Errorf("cache holds %d entries after explore, want %d (one per WG size)", entries, want)
 	}
-	r2, err := dse.Explore(k, opts)
+	r2, err := dse.Explore(context.Background(), k, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

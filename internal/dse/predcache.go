@@ -12,6 +12,12 @@ type CacheStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	// Computes counts actual fills (compile+analyze executions) a
+	// singleflight cache performed; zero for plain LRU caches.
+	Computes uint64
+	// Coalesced counts lookups that joined an in-flight fill instead of
+	// starting their own; zero for plain LRU caches.
+	Coalesced uint64
 }
 
 // HitRatio returns hits/(hits+misses), or 0 before any lookup.

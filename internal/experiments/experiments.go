@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -93,7 +94,7 @@ func suiteTable(title string, kernels []*bench.Kernel, cfg Config) (*report.Tabl
 	sum := &SuiteSummary{}
 	var fails, points int
 	for _, k := range kernels {
-		r, err := dse.Explore(k, dse.Options{
+		r, err := dse.Explore(context.Background(), k, dse.Options{
 			Platform:     cfg.platform(),
 			SimMaxGroups: cfg.simGroups(),
 			Workers:      cfg.Workers,
@@ -148,7 +149,7 @@ func Fig4(cfg Config) (map[string]*report.Series, error) {
 		if k == nil {
 			return nil, fmt.Errorf("fig4: kernel %s/%s missing", id[0], id[1])
 		}
-		r, err := dse.Explore(k, dse.Options{
+		r, err := dse.Explore(context.Background(), k, dse.Options{
 			Platform:     cfg.platform(),
 			SimMaxGroups: cfg.simGroups(),
 			SkipBaseline: true,
@@ -184,7 +185,7 @@ func Robustness(cfg Config) ([]RobustnessRow, error) {
 		if k == nil {
 			return nil, fmt.Errorf("robustness: kernel %s/%s missing", id[0], id[1])
 		}
-		r, err := dse.Explore(k, dse.Options{
+		r, err := dse.Explore(context.Background(), k, dse.Options{
 			Platform:     p,
 			SimMaxGroups: cfg.simGroups(),
 			SkipBaseline: true,
@@ -222,7 +223,7 @@ func DSEQuality(cfg Config, kernels []*bench.Kernel) (*DSEQualityResult, error) 
 	res := &DSEQualityResult{}
 	var tm, ts time.Duration
 	for _, k := range kernels {
-		r, err := dse.Explore(k, dse.Options{
+		r, err := dse.Explore(context.Background(), k, dse.Options{
 			Platform:     cfg.platform(),
 			SimMaxGroups: cfg.simGroups(),
 			SkipBaseline: true,
@@ -273,7 +274,7 @@ func SearchComparison(cfg Config) (*SearchComparisonResult, error) {
 		// Sharing one prep cache between the exhaustive exploration and
 		// the heuristic search compiles each WG size exactly once.
 		cache := dse.NewPrepCache()
-		r, err := dse.Explore(k, dse.Options{
+		r, err := dse.Explore(context.Background(), k, dse.Options{
 			Platform:     cfg.platform(),
 			SimMaxGroups: cfg.simGroups(),
 			SkipBaseline: true,
@@ -356,7 +357,7 @@ func AblationStudy(cfg Config, kernels []*bench.Kernel) ([]AblationRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			an, err := model.Analyze(f, p, k.Config(wg), model.AnalysisOptions{})
+			an, err := model.Analyze(context.Background(), f, p, k.Config(wg), model.AnalysisOptions{})
 			if err != nil {
 				return nil, err
 			}

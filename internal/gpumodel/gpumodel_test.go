@@ -1,6 +1,7 @@
 package gpumodel
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
@@ -18,7 +19,7 @@ func analyzeKernel(t *testing.T, benchName, kernel string, wg int64) *model.Anal
 	if err != nil {
 		t.Fatal(err)
 	}
-	an, err := model.Analyze(f, device.Virtex7(), k.Config(wg), model.AnalysisOptions{})
+	an, err := model.Analyze(context.Background(), f, device.Virtex7(), k.Config(wg), model.AnalysisOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package host
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/device"
@@ -166,7 +167,7 @@ func (q *Queue) Estimate(k *Kernel, global, local [3]int64, d model.Design) (*mo
 		return nil, err
 	}
 	cfg = snapshot(cfg)
-	an, err := model.Analyze(k.f, q.ctx.Platform, cfg, model.AnalysisOptions{})
+	an, err := model.Analyze(context.Background(), k.f, q.ctx.Platform, cfg, model.AnalysisOptions{})
 	if err != nil {
 		return nil, err
 	}

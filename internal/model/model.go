@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -50,7 +51,14 @@ type AnalysisOptions struct {
 // configuration: dynamic profiling for trip counts and the memory trace,
 // plus device micro-benchmark profiling. The interp buffers are copies of
 // workload inputs and are mutated.
-func Analyze(f *ir.Func, p *device.Platform, cfg *interp.Config, opts AnalysisOptions) (*Analysis, error) {
+//
+// ctx bounds the analysis: cancellation or an expired deadline is
+// honored at each stage boundary (before profiling, before trace
+// classification, before device profiling), returning ctx.Err(). Callers
+// that share one analysis across requests should analyze under a
+// detached context instead (see dse.PrepCache), so one impatient
+// request cannot poison the shared fill.
+func Analyze(ctx context.Context, f *ir.Func, p *device.Platform, cfg *interp.Config, opts AnalysisOptions) (*Analysis, error) {
 	if opts.ProfileGroups <= 0 {
 		opts.ProfileGroups = 8
 	}
@@ -60,14 +68,26 @@ func Analyze(f *ir.Func, p *device.Platform, cfg *interp.Config, opts AnalysisOp
 	if opts.OpSamples <= 0 {
 		opts.OpSamples = 256
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("model: analyzing %s: %w", f.Name, err)
+	}
 	f.EnsureLoops()
 	prof, err := interp.ProfileKernel(f, cfg, opts.ProfileGroups)
 	if err != nil {
 		return nil, fmt.Errorf("model: profiling %s: %w", f.Name, err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("model: analyzing %s: %w", f.Name, err)
+	}
 	layout := trace.NewLayout(f, trace.BufferCounts(f, cfg), p.DRAM)
 	nd := cfg.Range.Normalize()
 	cls := trace.ClassifyGrouped(prof.Traces, nd.WorkGroupSize(), layout, p.DRAM, p.MemAccessUnitBits/8)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("model: analyzing %s: %w", f.Name, err)
+	}
 	return &Analysis{
 		F:        f,
 		Platform: p,

@@ -1,6 +1,7 @@
 package model_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/device"
@@ -45,11 +46,11 @@ __kernel void scale4(__global const float4* in, __global float4* out, int n) {
 		Scalars: map[string]interp.Val{"n": interp.IntVal(elems / 4)},
 	}
 
-	anS, err := model.Analyze(scalarK, p, scalarCfg, model.AnalysisOptions{})
+	anS, err := model.Analyze(context.Background(), scalarK, p, scalarCfg, model.AnalysisOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	anV, err := model.Analyze(vecK, p, vecCfg, model.AnalysisOptions{})
+	anV, err := model.Analyze(context.Background(), vecK, p, vecCfg, model.AnalysisOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

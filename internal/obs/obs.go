@@ -27,6 +27,14 @@ var DefBuckets = []float64{
 	0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// QueueBuckets are histogram bounds for admission-queue waits, in
+// seconds. Most admissions are immediate (the 100 µs bucket) and the
+// interesting signal is sub-second contention, so the resolution is
+// concentrated below DefBuckets' first bound.
+var QueueBuckets = []float64{
+	0.0001, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
 // Counter is a monotonically increasing uint64.
 type Counter struct{ v atomic.Uint64 }
 

@@ -1,6 +1,7 @@
 package rtlsim_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
@@ -139,7 +140,7 @@ func TestModelTracksSimulatorAcrossDesigns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		an, err := model.Analyze(f, p, k.Config(d.WGSize), model.AnalysisOptions{})
+		an, err := model.Analyze(context.Background(), f, p, k.Config(d.WGSize), model.AnalysisOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}

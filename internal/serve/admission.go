@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Admission lanes. Interactive traffic (/v1/predict, /v2/predict) is
+// always granted a freed slot before bulk traffic (batch items), so a
+// large batch can never starve interactive predictions — it only ever
+// uses slots the interactive lane is not asking for.
+const (
+	laneInteractive = iota
+	laneBulk
+	laneCount
+)
+
+func laneName(lane int) string {
+	if lane == laneBulk {
+		return "bulk"
+	}
+	return "interactive"
+}
+
+// errShed reports that a lane's admission queue was full: the request
+// was refused immediately (429 + Retry-After) instead of piling onto
+// the worker pool. Load is shed at the door, not after queueing work.
+var errShed = errors.New("serve: admission queue full")
+
+// admitter is a two-lane admission gate for the synchronous prediction
+// path: at most `slots` predictions execute concurrently, at most
+// `depth` waiters queue per lane, and anything beyond that is shed.
+// Freed slots are handed directly to the longest-waiting interactive
+// waiter, then to bulk waiters, then returned to the free pool.
+type admitter struct {
+	mu    sync.Mutex
+	slots int
+	depth int
+	q     [laneCount][]*admitWaiter
+}
+
+// admitWaiter is one queued request; a send on ch transfers one slot.
+type admitWaiter struct {
+	ch chan struct{}
+}
+
+func newAdmitter(slots, depth int) *admitter {
+	return &admitter{slots: slots, depth: depth}
+}
+
+// admit blocks until a slot is free, ctx expires, or the lane's queue
+// is full (errShed). On success the caller owns one slot and must call
+// release exactly once. wait is the time spent queued.
+func (a *admitter) admit(ctx context.Context, lane int) (release func(), wait time.Duration, err error) {
+	a.mu.Lock()
+	if a.slots > 0 {
+		a.slots--
+		a.mu.Unlock()
+		return a.release, 0, nil
+	}
+	if len(a.q[lane]) >= a.depth {
+		a.mu.Unlock()
+		return nil, 0, errShed
+	}
+	w := &admitWaiter{ch: make(chan struct{}, 1)}
+	a.q[lane] = append(a.q[lane], w)
+	a.mu.Unlock()
+
+	t0 := time.Now()
+	select {
+	case <-w.ch:
+		return a.release, time.Since(t0), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		removed := a.removeLocked(lane, w)
+		a.mu.Unlock()
+		if !removed {
+			// The slot was granted concurrently with cancellation: take
+			// it and pass it straight on so it is not lost.
+			<-w.ch
+			a.release()
+		}
+		return nil, time.Since(t0), ctx.Err()
+	}
+}
+
+func (a *admitter) removeLocked(lane int, w *admitWaiter) bool {
+	for i, cand := range a.q[lane] {
+		if cand == w {
+			a.q[lane] = append(a.q[lane][:i], a.q[lane][i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// release frees one slot, granting it to the head of the interactive
+// queue first, then bulk, then back to the free pool.
+func (a *admitter) release() {
+	a.mu.Lock()
+	for lane := 0; lane < laneCount; lane++ {
+		if len(a.q[lane]) > 0 {
+			w := a.q[lane][0]
+			a.q[lane] = a.q[lane][1:]
+			a.mu.Unlock()
+			w.ch <- struct{}{}
+			return
+		}
+	}
+	a.slots++
+	a.mu.Unlock()
+}
+
+// depths snapshots the per-lane queue lengths and free slots.
+func (a *admitter) depths() (queued [laneCount]int, free int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for lane := range a.q {
+		queued[lane] = len(a.q[lane])
+	}
+	return queued, a.slots
+}
+
+// exportMetrics folds the admitter's state into scrape-time gauges.
+func (a *admitter) exportMetrics(reg *obs.Registry) {
+	queued, free := a.depths()
+	for lane := 0; lane < laneCount; lane++ {
+		reg.Gauge("predict_queue_depth", fmt.Sprintf(`lane="%s"`, laneName(lane))).
+			Set(float64(queued[lane]))
+	}
+	reg.Gauge("predict_slots_free", "").Set(float64(free))
+}

@@ -12,15 +12,16 @@ import (
 	"repro/internal/device"
 	"repro/internal/dse"
 	"repro/internal/obs"
+	"repro/internal/serve/api"
 )
 
-// Job states.
+// Job states (wire values shared with the v2 envelope).
 const (
-	JobQueued   = "queued"
-	JobRunning  = "running"
-	JobDone     = "done"
-	JobFailed   = "failed"
-	JobCanceled = "canceled"
+	JobQueued   = api.JobQueued
+	JobRunning  = api.JobRunning
+	JobDone     = api.JobDone
+	JobFailed   = api.JobFailed
+	JobCanceled = api.JobCanceled
 )
 
 // Job is one asynchronous design-space exploration.
@@ -37,6 +38,12 @@ type Job struct {
 	summary  *exploreSummary
 }
 
+// exploreRequest is the v1 wire shape of an exploration submission plus
+// the resolved targets the worker runs against. v2 submissions resolve
+// through the api envelope first (which also admits inline kernels) and
+// fill k/p directly; v1 fills them through the same resolution, and the
+// worker falls back to a corpus lookup when only wire fields are set
+// (tests submit bare wire structs).
 type exploreRequest struct {
 	Bench        string `json:"bench"`
 	Kernel       string `json:"kernel"`
@@ -46,35 +53,18 @@ type exploreRequest struct {
 	SimMaxGroups int    `json:"sim_max_groups"`
 	Workers      int    `json:"workers"`
 	Top          int    `json:"top"`
+
+	k *bench.Kernel
+	p *device.Platform
 }
 
-type pointJSON struct {
-	Design DesignJSON `json:"design"`
-	Est    float64    `json:"est_cycles"`
-	Actual float64    `json:"actual_cycles,omitempty"`
-}
-
-type exploreSummary struct {
-	Points           int         `json:"points"`
-	BaselineFailures int         `json:"baseline_failures,omitempty"`
-	WallMS           float64     `json:"wall_ms"`
-	ModelMS          float64     `json:"model_ms"`
-	SimMS            float64     `json:"sim_ms,omitempty"`
-	Best             *pointJSON  `json:"best,omitempty"`
-	Top              []pointJSON `json:"top,omitempty"`
-}
-
-type jobView struct {
-	ID       string          `json:"id"`
-	State    string          `json:"state"`
-	Kernel   string          `json:"kernel"`
-	Platform string          `json:"platform"`
-	Created  time.Time       `json:"created"`
-	Started  *time.Time      `json:"started,omitempty"`
-	Finished *time.Time      `json:"finished,omitempty"`
-	Error    string          `json:"error,omitempty"`
-	Summary  *exploreSummary `json:"summary,omitempty"`
-}
+// Wire view types shared with the v2 envelope; the aliases keep the v1
+// rendering (and this package's tests) pointed at one definition.
+type (
+	pointJSON      = api.Point
+	exploreSummary = api.ExploreSummary
+	jobView        = api.JobView
+)
 
 func (j *Job) view() jobView {
 	j.mu.Lock()
@@ -265,8 +255,13 @@ func (p *jobPool) stop(ctx context.Context) error {
 // runExplore executes one job through the shared prep cache.
 func (s *Server) runExplore(ctx context.Context, j *Job) {
 	req := j.req
-	k := bench.FindID(req.Bench + "/" + req.Kernel)
-	p := device.Platforms()[req.Platform]
+	k, p := req.k, req.p
+	if k == nil {
+		k = bench.FindID(req.Bench + "/" + req.Kernel)
+	}
+	if p == nil {
+		p = device.Platforms()[req.Platform]
+	}
 	if k == nil || p == nil { // validated at submit; belt and braces
 		j.mu.Lock()
 		j.err = "kernel or platform vanished"
@@ -277,7 +272,7 @@ func (s *Server) runExplore(ctx context.Context, j *Job) {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.ExploreTimeout)
 	defer cancel()
 	t0 := time.Now()
-	r, err := dse.ExploreContext(ctx, k, dse.Options{
+	r, err := dse.Explore(ctx, k, dse.Options{
 		Platform:        p,
 		SkipActual:      !req.Sim,
 		SkipBaseline:    true,
@@ -330,24 +325,12 @@ func (s *Server) runExplore(ctx context.Context, j *Job) {
 		"points", len(r.Points), "wall", time.Since(t0).Round(time.Millisecond))
 }
 
-func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
-	var req exploreRequest
-	if err := decodeStrict(r.Body, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
-	}
-	k, ok := resolveKernel(w, req.Bench, req.Kernel)
-	if !ok {
-		return
-	}
-	p, ok := resolvePlatform(w, req.Platform)
-	if !ok {
-		return
-	}
-	req.Platform = platformName(p)
+// submitExplore validates the bounds shared by both API versions and
+// enqueues the job.
+func (s *Server) submitExplore(req exploreRequest) (*Job, *api.Error) {
 	if req.SimMaxGroups < 0 || req.Workers < 0 || req.Top < 0 {
-		writeErr(w, http.StatusBadRequest, "sim_max_groups, workers and top must be ≥ 0")
-		return
+		return nil, api.Errf(api.CodeBadRequest, http.StatusBadRequest,
+			"sim_max_groups, workers and top must be ≥ 0")
 	}
 	if req.Sim && req.SimMaxGroups == 0 {
 		req.SimMaxGroups = 8
@@ -357,7 +340,33 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.pool.submit(req)
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, "cannot accept job: %v", err)
+		return nil, api.Errf(api.CodeUnavailable, http.StatusServiceUnavailable,
+			"cannot accept job: %v", err)
+	}
+	return j, nil
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var req exploreRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	k, e := api.ResolveKernel(api.KernelRef{Bench: req.Bench, Kernel: req.Kernel}, api.V1)
+	if e != nil {
+		writeV1Err(w, e)
+		return
+	}
+	p, key, e := api.ResolvePlatform(req.Platform)
+	if e != nil {
+		writeV1Err(w, e)
+		return
+	}
+	req.Platform = key
+	req.k, req.p = k, p
+	j, e := s.submitExplore(req)
+	if e != nil {
+		writeV1Err(w, e)
 		return
 	}
 	s.log.Info("explore job queued", "id", j.ID, "kernel", k.ID(), "platform", p.Name)
@@ -368,16 +377,6 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		"url":    "/v1/jobs/" + j.ID,
 		"kernel": k.ID(),
 	})
-}
-
-// platformName maps a resolved platform back to its catalogue key.
-func platformName(p *device.Platform) string {
-	for name, cand := range device.Platforms() {
-		if cand.Name == p.Name {
-			return name
-		}
-	}
-	return p.Name
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {

@@ -4,21 +4,32 @@
 // enough to answer "what will this kernel/config cost?" interactively;
 // this service is that interactive surface.
 //
-// Endpoints:
+// Endpoints (v2 is the current surface; v1 is frozen and served by thin
+// adapters over the same handlers):
 //
-//	POST /v1/predict   — one kernel+design prediction (synchronous)
-//	POST /v1/explore   — enqueue an async design-space exploration job
-//	GET  /v1/jobs/{id} — poll an exploration job
-//	GET  /v1/kernels   — list the bundled Rodinia/PolyBench corpus
-//	GET  /metrics      — Prometheus text exposition
-//	GET  /debug/vars   — expvar JSON
-//	GET  /healthz      — liveness
+//	POST /v2/predict        — one kernel+design prediction (synchronous)
+//	POST /v2/predict:batch  — N (kernel, design) pairs, per-item results
+//	POST /v2/explore        — enqueue an async design-space exploration job
+//	GET  /v2/jobs/{id}      — poll an exploration job
+//	GET  /v2/kernels        — list the bundled Rodinia/PolyBench corpus
+//	POST /v1/predict        — legacy predict (flat bench/kernel fields)
+//	POST /v1/explore        — legacy explore
+//	GET  /v1/jobs/{id}      — legacy job poll
+//	GET  /v1/kernels        — legacy corpus listing
+//	GET  /metrics           — Prometheus text exposition
+//	GET  /debug/vars        — expvar JSON
+//	GET  /healthz           — liveness
 //
-// Explorations run on a bounded worker pool that reuses one
-// dse.PrepCache across all requests; predictions additionally hit an
-// LRU cache keyed by (kernel source hash, platform, design). Requests
-// carry deadlines (504 on expiry) and SIGTERM drains in-flight work
-// before the process exits.
+// Synchronous predictions flow through a two-lane admission gate
+// (interactive ahead of bulk) that sheds over-capacity load with 429 +
+// Retry-After, and through a singleflight prep cache that coalesces
+// concurrent compile+analyze work for the same kernel source into one
+// execution. Explorations run on a bounded worker pool sharing the same
+// dse.PrepCache; predictions additionally hit an LRU cache keyed by
+// (kernel workload hash, platform, design). Requests carry deadlines
+// (504 on expiry) propagated as context.Context through compile →
+// analyze → predict, and SIGTERM drains in-flight work before the
+// process exits. See docs/API.md for the wire reference.
 package serve
 
 import (
@@ -32,6 +43,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -41,6 +53,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/serve/api"
 )
 
 // Config tunes the service.
@@ -54,12 +67,26 @@ type Config struct {
 	DSEWorkers int
 	// QueueDepth bounds queued-but-not-running jobs (0 = 64).
 	QueueDepth int
+	// MaxConcurrentPredicts bounds synchronous prediction analyses
+	// executing at once, across both admission lanes (0 = GOMAXPROCS).
+	MaxConcurrentPredicts int
+	// PredictQueueDepth bounds each admission lane's wait queue
+	// (0 = 128); requests beyond it are shed with 429 + Retry-After.
+	PredictQueueDepth int
+	// RetryAfter is the client backoff hint on shed responses (0 = 1s).
+	RetryAfter time.Duration
+	// MaxBatchItems bounds the items of one /v2/predict:batch request
+	// (0 = 256).
+	MaxBatchItems int
 	// PredCacheSize bounds the LRU prediction cache (0 = 4096 entries;
 	// negative disables caching).
 	PredCacheSize int
 	// RequestTimeout is the synchronous-endpoint deadline
 	// (0 = 10 s); expired requests answer 504.
 	RequestTimeout time.Duration
+	// BatchTimeout is the /v2/predict:batch deadline (0 = 2 min) —
+	// batches amortize more work per request than single predicts.
+	BatchTimeout time.Duration
 	// ExploreTimeout is the per-job deadline (0 = 5 min).
 	ExploreTimeout time.Duration
 	// DrainTimeout bounds graceful shutdown (0 = 30 s).
@@ -85,11 +112,26 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
+	if c.MaxConcurrentPredicts <= 0 {
+		c.MaxConcurrentPredicts = runtime.GOMAXPROCS(0)
+	}
+	if c.PredictQueueDepth <= 0 {
+		c.PredictQueueDepth = 128
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
+	}
 	if c.PredCacheSize == 0 {
 		c.PredCacheSize = 4096
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 10 * time.Second
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = 2 * time.Minute
 	}
 	if c.ExploreTimeout <= 0 {
 		c.ExploreTimeout = 5 * time.Minute
@@ -111,12 +153,13 @@ func (c Config) withDefaults() Config {
 
 // Server is the flexcl prediction/DSE service.
 type Server struct {
-	cfg  Config
-	log  *slog.Logger
-	reg  *obs.Registry
-	prep *dse.PrepCache
-	pred *dse.PredCache
-	pool *jobPool
+	cfg   Config
+	log   *slog.Logger
+	reg   *obs.Registry
+	prep  *dse.PrepCache
+	pred  *dse.PredCache
+	pool  *jobPool
+	admit *admitter
 
 	mu sync.Mutex
 	ln net.Listener
@@ -127,17 +170,26 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:  cfg,
-		log:  cfg.Logger,
-		reg:  obs.NewRegistry(cfg.Namespace),
-		prep: dse.NewPrepCache(),
-		pred: dse.NewPredCache(cfg.PredCacheSize),
+		cfg:   cfg,
+		log:   cfg.Logger,
+		reg:   obs.NewRegistry(cfg.Namespace),
+		prep:  dse.NewPrepCache(),
+		pred:  dse.NewPredCache(cfg.PredCacheSize),
+		admit: newAdmitter(cfg.MaxConcurrentPredicts, cfg.PredictQueueDepth),
 	}
 	s.pool = newJobPool(s, cfg.Workers, cfg.QueueDepth, cfg.MaxRetainedJobs)
 	s.reg.Help("requests_total", "HTTP requests by route and status code.")
 	s.reg.Help("request_seconds", "HTTP request latency by route.")
 	s.reg.Help("predict_cache_hit_ratio", "LRU prediction cache hit ratio since start.")
 	s.reg.Help("jobs_inflight", "Exploration jobs currently queued or running.")
+	s.reg.Help("predict_queue_depth", "Requests waiting in the admission queue, by lane.")
+	s.reg.Help("predict_queue_wait_seconds", "Time spent queued for admission, by lane.")
+	s.reg.Help("predict_shed_total", "Requests shed (429) because an admission lane was full.")
+	s.reg.Help("predict_admitted_total", "Requests admitted to the prediction path, by lane.")
+	s.reg.Help("predict_source_total", "Predictions by answer source (pred/prep/coalesced/miss).")
+	s.reg.Help("prep_cache_computes", "Actual compile+analyze executions performed by the prep cache.")
+	s.reg.Help("prep_cache_coalesced", "Lookups that joined an in-flight compile+analyze instead of duplicating it.")
+	s.reg.Help("batch_items_total", "Batch prediction items by outcome.")
 	s.reg.PublishExpvar(cfg.Namespace)
 	return s
 }
@@ -152,6 +204,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/explore", s.handleExplore)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/kernels", s.handleKernels)
+	mux.HandleFunc("POST /v2/predict", s.handleV2Predict)
+	mux.HandleFunc("POST /v2/predict:batch", s.handleV2Batch)
+	mux.HandleFunc("POST /v2/explore", s.handleV2Explore)
+	mux.HandleFunc("GET /v2/jobs/{id}", s.handleV2Job)
+	mux.HandleFunc("GET /v2/kernels", s.handleKernels)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -160,10 +217,17 @@ func (s *Server) Handler() http.Handler {
 	return obs.AccessLog(s.log, s.instrument(s.deadline(mux)))
 }
 
-// deadline attaches the per-request timeout to the request context.
+// deadline attaches the per-request timeout to the request context —
+// the one deadline that then propagates as context through admission,
+// compile, analyze and predict. Batch requests get their own (longer)
+// budget.
 func (s *Server) deadline(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		timeout := s.cfg.RequestTimeout
+		if r.URL.Path == "/v2/predict:batch" {
+			timeout = s.cfg.BatchTimeout
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 		next.ServeHTTP(w, r.WithContext(ctx))
 	})
@@ -174,6 +238,9 @@ func (s *Server) deadline(next http.Handler) http.Handler {
 func route(path string) string {
 	if strings.HasPrefix(path, "/v1/jobs/") {
 		return "/v1/jobs/{id}"
+	}
+	if strings.HasPrefix(path, "/v2/jobs/") {
+		return "/v2/jobs/{id}"
 	}
 	return path
 }
@@ -234,7 +301,7 @@ func (s *Server) Serve(ctx context.Context) error {
 	go func() { errc <- srv.Serve(ln) }()
 	s.log.Info("listening", "addr", ln.Addr().String(),
 		"workers", s.cfg.Workers, "dse_workers", s.cfg.DSEWorkers,
-		"pred_cache", s.pred.Cap())
+		"max_predicts", s.cfg.MaxConcurrentPredicts, "pred_cache", s.pred.Cap())
 
 	select {
 	case err := <-errc:
@@ -278,21 +345,11 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-// DesignJSON is the wire form of a model.Design.
-type DesignJSON struct {
-	WGSize     int64  `json:"wg_size"`
-	WIPipeline bool   `json:"wi_pipeline"`
-	PE         int    `json:"pe"`
-	CU         int    `json:"cu"`
-	Mode       string `json:"mode"` // "barrier" | "pipeline"
-}
+// DesignJSON is the wire form of a model.Design (shared with the v2
+// envelope in internal/serve/api).
+type DesignJSON = api.Design
 
-func designToJSON(d model.Design) DesignJSON {
-	return DesignJSON{
-		WGSize: d.WGSize, WIPipeline: d.WIPipeline, PE: d.PE, CU: d.CU,
-		Mode: d.Mode.String(),
-	}
-}
+func designToJSON(d model.Design) DesignJSON { return api.DesignToWire(d) }
 
 type predictRequest struct {
 	Bench    string     `json:"bench"`
@@ -328,6 +385,26 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeV1Err flattens a typed API error into the legacy {"error": msg}
+// envelope (identical bytes to the historical v1 responses).
+func writeV1Err(w http.ResponseWriter, e *api.Error) {
+	if e.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSeconds))
+	}
+	writeErr(w, e.Status, "%s", e.Message)
+}
+
+// writeV2Err renders a typed API error in the v2 {"error": {...}}
+// envelope, mirroring any Retry-After hint into the header.
+func writeV2Err(w http.ResponseWriter, e *api.Error) {
+	if e.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSeconds))
+	}
+	writeJSON(w, e.Status, struct {
+		Error *api.Error `json:"error"`
+	}{e})
+}
+
 // decodeStrict decodes a JSON body, rejecting unknown fields and
 // trailing garbage — both answer 400.
 func decodeStrict(r io.Reader, v any) error {
@@ -342,130 +419,83 @@ func decodeStrict(r io.Reader, v any) error {
 	return nil
 }
 
-// resolveKernel maps (bench, kernel) to the corpus entry: empty names
-// are 400, unknown kernels 404.
-func resolveKernel(w http.ResponseWriter, benchName, kernelName string) (*bench.Kernel, bool) {
-	if benchName == "" || kernelName == "" {
-		writeErr(w, http.StatusBadRequest, "bench and kernel are required")
-		return nil, false
-	}
-	k := bench.Find(benchName, kernelName)
-	if k == nil {
-		writeErr(w, http.StatusNotFound, "unknown kernel %s/%s (see GET /v1/kernels)",
-			benchName, kernelName)
-		return nil, false
-	}
-	return k, true
+// ---- the coalescing, admission-controlled prediction core ----
+
+// predictOutcome is one computed (or recalled) estimate plus how it was
+// obtained.
+type predictOutcome struct {
+	est *model.Estimate
+	// cache ∈ {"pred", "prep", "coalesced", "miss"}; see
+	// api.PredictResult.Cache.
+	cache string
+	// wait is the time spent queued for admission.
+	wait time.Duration
 }
 
-// resolvePlatform maps a platform name ("" = virtex7) to its catalogue
-// entry, answering 400 for unknown names.
-func resolvePlatform(w http.ResponseWriter, name string) (*device.Platform, bool) {
-	if name == "" {
-		name = "virtex7"
-	}
-	p, ok := device.Platforms()[name]
-	if !ok {
-		known := make([]string, 0, len(device.Platforms()))
-		for n := range device.Platforms() {
-			known = append(known, n)
-		}
-		writeErr(w, http.StatusBadRequest, "unknown platform %q (known: %s)",
-			name, strings.Join(known, ", "))
-		return nil, false
-	}
-	return p, true
-}
-
-// resolveDesign validates the wire design against the kernel's sweep
-// bounds and the platform's resource limits, applying friendly
-// defaults (zero values mean "the unoptimized choice").
-func resolveDesign(w http.ResponseWriter, k *bench.Kernel, p *device.Platform, dj DesignJSON) (model.Design, bool) {
-	var zero model.Design
-	wgs := k.WGSizes()
-	if dj.WGSize == 0 {
-		dj.WGSize = wgs[0]
-	}
-	valid := false
-	for _, wg := range wgs {
-		if wg == dj.WGSize {
-			valid = true
-			break
-		}
-	}
-	if !valid {
-		writeErr(w, http.StatusBadRequest, "wg_size %d not in the kernel's sweep %v",
-			dj.WGSize, wgs)
-		return zero, false
-	}
-	if dj.PE == 0 {
-		dj.PE = 1
-	}
-	if dj.CU == 0 {
-		dj.CU = 1
-	}
-	if dj.PE < 1 || dj.PE > p.MaxPE {
-		writeErr(w, http.StatusBadRequest, "pe %d out of range [1, %d]", dj.PE, p.MaxPE)
-		return zero, false
-	}
-	if dj.CU < 1 || dj.CU > p.MaxCU {
-		writeErr(w, http.StatusBadRequest, "cu %d out of range [1, %d]", dj.CU, p.MaxCU)
-		return zero, false
-	}
-	if dj.PE > 1 && !dj.WIPipeline {
-		writeErr(w, http.StatusBadRequest,
-			"pe %d requires wi_pipeline (parallel PEs share the pipeline control)", dj.PE)
-		return zero, false
-	}
-	var mode model.CommMode
-	switch dj.Mode {
-	case "", "barrier":
-		mode = model.ModeBarrier
-	case "pipeline":
-		mode = model.ModePipeline
+// predictErr maps a prediction-path failure to a typed API error. shed
+// responses carry the Retry-After hint; context expiry is a deadline
+// (timeout names the budget that expired, for the message only).
+func (s *Server) predictErr(err error, timeout time.Duration) *api.Error {
+	switch {
+	case errors.Is(err, errShed):
+		e := api.Errf(api.CodeShed, http.StatusTooManyRequests,
+			"prediction queue full, retry after %v", s.cfg.RetryAfter)
+		e.RetryAfterSeconds = int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		return e
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return api.Errf(api.CodeDeadline, http.StatusGatewayTimeout,
+			"prediction timed out after %v", timeout)
 	default:
-		writeErr(w, http.StatusBadRequest, "mode %q must be \"barrier\" or \"pipeline\"", dj.Mode)
-		return zero, false
+		return api.Errf(api.CodeInternal, http.StatusInternalServerError,
+			"analysis failed: %v", err)
 	}
-	return model.Design{
-		WGSize: dj.WGSize, WIPipeline: dj.WIPipeline, PE: dj.PE, CU: dj.CU,
-		Mode: mode,
-	}, true
 }
 
-// predict computes (or recalls) one estimate. The analysis runs in its
-// own goroutine so an expired request context answers 504 immediately;
-// the abandoned computation still lands in the prep cache for the
-// retry.
-func (s *Server) predict(ctx context.Context, k *bench.Kernel, p *device.Platform, d model.Design) (*model.Estimate, bool, error) {
-	key := k.SourceHash() + "|" + p.Name + "|" + d.String()
+// predictCore computes (or recalls) one estimate. The path is:
+// prediction LRU (free, no admission) → admission gate (bounded
+// concurrency, lane-prioritized, shed beyond the queue bound) →
+// singleflight prep cache (concurrent requests for the same kernel
+// source share one compile+analyze fill) → predict. ctx carries the
+// request deadline through every stage; an expired request unblocks
+// immediately while an in-flight fill keeps running in the background
+// and lands in the cache for the retry.
+func (s *Server) predictCore(ctx context.Context, lane int, k *bench.Kernel, p *device.Platform, d model.Design) (predictOutcome, error) {
+	key := k.CacheKey() + "|" + p.Name + "|" + d.String()
 	if est, ok := s.pred.Get(key); ok {
-		return est, true, nil
+		s.reg.Counter("predict_source_total", `source="pred"`).Inc()
+		return predictOutcome{est: est, cache: "pred"}, nil
 	}
-	type out struct {
-		est *model.Estimate
-		err error
-	}
-	ch := make(chan out, 1)
-	go func() {
-		an, err := s.prep.Analysis(k, p, d.WGSize)
-		if err != nil {
-			ch <- out{nil, err}
-			return
+	ll := fmt.Sprintf(`lane="%s"`, laneName(lane))
+	release, wait, err := s.admit.admit(ctx, lane)
+	s.reg.Histogram("predict_queue_wait_seconds", ll, obs.QueueBuckets...).
+		Observe(wait.Seconds())
+	if err != nil {
+		if errors.Is(err, errShed) {
+			s.reg.Counter("predict_shed_total", ll).Inc()
 		}
-		ch <- out{an.Predict(d), nil}
-	}()
-	select {
-	case <-ctx.Done():
-		return nil, false, ctx.Err()
-	case o := <-ch:
-		if o.err != nil {
-			return nil, false, o.err
-		}
-		s.pred.Put(key, o.est)
-		return o.est, false, nil
+		return predictOutcome{wait: wait}, err
 	}
+	defer release()
+	s.reg.Counter("predict_admitted_total", ll).Inc()
+
+	an, outcome, err := s.prep.AnalysisContext(ctx, k, p, d.WGSize)
+	if err != nil {
+		return predictOutcome{wait: wait}, err
+	}
+	est := an.Predict(d)
+	s.pred.Put(key, est)
+	cache := "miss"
+	switch outcome {
+	case dse.PrepCoalesced:
+		cache = "coalesced"
+	case dse.PrepCached:
+		cache = "prep"
+	}
+	s.reg.Counter("predict_source_total", fmt.Sprintf(`source="%s"`, cache)).Inc()
+	return predictOutcome{est: est, cache: cache, wait: wait}, nil
 }
+
+// ---- v1 handlers (thin adapters over the v2 envelope) ----
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req predictRequest
@@ -473,33 +503,26 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	k, ok := resolveKernel(w, req.Bench, req.Kernel)
-	if !ok {
+	res, apiErr := api.ResolvePredict(api.PredictRequest{
+		Kernel:   api.KernelRef{Bench: req.Bench, Kernel: req.Kernel},
+		Platform: req.Platform,
+		Design:   req.Design,
+	}, api.V1)
+	if apiErr != nil {
+		writeV1Err(w, apiErr)
 		return
 	}
-	p, ok := resolvePlatform(w, req.Platform)
-	if !ok {
-		return
-	}
-	d, ok := resolveDesign(w, k, p, req.Design)
-	if !ok {
-		return
-	}
-	est, cached, err := s.predict(r.Context(), k, p, d)
+	out, err := s.predictCore(r.Context(), laneInteractive, res.K, res.P, res.D)
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			writeErr(w, http.StatusGatewayTimeout, "prediction timed out after %v",
-				s.cfg.RequestTimeout)
-			return
-		}
-		writeErr(w, http.StatusInternalServerError, "analysis failed: %v", err)
+		writeV1Err(w, s.predictErr(err, s.cfg.RequestTimeout))
 		return
 	}
+	est := out.est
 	writeJSON(w, http.StatusOK, predictResponse{
-		Bench:         k.Bench,
-		Kernel:        k.Name,
-		Platform:      p.Name,
-		Design:        designToJSON(d),
+		Bench:         res.K.Bench,
+		Kernel:        res.K.Name,
+		Platform:      res.P.Name,
+		Design:        designToJSON(res.D),
 		EffectiveMode: est.Mode.String(),
 		Cycles:        est.Cycles,
 		Seconds:       est.Seconds,
@@ -507,36 +530,20 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Depth:         est.Depth,
 		NPE:           est.NPE,
 		NCU:           est.NCU,
-		Cached:        cached,
+		Cached:        out.cache == "pred",
 	})
 }
 
-type kernelInfo struct {
-	ID           string  `json:"id"`
-	Suite        string  `json:"suite"`
-	Bench        string  `json:"bench"`
-	Kernel       string  `json:"kernel"`
-	WorkItems    int64   `json:"work_items"`
-	WGSizes      []int64 `json:"wg_sizes"`
-	DesignPoints int     `json:"design_points"`
-}
+type kernelInfo = api.KernelInfo
 
 func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 	p := device.Virtex7()
 	all := bench.All()
 	out := make([]kernelInfo, 0, len(all))
 	for _, k := range all {
-		out = append(out, kernelInfo{
-			ID:           k.ID(),
-			Suite:        k.Suite,
-			Bench:        k.Bench,
-			Kernel:       k.Name,
-			WorkItems:    k.NWI(),
-			WGSizes:      k.WGSizes(),
-			DesignPoints: len(dse.Space(k, p)),
-		})
+		out = append(out, api.KernelInfoOf(k, p))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"kernels": out, "count": len(out)})
+	writeJSON(w, http.StatusOK, api.KernelList{Count: len(out), Kernels: out})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -552,6 +559,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge("prep_cache_hits", "").Set(float64(qs.Hits))
 	s.reg.Gauge("prep_cache_misses", "").Set(float64(qs.Misses))
 	s.reg.Gauge("prep_cache_entries", "").Set(float64(s.prep.Len()))
+	s.reg.Gauge("prep_cache_computes", "").Set(float64(qs.Computes))
+	s.reg.Gauge("prep_cache_coalesced", "").Set(float64(qs.Coalesced))
+	s.admit.exportMetrics(s.reg)
 	s.pool.exportMetrics(s.reg)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -1,0 +1,291 @@
+// Package flexclclient is the Go client for the flexcl-serve v2 HTTP
+// API: synchronous predictions, batch predictions, asynchronous
+// design-space exploration jobs and the kernel corpus listing.
+//
+// Every method takes a context.Context that bounds the whole call
+// (connection, request and body decode); server-side failures come back
+// as *APIError values that participate in errors.Is — shed responses
+// (server over capacity, HTTP 429) match ErrShed and unknown
+// kernels/jobs match ErrNotFound:
+//
+//	res, err := c.Predict(ctx, req)
+//	if errors.Is(err, flexclclient.ErrShed) {
+//	    backoff(flexclclient.RetryAfter(err))
+//	}
+package flexclclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/serve/api"
+)
+
+// Wire types, re-exported so client code needs only this package.
+type (
+	// Design is one design point (work-group size, pipelining, PE/CU
+	// replication, communication mode).
+	Design = api.Design
+	// KernelRef names a kernel by corpus id, bench+kernel, or inline
+	// OpenCL source.
+	KernelRef = api.KernelRef
+	// PredictRequest is one prediction (also the batch item shape).
+	PredictRequest = api.PredictRequest
+	// PredictResult is one prediction outcome.
+	PredictResult = api.PredictResult
+	// BatchPredictRequest is a multi-item prediction request.
+	BatchPredictRequest = api.BatchPredictRequest
+	// BatchPredictResponse carries per-item results in request order.
+	BatchPredictResponse = api.BatchPredictResponse
+	// BatchItem is one per-item batch outcome.
+	BatchItem = api.BatchItem
+	// ExploreRequest submits an asynchronous exploration job.
+	ExploreRequest = api.ExploreRequest
+	// JobAccepted acknowledges an exploration submission.
+	JobAccepted = api.JobAccepted
+	// JobView is the poll state of an exploration job.
+	JobView = api.JobView
+	// KernelList is the corpus listing.
+	KernelList = api.KernelList
+)
+
+// Job states, as reported in JobView.State.
+const (
+	JobQueued   = api.JobQueued
+	JobRunning  = api.JobRunning
+	JobDone     = api.JobDone
+	JobFailed   = api.JobFailed
+	JobCanceled = api.JobCanceled
+)
+
+// Sentinel errors for errors.Is against *APIError responses.
+var (
+	// ErrShed matches 429 responses: the server's admission queue was
+	// full and the request was refused without queueing work. Retry
+	// after the hint returned by RetryAfter.
+	ErrShed = errors.New("flexclclient: request shed, server over capacity")
+	// ErrNotFound matches 404 responses (unknown kernel or job).
+	ErrNotFound = errors.New("flexclclient: not found")
+)
+
+// APIError is a structured error response from the service.
+type APIError struct {
+	// Code is the machine-readable error code ("bad_request",
+	// "not_found", "shed", "unavailable", "deadline", "internal").
+	Code string
+	// Message is the human-readable diagnostic.
+	Message string
+	// RetryAfterSeconds is the backoff hint on shed responses.
+	RetryAfterSeconds int
+	// Status is the HTTP status the error arrived with.
+	Status int
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("flexcl-serve: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
+}
+
+// Is matches the sentinel errors by code, so call sites can use
+// errors.Is(err, ErrShed) without unwrapping to *APIError.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrShed:
+		return e.Code == api.CodeShed
+	case ErrNotFound:
+		return e.Code == api.CodeNotFound
+	}
+	return false
+}
+
+// RetryAfter extracts the backoff hint from a shed error, defaulting to
+// one second when the error carries none (or is not an APIError).
+func RetryAfter(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfterSeconds > 0 {
+		return time.Duration(ae.RetryAfterSeconds) * time.Second
+	}
+	return time.Second
+}
+
+// Client talks to one flexcl-serve instance. The zero value is not
+// usable; construct with New.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the service at baseURL (e.g.
+// "http://localhost:8080"). httpClient may be nil (http.DefaultClient).
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// Predict runs one synchronous prediction.
+func (c *Client) Predict(ctx context.Context, req PredictRequest) (*PredictResult, error) {
+	var out PredictResult
+	if err := c.do(ctx, http.MethodPost, "/v2/predict", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PredictBatch runs N predictions in one request. Per-item failures do
+// not fail the call — inspect BatchItem.Error; the returned error is
+// non-nil only when the batch envelope itself was rejected.
+func (c *Client) PredictBatch(ctx context.Context, req BatchPredictRequest) (*BatchPredictResponse, error) {
+	var out BatchPredictResponse
+	if err := c.do(ctx, http.MethodPost, "/v2/predict:batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Explore submits an asynchronous exploration job; poll it with Job or
+// WaitJob.
+func (c *Client) Explore(ctx context.Context, req ExploreRequest) (*JobAccepted, error) {
+	var out JobAccepted
+	if err := c.do(ctx, http.MethodPost, "/v2/explore", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job fetches the current state of an exploration job.
+func (c *Client) Job(ctx context.Context, id string) (*JobView, error) {
+	var out JobView
+	if err := c.do(ctx, http.MethodGet, "/v2/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob polls a job until it reaches a terminal state (done, failed
+// or canceled) or ctx expires. poll is the polling interval (0 = 250ms).
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*JobView, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		v, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch v.State {
+		case JobDone, JobFailed, JobCanceled:
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return v, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Kernels lists the bundled benchmark corpus.
+func (c *Client) Kernels(ctx context.Context) (*KernelList, error) {
+	var out KernelList
+	if err := c.do(ctx, http.MethodGet, "/v2/kernels", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// do performs one round trip: JSON-encode body (when non-nil), send,
+// map non-2xx responses to *APIError, decode 2xx bodies into out.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("flexclclient: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("flexclclient: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("flexclclient: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("flexclclient: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeError maps an error response to *APIError. v2 bodies carry
+// {"error": {code, message, ...}}; anything else (v1 bodies, proxies)
+// degrades to a synthesized code from the status.
+func decodeError(resp *http.Response) error {
+	ae := &APIError{Status: resp.StatusCode}
+	var envelope struct {
+		Error json.RawMessage `json:"error"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if json.Unmarshal(raw, &envelope) == nil && len(envelope.Error) > 0 {
+		var typed struct {
+			Code              string `json:"code"`
+			Message           string `json:"message"`
+			RetryAfterSeconds int    `json:"retry_after_seconds"`
+		}
+		var flat string
+		switch {
+		case json.Unmarshal(envelope.Error, &typed) == nil && typed.Code != "":
+			ae.Code, ae.Message = typed.Code, typed.Message
+			ae.RetryAfterSeconds = typed.RetryAfterSeconds
+		case json.Unmarshal(envelope.Error, &flat) == nil:
+			ae.Message = flat
+		}
+	}
+	if ae.Code == "" {
+		switch resp.StatusCode {
+		case http.StatusNotFound:
+			ae.Code = api.CodeNotFound
+		case http.StatusTooManyRequests:
+			ae.Code = api.CodeShed
+		case http.StatusServiceUnavailable:
+			ae.Code = api.CodeUnavailable
+		case http.StatusGatewayTimeout:
+			ae.Code = api.CodeDeadline
+		case http.StatusBadRequest:
+			ae.Code = api.CodeBadRequest
+		default:
+			ae.Code = api.CodeInternal
+		}
+	}
+	if ae.Message == "" {
+		ae.Message = http.StatusText(resp.StatusCode)
+	}
+	if ae.RetryAfterSeconds == 0 {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			fmt.Sscanf(ra, "%d", &ae.RetryAfterSeconds)
+		}
+	}
+	return ae
+}

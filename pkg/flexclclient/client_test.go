@@ -1,0 +1,144 @@
+package flexclclient_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/pkg/flexclclient"
+)
+
+// The client tests run end to end against a real serve.Server mounted
+// in an httptest fixture — they are the executable form of the v2 API
+// walkthrough in docs/API.md.
+
+func newFixture(t *testing.T, cfg serve.Config) *flexclclient.Client {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := serve.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
+	return flexclclient.New(ts.URL, ts.Client())
+}
+
+func TestClientPredict(t *testing.T) {
+	c := newFixture(t, serve.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := c.Predict(ctx, flexclclient.PredictRequest{
+		Kernel: flexclclient.KernelRef{ID: "hotspot/hotspot"},
+		Design: flexclclient.Design{WGSize: 64, WIPipeline: true, PE: 4, CU: 2, Mode: "pipeline"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel != "hotspot/hotspot" || res.Cycles <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+
+	// The second identical call is answered from the prediction cache.
+	res, err = c.Predict(ctx, flexclclient.PredictRequest{
+		Kernel: flexclclient.KernelRef{ID: "hotspot/hotspot"},
+		Design: flexclclient.Design{WGSize: 64, WIPipeline: true, PE: 4, CU: 2, Mode: "pipeline"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache != "pred" {
+		t.Errorf("cache = %q, want pred", res.Cache)
+	}
+}
+
+func TestClientTypedErrors(t *testing.T) {
+	c := newFixture(t, serve.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	_, err := c.Predict(ctx, flexclclient.PredictRequest{
+		Kernel: flexclclient.KernelRef{ID: "bogus/bogus"},
+	})
+	if !errors.Is(err, flexclclient.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	var ae *flexclclient.APIError
+	if !errors.As(err, &ae) || ae.Status != 404 {
+		t.Fatalf("err = %v, want *APIError with status 404", err)
+	}
+	if errors.Is(err, flexclclient.ErrShed) {
+		t.Error("not_found must not match ErrShed")
+	}
+
+	_, err = c.Job(ctx, "zzz")
+	if !errors.Is(err, flexclclient.ErrNotFound) {
+		t.Fatalf("unknown job err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestClientBatch(t *testing.T) {
+	c := newFixture(t, serve.Config{BatchTimeout: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	out, err := c.PredictBatch(ctx, flexclclient.BatchPredictRequest{
+		Items: []flexclclient.PredictRequest{
+			{Kernel: flexclclient.KernelRef{ID: "hotspot/hotspot"},
+				Design: flexclclient.Design{WGSize: 64}},
+			{Kernel: flexclclient.KernelRef{ID: "missing/missing"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Succeeded != 1 || out.Failed != 1 {
+		t.Fatalf("succeeded/failed = %d/%d, want 1/1", out.Succeeded, out.Failed)
+	}
+	if out.Items[1].Error == nil || out.Items[1].Error.Code != "not_found" {
+		t.Fatalf("item 1 error = %+v, want not_found", out.Items[1].Error)
+	}
+}
+
+func TestClientExploreWaitJob(t *testing.T) {
+	c := newFixture(t, serve.Config{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	acc, err := c.Explore(ctx, flexclclient.ExploreRequest{
+		Kernel: flexclclient.KernelRef{ID: "nn/nn"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.WaitJob(ctx, acc.ID, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != flexclclient.JobDone {
+		t.Fatalf("job state = %s (err %q), want done", v.State, v.Error)
+	}
+	if v.Summary == nil || v.Summary.Best == nil {
+		t.Fatalf("bad summary: %+v", v.Summary)
+	}
+}
+
+func TestClientKernels(t *testing.T) {
+	c := newFixture(t, serve.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	list, err := c.Kernels(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Count == 0 || len(list.Kernels) != list.Count {
+		t.Fatalf("bad listing: count=%d kernels=%d", list.Count, len(list.Kernels))
+	}
+}

@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet test race cover serve fuzz-smoke bench-explore bench-serve check check-smoke ci
+.PHONY: build vet test race cover serve fuzz-smoke bench-explore bench-serve bench-dse check check-smoke ci
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzLexer -fuzztime=$(FUZZTIME) ./internal/opencl/lexer
 	$(GO) test -run='^$$' -fuzz=FuzzParser -fuzztime=$(FUZZTIME) ./internal/opencl/parser
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/opencl/parser
+	$(GO) test -run='^$$' -fuzz=FuzzLowerBound -fuzztime=$(FUZZTIME) ./internal/dse
 
 # Serial-vs-parallel exploration wall time (see docs/MODEL.md
 # "Exploration performance").
@@ -48,6 +49,12 @@ bench-explore:
 bench-serve:
 	$(GO) test -run='^$$' -bench='BenchmarkPredict|BenchmarkServe' -benchtime=1x ./internal/serve
 
+# Guided search vs exhaustive exploration: per-kernel evaluations, wall
+# time and speedup, written to BENCH_dse.json (a CI artifact). Uses the
+# smoke kernel subset; BENCH_DSE_FLAGS=-bench-all runs all 60 kernels.
+bench-dse:
+	$(GO) run ./cmd/flexcl-dse -bench-json BENCH_dse.json $(BENCH_DSE_FLAGS)
+
 # Cross-layer correctness audit (see docs/CHECK.md): model invariants,
 # differential bands vs the simulator, serve consistency. check-smoke is
 # the time-boxed subset CI runs on every push; check is the full corpus.
@@ -57,4 +64,4 @@ check:
 check-smoke:
 	$(GO) run ./cmd/flexcl-check -smoke -timeout 5m
 
-ci: build vet race fuzz-smoke check-smoke
+ci: build vet race fuzz-smoke bench-dse check-smoke

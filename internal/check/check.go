@@ -1,5 +1,5 @@
 // Package check is the cross-layer correctness subsystem: it
-// mechanically audits the FlexCL reproduction by running three families
+// mechanically audits the FlexCL reproduction by running four families
 // of checks over the benchmark corpus and reporting every violation as
 // a structured finding (see docs/CHECK.md for each invariant's paper
 // grounding):
@@ -16,6 +16,11 @@
 //     estimates for the same design through /v1/predict and
 //     /v1/explore, catching cache-aliasing drift between the
 //     prediction and preparation caches.
+//   - search equivalence: the guided branch-and-bound search returns
+//     byte-for-byte the same best design (and Pareto frontier) as the
+//     exhaustive sweep while evaluating under 10 % of the space on the
+//     corpus-median kernel — the proof-of-equivalence behind trusting
+//     its pruning.
 //
 // The whole value of an analytical model is that its numbers can be
 // trusted in place of synthesis, so silent correctness drift is the
@@ -41,6 +46,8 @@ const (
 	FamilyInvariant    = "invariant"
 	FamilyDifferential = "differential"
 	FamilyServe        = "serve"
+	// FamilySearch is declared in search.go with its equivalence
+	// contract.
 )
 
 // Finding is one violated check: what was checked, where, and the
@@ -107,7 +114,7 @@ func (o Options) platform() *device.Platform {
 
 func (o Options) families() []string {
 	if len(o.Families) == 0 {
-		return []string{FamilyInvariant, FamilyDifferential, FamilyServe}
+		return []string{FamilyInvariant, FamilyDifferential, FamilyServe, FamilySearch}
 	}
 	return o.Families
 }
@@ -247,16 +254,18 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	}
 	for f := range families {
 		switch f {
-		case FamilyInvariant, FamilyDifferential, FamilyServe:
+		case FamilyInvariant, FamilyDifferential, FamilyServe, FamilySearch:
 		default:
 			return nil, fmt.Errorf("check: unknown family %q", f)
 		}
 	}
 
-	// Invariant + differential families shard per kernel; the shared
-	// prep cache compiles and analyzes each (kernel, WG) exactly once.
+	// The model-driven families share one prep cache, so each
+	// (kernel, WG) is compiled and analyzed exactly once per run.
+	cache := dse.NewPrepCache()
+
+	// Invariant + differential families shard per kernel.
 	if families[FamilyInvariant] || families[FamilyDifferential] {
-		cache := dse.NewPrepCache()
 		var mu sync.Mutex
 		var firstErr error
 		perKernel(ctx, opts.Workers, kernels, func(k *bench.Kernel) {
@@ -281,6 +290,16 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+	}
+
+	if families[FamilySearch] {
+		fs, checks, err := SearchFindings(ctx, kernels, cache, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Findings = append(rep.Findings, fs...)
+		rep.Checks += checks
+		opts.logf("search equivalence: %d assertions, %d findings", checks, len(fs))
 	}
 
 	if families[FamilyServe] {

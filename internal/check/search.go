@@ -1,0 +1,192 @@
+package check
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/dse"
+)
+
+// FamilySearch audits the guided branch-and-bound search against
+// exhaustive exploration (the proof-of-equivalence family): for every
+// corpus kernel the guided search must return byte-for-byte the same
+// best design as the exhaustive sweep, the Pareto mode the same
+// frontier, the evaluation accounting must cover the space exactly, and
+// — corpus-wide — the search must prune aggressively enough that the
+// median evaluated fraction stays under searchMaxMedianRatio.
+const FamilySearch = "search"
+
+// searchMaxMedianRatio is the corpus-median bound on Evaluated/Space:
+// the guided search must evaluate under 10 % of the design space on the
+// median kernel, or it has degraded to a slow exhaustive sweep.
+const searchMaxMedianRatio = 0.10
+
+// searchAudit is one kernel's raw material for the comparator.
+type searchAudit struct {
+	kernel   string
+	exhaust  *dse.Result
+	guided   *dse.SearchResult
+	pareto   *dse.SearchResult
+	frontier []dse.Point // ParetoFrontierOf(exhaust.Points)
+}
+
+// searchKernelFindings compares one kernel's guided and Pareto searches
+// against its exhaustive exploration. It is pure (no I/O, no model
+// calls) so tests can feed it fabricated mismatches; the evaluation
+// ratio is returned for the corpus-wide median check.
+func searchKernelFindings(a searchAudit) (findings []Finding, checks int, ratio float64) {
+	ex, sr, pr := a.exhaust, a.guided, a.pareto
+	fail := func(check, design, expected, got string) {
+		findings = append(findings, Finding{
+			Family: FamilySearch, Check: check, Kernel: a.kernel,
+			Design: design, Expected: expected, Got: got,
+		})
+	}
+
+	// Best-design equivalence, tie-breaks and bits included.
+	checks++
+	exBest, exOK := ex.BestByModel()
+	if exOK != sr.BestOK {
+		fail("best-match", "", fmt.Sprintf("bestOK=%v", exOK), fmt.Sprintf("bestOK=%v", sr.BestOK))
+	} else if exOK {
+		if sr.Best.Design != exBest.Design {
+			fail("best-match", sr.Best.Design.String(),
+				"guided best == exhaustive best "+exBest.Design.String(),
+				"different design")
+		} else if sr.Best.Est != exBest.Est {
+			fail("best-match", sr.Best.Design.String(),
+				fmt.Sprintf("est %v (bitwise)", exBest.Est), fmt.Sprintf("est %v", sr.Best.Est))
+		}
+	}
+
+	// Accounting: every design point is either evaluated or provably
+	// pruned, and the space matches the exhaustive enumeration.
+	checks++
+	if sr.Evaluated+sr.Pruned != sr.Space || sr.Space != len(ex.Points) {
+		fail("eval-accounting", "",
+			fmt.Sprintf("evaluated+pruned == space == %d exhaustive points", len(ex.Points)),
+			fmt.Sprintf("evaluated %d + pruned %d, space %d", sr.Evaluated, sr.Pruned, sr.Space))
+	}
+
+	// Every evaluated point's estimate must agree bitwise with the
+	// exhaustive evaluation of the same design.
+	byDesign := make(map[string]float64, len(ex.Points))
+	for _, pt := range ex.Points {
+		byDesign[pt.Design.String()] = pt.Est
+	}
+	checks++
+	for _, pt := range sr.Points {
+		est, ok := byDesign[pt.Design.String()]
+		if !ok || est != pt.Est {
+			fail("point-match", pt.Design.String(),
+				fmt.Sprintf("est %v (bitwise, from exhaustive)", est), fmt.Sprintf("est %v", pt.Est))
+		}
+	}
+
+	// Pareto frontier equivalence.
+	checks++
+	if len(pr.Frontier) != len(a.frontier) {
+		fail("frontier-match", "",
+			fmt.Sprintf("%d frontier points", len(a.frontier)),
+			fmt.Sprintf("%d frontier points", len(pr.Frontier)))
+	} else {
+		for i := range a.frontier {
+			if pr.Frontier[i].Design != a.frontier[i].Design || pr.Frontier[i].Est != a.frontier[i].Est {
+				fail("frontier-match", pr.Frontier[i].Design.String(),
+					fmt.Sprintf("frontier[%d] = %s (%v)", i, a.frontier[i].Design, a.frontier[i].Est),
+					fmt.Sprintf("%s (%v)", pr.Frontier[i].Design, pr.Frontier[i].Est))
+			}
+		}
+	}
+
+	if sr.Space > 0 {
+		ratio = float64(sr.Evaluated) / float64(sr.Space)
+	}
+	return findings, checks, ratio
+}
+
+// searchMedian returns the median of vs (0 for an empty slice).
+func searchMedian(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	if n := len(sorted); n%2 == 1 {
+		return sorted[n/2]
+	} else {
+		return (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+}
+
+// SearchFindings runs the search family over the corpus: per kernel a
+// model-only exhaustive exploration, a guided search and a Pareto
+// search (all through the shared prep cache, so analyses are reused
+// across families), compared by searchKernelFindings; plus the
+// corpus-wide median-evaluation-ratio bound. Smoke runs audit the
+// subset of kernels but keep each kernel's full work-group sweep — the
+// equivalence proof is only meaningful over the whole space.
+func SearchFindings(ctx context.Context, kernels []*bench.Kernel, cache *dse.PrepCache, opts Options) ([]Finding, int, error) {
+	p := opts.platform()
+	var mu sync.Mutex
+	var findings []Finding
+	var ratios []float64
+	checks := 0
+	var firstErr error
+	perKernel(ctx, opts.Workers, kernels, func(k *bench.Kernel) {
+		// Kernels are already sharded across workers; keep each audit
+		// serial inside its shard.
+		ex, err := dse.Explore(ctx, k, dse.Options{
+			Platform: p, SkipActual: true, SkipBaseline: true,
+			Workers: 1, Cache: cache,
+		})
+		if err == nil {
+			var sr, pr *dse.SearchResult
+			sr, err = dse.Search(ctx, k, dse.SearchOptions{Platform: p, Workers: 1, Cache: cache})
+			if err == nil {
+				pr, err = dse.Search(ctx, k, dse.SearchOptions{Platform: p, Workers: 1, Cache: cache, Pareto: true})
+			}
+			if err == nil {
+				fs, n, ratio := searchKernelFindings(searchAudit{
+					kernel:   k.ID(),
+					exhaust:  ex,
+					guided:   sr,
+					pareto:   pr,
+					frontier: dse.ParetoFrontierOf(ex.Points),
+				})
+				mu.Lock()
+				findings = append(findings, fs...)
+				checks += n
+				ratios = append(ratios, ratio)
+				mu.Unlock()
+				opts.logf("search %-28s space %4d evaluated %3d (%.1f%%), %d findings",
+					k.ID(), sr.Space, sr.Evaluated, ratio*100, len(fs))
+				return
+			}
+		}
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf("check search %s: %w", k.ID(), err)
+		}
+		mu.Unlock()
+	})
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+
+	checks++
+	if med := searchMedian(ratios); med >= searchMaxMedianRatio {
+		findings = append(findings, Finding{
+			Family: FamilySearch, Check: "eval-ratio",
+			Expected: fmt.Sprintf("corpus-median evaluated fraction < %.0f%%", searchMaxMedianRatio*100),
+			Got:      fmt.Sprintf("median %.1f%% over %d kernels", med*100, len(ratios)),
+		})
+	}
+	return findings, checks, nil
+}

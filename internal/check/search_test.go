@@ -1,0 +1,142 @@
+package check
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/dse"
+	"repro/internal/model"
+)
+
+// fabricatedAudit builds a consistent audit: a 4-point space whose
+// guided search evaluated one point (the best) and pruned the rest, and
+// whose Pareto frontier matches the exhaustive one. Tests then bend one
+// field at a time; the comparator must catch every bend.
+func fabricatedAudit() searchAudit {
+	d := func(pe, cu int) model.Design {
+		return model.Design{WGSize: 64, WIPipeline: true, PE: pe, CU: cu, Mode: model.ModeBarrier}
+	}
+	pts := []dse.Point{
+		{Design: d(1, 1), Est: 400},
+		{Design: d(1, 2), Est: 300},
+		{Design: d(2, 1), Est: 300},
+		{Design: d(2, 2), Est: 100},
+	}
+	ex := &dse.Result{Points: pts}
+	best := dse.Point{Design: d(2, 2), Est: 100}
+	return searchAudit{
+		kernel:  "fab/fab",
+		exhaust: ex,
+		guided: &dse.SearchResult{
+			Space: 4, Evaluated: 1, Pruned: 3,
+			Best: best, BestOK: true, BestIndex: 3,
+			Points: []dse.Point{best},
+		},
+		pareto: &dse.SearchResult{
+			Space: 4, Evaluated: 2, Pruned: 2,
+			Best: best, BestOK: true, BestIndex: 3,
+			Points:   []dse.Point{pts[0], best},
+			Frontier: []dse.Point{pts[0], pts[1], best},
+		},
+		frontier: dse.ParetoFrontierOf(pts),
+	}
+}
+
+func TestSearchComparatorCleanOnConsistentAudit(t *testing.T) {
+	fs, checks, ratio := searchKernelFindings(fabricatedAudit())
+	if len(fs) != 0 {
+		t.Fatalf("findings on a consistent audit: %v", fs)
+	}
+	if checks == 0 {
+		t.Fatal("no assertions evaluated")
+	}
+	if ratio != 0.25 {
+		t.Errorf("ratio = %v, want 0.25", ratio)
+	}
+}
+
+func TestSearchComparatorCatchesMismatches(t *testing.T) {
+	cases := []struct {
+		name  string
+		bend  func(a *searchAudit)
+		check string
+	}{
+		{"wrong best design", func(a *searchAudit) {
+			a.guided.Best = a.exhaust.Points[0]
+		}, "best-match"},
+		{"best est not bitwise", func(a *searchAudit) {
+			a.guided.Best.Est += 1e-9
+		}, "best-match"},
+		{"best missing", func(a *searchAudit) {
+			a.guided.BestOK = false
+		}, "best-match"},
+		{"accounting leak", func(a *searchAudit) {
+			a.guided.Pruned--
+		}, "eval-accounting"},
+		{"space mismatch", func(a *searchAudit) {
+			a.guided.Space, a.guided.Pruned = 5, 4
+		}, "eval-accounting"},
+		{"evaluated point drifted", func(a *searchAudit) {
+			a.guided.Points[0].Est *= 2
+		}, "point-match"},
+		{"frontier too short", func(a *searchAudit) {
+			a.pareto.Frontier = a.pareto.Frontier[:2]
+		}, "frontier-match"},
+		{"frontier wrong point", func(a *searchAudit) {
+			a.pareto.Frontier[1] = a.pareto.Frontier[0]
+		}, "frontier-match"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := fabricatedAudit()
+			tc.bend(&a)
+			fs, _, _ := searchKernelFindings(a)
+			found := false
+			for _, f := range fs {
+				if f.Family != FamilySearch {
+					t.Errorf("finding family = %q", f.Family)
+				}
+				if f.Check == tc.check {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("bend %q not caught; findings: %v", tc.name, fs)
+			}
+		})
+	}
+}
+
+func TestSearchMedian(t *testing.T) {
+	if m := searchMedian(nil); m != 0 {
+		t.Errorf("median(nil) = %v", m)
+	}
+	if m := searchMedian([]float64{0.3, 0.1, 0.2}); m != 0.2 {
+		t.Errorf("odd median = %v, want 0.2", m)
+	}
+	if m := searchMedian([]float64{0.4, 0.1, 0.2, 0.3}); m != 0.25 {
+		t.Errorf("even median = %v, want 0.25", m)
+	}
+}
+
+// TestSearchFamilyOnKernel runs the real family end to end on two
+// corpus kernels (one barrier-forced): the equivalence must hold and
+// the assertions must actually run.
+func TestSearchFamilyOnKernel(t *testing.T) {
+	ks := []*bench.Kernel{bench.Find("nn", "nn"), bench.Find("hotspot", "hotspot")}
+	rep, err := Run(context.Background(), Options{
+		Kernels:  ks,
+		Families: []string{FamilySearch},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Violations(); len(got) != 0 {
+		t.Fatalf("violations: %v", got)
+	}
+	// 4 per-kernel assertions × 2 kernels + the corpus ratio bound.
+	if rep.Checks != 9 {
+		t.Errorf("checks = %d, want 9", rep.Checks)
+	}
+}

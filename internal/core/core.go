@@ -56,6 +56,13 @@ type (
 	// ExploreOptions tunes an exploration (worker count, pruning,
 	// simulation fidelity, cache sharing).
 	ExploreOptions = dse.Options
+	// GuidedSearch is the outcome of a branch-and-bound exploration:
+	// the same best design (and Pareto frontier) as an exhaustive
+	// model-only Exploration, with most of the space pruned by bounds.
+	GuidedSearch = dse.SearchResult
+	// SearchOptions tunes a guided search (platform, workers, cache
+	// sharing, Pareto-frontier mode).
+	SearchOptions = dse.SearchOptions
 	// SimResult is one ground-truth simulation.
 	SimResult = rtlsim.Result
 )
@@ -169,6 +176,28 @@ func Explore(ctx context.Context, w *Workload, p *Platform, modelOnly bool) (*Ex
 // cancelling ctx stops the exploration.
 func ExploreOpts(ctx context.Context, w *Workload, opts ExploreOptions) (*Exploration, error) {
 	return dse.Explore(ctx, w, opts)
+}
+
+// Search runs the guided branch-and-bound exploration of a workload's
+// design space: provably equivalent to a model-only ExploreOpts — same
+// best design, exact tie-breaks included — while evaluating only the
+// points the model's own lower bounds cannot exclude. opts.Pareto
+// additionally returns the cycles-vs-resource Pareto frontier.
+func Search(ctx context.Context, w *Workload, opts SearchOptions) (*GuidedSearch, error) {
+	return dse.Search(ctx, w, opts)
+}
+
+// SearchStrategies as spelled on the CLI -search flag and the v2 API.
+const (
+	StrategyExhaustive = dse.StrategyExhaustive
+	StrategyGuided     = dse.StrategyGuided
+	StrategyPareto     = dse.StrategyPareto
+)
+
+// ParetoFrontierOf computes the cycles-vs-resource Pareto frontier of an
+// exhaustively evaluated point set (what GuidedSearch.Frontier matches).
+func ParetoFrontierOf(pts []dse.Point) []dse.Point {
+	return dse.ParetoFrontierOf(pts)
 }
 
 // DesignSpace enumerates the default design space for a work-group size

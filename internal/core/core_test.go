@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 )
 
@@ -105,5 +106,47 @@ func TestDesignSpaceHelper(t *testing.T) {
 func TestPlatformsDistinct(t *testing.T) {
 	if core.Virtex7().Name == core.KU060().Name {
 		t.Fatal("platforms aliased")
+	}
+}
+
+// TestSearchFacade: the guided branch-and-bound search is reachable
+// through the facade and agrees with an exhaustive model-only
+// exploration of the same workload.
+func TestSearchFacade(t *testing.T) {
+	w := bench.Find("nn", "nn")
+	if w == nil {
+		t.Fatal("nn/nn missing")
+	}
+	ctx := context.Background()
+	ex, err := core.Explore(ctx, w, core.Virtex7(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := core.Search(ctx, w, core.SearchOptions{Pareto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := ex.BestByModel()
+	if !ok || !sr.BestOK {
+		t.Fatalf("best missing (exhaustive ok=%v, guided ok=%v)", ok, sr.BestOK)
+	}
+	if sr.Best.Design != best.Design || sr.Best.Est != best.Est {
+		t.Errorf("guided best %v (%v) != exhaustive %v (%v)",
+			sr.Best.Design, sr.Best.Est, best.Design, best.Est)
+	}
+	if sr.Evaluated+sr.Pruned != sr.Space || sr.Evaluated >= sr.Space {
+		t.Errorf("accounting: evaluated %d pruned %d space %d", sr.Evaluated, sr.Pruned, sr.Space)
+	}
+	want := core.ParetoFrontierOf(ex.Points)
+	if len(sr.Frontier) != len(want) {
+		t.Fatalf("frontier %d points, want %d", len(sr.Frontier), len(want))
+	}
+	for i := range want {
+		if sr.Frontier[i] != want[i] {
+			t.Errorf("frontier[%d] = %v, want %v", i, sr.Frontier[i], want[i])
+		}
+	}
+	if core.StrategyGuided != "guided" || core.StrategyExhaustive != "exhaustive" || core.StrategyPareto != "pareto" {
+		t.Error("strategy constants drifted from their wire spellings")
 	}
 }

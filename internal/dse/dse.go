@@ -384,13 +384,15 @@ func (r *Result) SpeedupOverBaseline() (speedup float64, ok bool) {
 // HeuristicSearch reproduces the step-by-step search of [16]: starting
 // from the unoptimized design, optimize one parameter at a time with the
 // coarse model, assuming independence between optimizations. Returns the
-// chosen design and the number of coarse-model evaluations.
-func HeuristicSearch(k *bench.Kernel, analyses map[int64]*model.Analysis) (model.Design, int) {
+// chosen design and the number of coarse-model evaluations. ok is false
+// when there is nothing to search — an empty work-group sweep or no
+// analyses to score against — matching BaselineDesign's sentinel instead
+// of handing back a zero Design that callers could mistake for a choice.
+func HeuristicSearch(k *bench.Kernel, analyses map[int64]*model.Analysis) (_ model.Design, evals int, ok bool) {
 	cur, ok := BaselineDesign(k)
-	if !ok {
-		return model.Design{}, 0
+	if !ok || len(analyses) == 0 {
+		return model.Design{}, 0, false
 	}
-	evals := 0
 	score := func(d model.Design) float64 {
 		evals++
 		return baseline.Coarse(analyses[d.WGSize], d)
@@ -442,7 +444,7 @@ func HeuristicSearch(k *bench.Kernel, analyses map[int64]*model.Analysis) (model
 			bestS, cur = s, d
 		}
 	}
-	return cur, evals
+	return cur, evals, true
 }
 
 // NearOptimal reports whether design d's actual performance is within

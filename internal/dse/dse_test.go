@@ -106,9 +106,9 @@ func TestHeuristicSearchFindsSomething(t *testing.T) {
 		}
 		analyses[wg] = an
 	}
-	d, evals := dse.HeuristicSearch(k, analyses)
-	if evals == 0 {
-		t.Fatal("no evaluations")
+	d, evals, ok := dse.HeuristicSearch(k, analyses)
+	if !ok || evals == 0 {
+		t.Fatalf("no evaluations (ok=%v)", ok)
 	}
 	// Exhaustive search evaluates the full space; the heuristic must be
 	// far cheaper.
@@ -142,8 +142,8 @@ func TestBaselineDesignEmptySweep(t *testing.T) {
 	if d, ok := dse.BaselineDesign(k); ok {
 		t.Errorf("BaselineDesign ok on an empty sweep: %v", d)
 	}
-	if d, evals := dse.HeuristicSearch(k, nil); evals != 0 || d != (model.Design{}) {
-		t.Errorf("HeuristicSearch on an empty sweep = %v, %d evals", d, evals)
+	if d, evals, ok := dse.HeuristicSearch(k, nil); ok || evals != 0 || d != (model.Design{}) {
+		t.Errorf("HeuristicSearch on an empty sweep = %v, %d evals, ok=%v", d, evals, ok)
 	}
 }
 

@@ -1,0 +1,222 @@
+package dse_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/dse"
+	"repro/internal/model"
+)
+
+// searchKernels is the subset exercised by the unit tests; the full
+// 60-kernel corpus is covered by internal/check's "search" family.
+var searchKernels = [][2]string{
+	{"nn", "nn"},           // no barrier: both comm modes live
+	{"hotspot", "hotspot"}, // barrier kernel: pipeline mode collapses
+	{"gemm", "gemm"},
+	{"bfs", "bfs_1"},
+}
+
+func mustKernel(t *testing.T, benchName, kernel string) *bench.Kernel {
+	t.Helper()
+	k := bench.Find(benchName, kernel)
+	if k == nil {
+		t.Fatalf("kernel %s/%s missing", benchName, kernel)
+	}
+	return k
+}
+
+func TestSearchMatchesExhaustive(t *testing.T) {
+	cache := dse.NewPrepCache()
+	for _, id := range searchKernels {
+		k := mustKernel(t, id[0], id[1])
+		ex, err := dse.Explore(context.Background(), k, dse.Options{
+			SkipActual: true, SkipBaseline: true, Cache: cache,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := dse.Search(context.Background(), k, dse.SearchOptions{Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := ex.BestByModel()
+		if !ok || !sr.BestOK {
+			t.Fatalf("%s: best missing (exhaustive ok=%v, guided ok=%v)", k.ID(), ok, sr.BestOK)
+		}
+		if sr.Best.Design != want.Design {
+			t.Errorf("%s: guided best %v != exhaustive best %v", k.ID(), sr.Best.Design, want.Design)
+		}
+		if sr.Best.Est != want.Est {
+			t.Errorf("%s: guided est %v != exhaustive est %v (must be bitwise equal)",
+				k.ID(), sr.Best.Est, want.Est)
+		}
+		if sr.Space != len(ex.Points) {
+			t.Errorf("%s: search space %d != exhaustive points %d", k.ID(), sr.Space, len(ex.Points))
+		}
+		if sr.Evaluated+sr.Pruned != sr.Space {
+			t.Errorf("%s: Evaluated (%d) + Pruned (%d) != Space (%d)",
+				k.ID(), sr.Evaluated, sr.Pruned, sr.Space)
+		}
+		if sr.Evaluated >= sr.Space {
+			t.Errorf("%s: guided search evaluated the whole space (%d of %d)",
+				k.ID(), sr.Evaluated, sr.Space)
+		}
+		// Every evaluated point must agree bitwise with the exhaustive
+		// evaluation of the same design.
+		byDesign := map[model.Design]float64{}
+		for _, pt := range ex.Points {
+			byDesign[pt.Design] = pt.Est
+		}
+		for _, pt := range sr.Points {
+			if est, ok := byDesign[pt.Design]; !ok || est != pt.Est {
+				t.Errorf("%s: evaluated point %v: est %v, exhaustive %v", k.ID(), pt.Design, pt.Est, est)
+			}
+		}
+	}
+}
+
+func TestSearchParetoMatchesExhaustive(t *testing.T) {
+	cache := dse.NewPrepCache()
+	for _, id := range searchKernels {
+		k := mustKernel(t, id[0], id[1])
+		ex, err := dse.Explore(context.Background(), k, dse.Options{
+			SkipActual: true, SkipBaseline: true, Cache: cache,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := dse.Search(context.Background(), k, dse.SearchOptions{Cache: cache, Pareto: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dse.ParetoFrontierOf(ex.Points)
+		if len(pr.Frontier) != len(want) {
+			t.Fatalf("%s: frontier has %d points, want %d", k.ID(), len(pr.Frontier), len(want))
+		}
+		for i := range want {
+			if pr.Frontier[i].Design != want[i].Design || pr.Frontier[i].Est != want[i].Est {
+				t.Errorf("%s: frontier[%d] = %v (%v), want %v (%v)", k.ID(), i,
+					pr.Frontier[i].Design, pr.Frontier[i].Est, want[i].Design, want[i].Est)
+			}
+		}
+		// The frontier's cheapest-resource end dominates nothing and its
+		// Est sequence strictly decreases with growing budget.
+		for i := 1; i < len(pr.Frontier); i++ {
+			if dse.Resource(pr.Frontier[i].Design) <= dse.Resource(pr.Frontier[i-1].Design) {
+				t.Errorf("%s: frontier resources not strictly increasing at %d", k.ID(), i)
+			}
+			if pr.Frontier[i].Est >= pr.Frontier[i-1].Est {
+				t.Errorf("%s: frontier cycles not strictly decreasing at %d", k.ID(), i)
+			}
+		}
+		// Pareto mode still reports the global best.
+		if best, ok := ex.BestByModel(); ok && (!pr.BestOK || pr.Best.Design != best.Design) {
+			t.Errorf("%s: pareto-mode best %v != exhaustive best %v", k.ID(), pr.Best.Design, best.Design)
+		}
+	}
+}
+
+// TestSearchDeterministicAcrossWorkers asserts the race/determinism
+// contract: identical Best, identical Frontier, identical Evaluated and
+// Pruned counts and an identical evaluated-design set at any worker
+// count. Run under -race in CI (make race).
+func TestSearchDeterministicAcrossWorkers(t *testing.T) {
+	cache := dse.NewPrepCache()
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, id := range searchKernels {
+		k := mustKernel(t, id[0], id[1])
+		var ref *dse.SearchResult
+		for _, w := range counts {
+			sr, err := dse.Search(context.Background(), k, dse.SearchOptions{
+				Workers: w, Cache: cache, Pareto: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = sr
+				continue
+			}
+			if sr.Best != ref.Best || sr.BestIndex != ref.BestIndex || sr.BestOK != ref.BestOK {
+				t.Errorf("%s workers=%d: best %v (idx %d) != reference %v (idx %d)",
+					k.ID(), w, sr.Best, sr.BestIndex, ref.Best, ref.BestIndex)
+			}
+			if sr.Evaluated != ref.Evaluated || sr.Pruned != ref.Pruned {
+				t.Errorf("%s workers=%d: evaluated/pruned %d/%d != reference %d/%d",
+					k.ID(), w, sr.Evaluated, sr.Pruned, ref.Evaluated, ref.Pruned)
+			}
+			got, want := sr.EvaluatedDesigns(), ref.EvaluatedDesigns()
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: %d evaluated designs, reference %d",
+					k.ID(), w, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%s workers=%d: evaluated[%d] = %v, reference %v",
+						k.ID(), w, i, got[i], want[i])
+				}
+			}
+			if len(sr.Frontier) != len(ref.Frontier) {
+				t.Fatalf("%s workers=%d: frontier size %d != reference %d",
+					k.ID(), w, len(sr.Frontier), len(ref.Frontier))
+			}
+			for i := range ref.Frontier {
+				if sr.Frontier[i] != ref.Frontier[i] {
+					t.Errorf("%s workers=%d: frontier[%d] differs", k.ID(), w, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchContextCancel(t *testing.T) {
+	k := mustKernel(t, "nn", "nn")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := dse.Search(ctx, k, dse.SearchOptions{}); err == nil {
+		t.Fatal("Search ignored a cancelled context")
+	}
+}
+
+func TestSearchEmptySweep(t *testing.T) {
+	k := &bench.Kernel{Bench: "synthetic", Name: "empty", MinWG: 512, MaxWG: 256}
+	sr, err := dse.Search(context.Background(), k, dse.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.BestOK || sr.Space != 0 || sr.Evaluated != 0 || sr.Pruned != 0 {
+		t.Errorf("empty sweep: %+v", sr)
+	}
+}
+
+func TestParetoFrontierOfEmpty(t *testing.T) {
+	if f := dse.ParetoFrontierOf(nil); f != nil {
+		t.Errorf("frontier of no points = %v", f)
+	}
+}
+
+func TestSearchKU060(t *testing.T) {
+	// The bound derivation must hold on the robustness platform too.
+	k := mustKernel(t, "srad", "srad")
+	p := device.KU060()
+	cache := dse.NewPrepCache()
+	ex, err := dse.Explore(context.Background(), k, dse.Options{
+		Platform: p, SkipActual: true, SkipBaseline: true, Cache: cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := dse.Search(context.Background(), k, dse.SearchOptions{Platform: p, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, ok := ex.BestByModel()
+	if !ok || !sr.BestOK || sr.Best.Design != want.Design || sr.Best.Est != want.Est {
+		t.Errorf("KU060: guided best %v (%v) != exhaustive %v (%v)",
+			sr.Best.Design, sr.Best.Est, want.Design, want.Est)
+	}
+}

@@ -292,8 +292,7 @@ func SearchComparison(cfg Config) (*SearchComparisonResult, error) {
 		if best, ok := r.BestByModel(); ok && r.NearOptimal(best.Design, tolPct) {
 			res.FlexCLOptimal++
 		}
-		hd, _ := dse.HeuristicSearch(k, analyses)
-		if r.NearOptimal(hd, tolPct) {
+		if hd, _, ok := dse.HeuristicSearch(k, analyses); ok && r.NearOptimal(hd, tolPct) {
 			res.HeuristicOptimal++
 		}
 	}

@@ -78,14 +78,8 @@ func DefaultSpace(maxWG int64, maxPE, maxCU int) []Design {
 	if len(wgs) == 0 {
 		wgs = []int64{maxWG}
 	}
-	var pes []int
-	for pe := 1; pe <= maxPE; pe *= 2 {
-		pes = append(pes, pe)
-	}
-	var cus []int
-	for cu := 1; cu <= maxCU; cu *= 2 {
-		cus = append(cus, cu)
-	}
+	pes := PEValues(maxPE)
+	cus := CUValues(maxCU)
 	var out []Design
 	for _, wg := range wgs {
 		for _, pipe := range []bool{false, true} {

@@ -112,6 +112,13 @@ type BatchPredictResponse struct {
 	Failed    int         `json:"failed"`
 }
 
+// Search strategies accepted by ExploreRequest.Search.
+const (
+	SearchExhaustive = "exhaustive"
+	SearchGuided     = "guided"
+	SearchPareto     = "pareto"
+)
+
 // ExploreRequest is a design-space exploration job submission.
 type ExploreRequest struct {
 	Kernel       KernelRef `json:"kernel"`
@@ -121,6 +128,12 @@ type ExploreRequest struct {
 	SimMaxGroups int       `json:"sim_max_groups,omitempty"`
 	Workers      int       `json:"workers,omitempty"`
 	Top          int       `json:"top,omitempty"`
+	// Search selects the exploration strategy: "" or "exhaustive"
+	// evaluates every design point; "guided" runs the branch-and-bound
+	// search (same best design, a fraction of the evaluations; model
+	// only, so it rejects sim); "pareto" additionally reports the
+	// cycles-vs-resource Pareto frontier. v2 only.
+	Search string `json:"search,omitempty"`
 }
 
 // JobAccepted is the 202 response to an exploration submission.
@@ -141,6 +154,9 @@ type Point struct {
 }
 
 // ExploreSummary is the result payload of a finished exploration job.
+// The guided-search fields (Search, SpacePoints, Evaluated, Pruned,
+// Frontier) are omitted on exhaustive explorations, keeping v1 response
+// bodies byte-identical to before the strategies existed.
 type ExploreSummary struct {
 	Points           int     `json:"points"`
 	BaselineFailures int     `json:"baseline_failures,omitempty"`
@@ -149,6 +165,11 @@ type ExploreSummary struct {
 	SimMS            float64 `json:"sim_ms,omitempty"`
 	Best             *Point  `json:"best,omitempty"`
 	Top              []Point `json:"top,omitempty"`
+	Search           string  `json:"search,omitempty"`
+	SpacePoints      int     `json:"space_points,omitempty"`
+	Evaluated        int     `json:"evaluated,omitempty"`
+	Pruned           int     `json:"pruned,omitempty"`
+	Frontier         []Point `json:"frontier,omitempty"`
 }
 
 // Job states.

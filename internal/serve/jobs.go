@@ -54,6 +54,12 @@ type exploreRequest struct {
 	Workers      int    `json:"workers"`
 	Top          int    `json:"top"`
 
+	// Search is the exploration strategy ("", exhaustive, guided,
+	// pareto). v2-only: it is excluded from the JSON shape above so the
+	// v1 endpoint's strict decoder keeps rejecting unknown fields and
+	// the v1 wire surface stays frozen.
+	Search string `json:"-"`
+
 	k *bench.Kernel
 	p *device.Platform
 }
@@ -272,6 +278,11 @@ func (s *Server) runExplore(ctx context.Context, j *Job) {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.ExploreTimeout)
 	defer cancel()
 	t0 := time.Now()
+	if req.Search == api.SearchGuided || req.Search == api.SearchPareto {
+		s.runGuidedExplore(ctx, j, k, p, req, t0)
+		return
+	}
+	s.reg.Counter("explore_search_total", `search="exhaustive"`).Inc()
 	r, err := dse.Explore(ctx, k, dse.Options{
 		Platform:        p,
 		SkipActual:      !req.Sim,
@@ -317,6 +328,7 @@ func (s *Server) runExplore(ctx context.Context, j *Job) {
 			Design: designToJSON(pt.Design), Est: pt.Est, Actual: pt.Actual,
 		})
 	}
+	s.reg.Counter("dse_points_total", `outcome="evaluated"`).Add(uint64(len(r.Points)))
 	j.mu.Lock()
 	j.summary = sum
 	j.mu.Unlock()
@@ -325,12 +337,88 @@ func (s *Server) runExplore(ctx context.Context, j *Job) {
 		"points", len(r.Points), "wall", time.Since(t0).Round(time.Millisecond))
 }
 
+// runGuidedExplore executes a guided/pareto job through dse.Search,
+// sharing the server's prep cache with the exhaustive path.
+func (s *Server) runGuidedExplore(ctx context.Context, j *Job, k *bench.Kernel, p *device.Platform, req exploreRequest, t0 time.Time) {
+	s.reg.Counter("explore_search_total", fmt.Sprintf(`search="%s"`, req.Search)).Inc()
+	r, err := dse.Search(ctx, k, dse.SearchOptions{
+		Platform: p,
+		Workers:  req.Workers,
+		Cache:    s.prep,
+		Pareto:   req.Search == api.SearchPareto,
+	})
+	if err != nil {
+		j.mu.Lock()
+		j.err = err.Error()
+		j.mu.Unlock()
+		if ctx.Err() != nil {
+			j.setState(JobCanceled)
+		} else {
+			j.setState(JobFailed)
+		}
+		s.log.Warn("explore job failed", "id", j.ID, "kernel", k.ID(), "err", err)
+		return
+	}
+	s.reg.Counter("dse_points_total", `outcome="evaluated"`).Add(uint64(r.Evaluated))
+	s.reg.Counter("dse_points_total", `outcome="pruned"`).Add(uint64(r.Pruned))
+	sum := &exploreSummary{
+		Points:      len(r.Points),
+		WallMS:      float64(r.WallTime.Microseconds()) / 1000,
+		ModelMS:     float64(r.ModelTime.Microseconds()) / 1000,
+		Search:      req.Search,
+		SpacePoints: r.Space,
+		Evaluated:   r.Evaluated,
+		Pruned:      r.Pruned,
+	}
+	if r.BestOK {
+		sum.Best = &pointJSON{Design: designToJSON(r.Best.Design), Est: r.Best.Est}
+	}
+	top := req.Top
+	if top <= 0 {
+		top = 10
+	}
+	byEst := append([]dse.Point(nil), r.Points...)
+	sort.SliceStable(byEst, func(a, b int) bool { return byEst[a].Est < byEst[b].Est })
+	if top > len(byEst) {
+		top = len(byEst)
+	}
+	for _, pt := range byEst[:top] {
+		sum.Top = append(sum.Top, pointJSON{Design: designToJSON(pt.Design), Est: pt.Est})
+	}
+	for _, pt := range r.Frontier {
+		sum.Frontier = append(sum.Frontier, pointJSON{Design: designToJSON(pt.Design), Est: pt.Est})
+	}
+	j.mu.Lock()
+	j.summary = sum
+	j.mu.Unlock()
+	j.setState(JobDone)
+	s.log.Info("explore job done", "id", j.ID, "kernel", k.ID(),
+		"search", req.Search, "evaluated", r.Evaluated, "pruned", r.Pruned,
+		"wall", time.Since(t0).Round(time.Millisecond))
+}
+
 // submitExplore validates the bounds shared by both API versions and
 // enqueues the job.
 func (s *Server) submitExplore(req exploreRequest) (*Job, *api.Error) {
 	if req.SimMaxGroups < 0 || req.Workers < 0 || req.Top < 0 {
 		return nil, api.Errf(api.CodeBadRequest, http.StatusBadRequest,
 			"sim_max_groups, workers and top must be ≥ 0")
+	}
+	switch req.Search {
+	case "", api.SearchExhaustive:
+		req.Search = ""
+	case api.SearchGuided, api.SearchPareto:
+		if req.Sim {
+			return nil, api.Errf(api.CodeBadRequest, http.StatusBadRequest,
+				"search %q is model-only: it evaluates only the designs its bounds cannot prune, so sim is incompatible (use search=exhaustive)", req.Search)
+		}
+		if req.Prune {
+			return nil, api.Errf(api.CodeBadRequest, http.StatusBadRequest,
+				"search %q does not support prune_infeasible (the bound proof covers the full lattice)", req.Search)
+		}
+	default:
+		return nil, api.Errf(api.CodeBadRequest, http.StatusBadRequest,
+			"unknown search %q (want exhaustive, guided or pareto)", req.Search)
 	}
 	if req.Sim && req.SimMaxGroups == 0 {
 		req.SimMaxGroups = 8

@@ -135,6 +135,7 @@ func (s *Server) handleV2Explore(w http.ResponseWriter, r *http.Request) {
 		SimMaxGroups: req.SimMaxGroups,
 		Workers:      req.Workers,
 		Top:          req.Top,
+		Search:       req.Search,
 		k:            k,
 		p:            p,
 	})

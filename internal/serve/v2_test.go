@@ -430,3 +430,78 @@ func TestV2ExploreAndJob(t *testing.T) {
 		t.Errorf("unknown job status = %d, want 404", jr.StatusCode)
 	}
 }
+
+// TestV2ExploreGuided: the v2-only "search" field runs the
+// branch-and-bound search and reports its evaluation accounting; the
+// pareto strategy additionally returns the frontier.
+func TestV2ExploreGuided(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, body := postJSON(t, ts.URL+"/v2/explore", map[string]any{
+		"kernel": map[string]any{"id": "nn/nn"},
+		"search": "pareto",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var acc api.JobAccepted
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	v := waitJob(t, ts.URL+acc.URL, time.Minute)
+	if v.State != JobDone {
+		t.Fatalf("job state = %s (err %q), want done", v.State, v.Error)
+	}
+	sum := v.Summary
+	if sum == nil || sum.Best == nil {
+		t.Fatalf("bad summary: %+v", sum)
+	}
+	if sum.Search != "pareto" {
+		t.Errorf("summary search = %q, want pareto", sum.Search)
+	}
+	if sum.Evaluated+sum.Pruned != sum.SpacePoints || sum.SpacePoints == 0 {
+		t.Errorf("evaluated %d + pruned %d != space %d", sum.Evaluated, sum.Pruned, sum.SpacePoints)
+	}
+	if sum.Evaluated >= sum.SpacePoints {
+		t.Errorf("guided search evaluated the whole space (%d of %d)", sum.Evaluated, sum.SpacePoints)
+	}
+	if len(sum.Frontier) == 0 {
+		t.Error("pareto search returned no frontier")
+	}
+
+	// The guided best must match the exhaustive best for the same kernel.
+	resp, body = postJSON(t, ts.URL+"/v2/explore", map[string]any{
+		"kernel": map[string]any{"id": "nn/nn"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	ev := waitJob(t, ts.URL+acc.URL, time.Minute)
+	if ev.State != JobDone || ev.Summary == nil || ev.Summary.Best == nil {
+		t.Fatalf("exhaustive job: state %s summary %+v", ev.State, ev.Summary)
+	}
+	if *ev.Summary.Best != *sum.Best {
+		t.Errorf("guided best %+v != exhaustive best %+v", *sum.Best, *ev.Summary.Best)
+	}
+	if ev.Summary.Search != "" || ev.Summary.SpacePoints != 0 || len(ev.Summary.Frontier) != 0 {
+		t.Errorf("exhaustive summary leaked guided fields: %+v", ev.Summary)
+	}
+}
+
+// TestV2ExploreSearchValidation: unknown strategies and incompatible
+// combinations answer typed 400s.
+func TestV2ExploreSearchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, body := range []map[string]any{
+		{"kernel": map[string]any{"id": "nn/nn"}, "search": "bogus"},
+		{"kernel": map[string]any{"id": "nn/nn"}, "search": "guided", "sim": true},
+		{"kernel": map[string]any{"id": "nn/nn"}, "search": "pareto", "prune_infeasible": true},
+	} {
+		resp, b := postJSON(t, ts.URL+"/v2/explore", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%v: status = %d, want 400 (%s)", body, resp.StatusCode, b)
+		}
+	}
+}

@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet test race cover serve fuzz-smoke bench-explore bench-serve bench-dse check check-smoke ci
+.PHONY: build vet test race cover serve fuzz-smoke bench-explore bench-serve bench-dse bench-profile check check-smoke ci
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParser -fuzztime=$(FUZZTIME) ./internal/opencl/parser
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/opencl/parser
 	$(GO) test -run='^$$' -fuzz=FuzzLowerBound -fuzztime=$(FUZZTIME) ./internal/dse
+	$(GO) test -run='^$$' -fuzz=FuzzAffineAnalyzer -fuzztime=$(FUZZTIME) ./internal/interp
 
 # Serial-vs-parallel exploration wall time (see docs/MODEL.md
 # "Exploration performance").
@@ -55,6 +56,13 @@ bench-serve:
 bench-dse:
 	$(GO) run ./cmd/flexcl-dse -bench-json BENCH_dse.json $(BENCH_DSE_FLAGS)
 
+# Static profiler fast path vs the interpreter: per-kernel prep wall
+# time and speedup, written to BENCH_profile.json (a CI artifact). Uses
+# the smoke kernel subset; BENCH_PROFILE_FLAGS=-all runs the full corpus
+# plus the generated families.
+bench-profile:
+	$(GO) run ./cmd/flexcl-profile -json BENCH_profile.json $(BENCH_PROFILE_FLAGS)
+
 # Cross-layer correctness audit (see docs/CHECK.md): model invariants,
 # differential bands vs the simulator, serve consistency. check-smoke is
 # the time-boxed subset CI runs on every push; check is the full corpus.
@@ -64,4 +72,4 @@ check:
 check-smoke:
 	$(GO) run ./cmd/flexcl-check -smoke -timeout 5m
 
-ci: build vet race fuzz-smoke bench-dse check-smoke
+ci: build vet race fuzz-smoke bench-dse bench-profile check-smoke

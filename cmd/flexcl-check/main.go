@@ -1,9 +1,11 @@
 // Command flexcl-check audits the FlexCL reproduction for correctness
 // drift: it runs the cross-layer check families of internal/check —
 // model invariants over the benchmark corpus, differential checks
-// against the cycle-level simulator, HTTP-service consistency, and the
-// guided-search equivalence proof (branch-and-bound vs exhaustive) —
-// and exits non-zero when any non-allowlisted finding survives.
+// against the cycle-level simulator, HTTP-service consistency, the
+// guided-search equivalence proof (branch-and-bound vs exhaustive), and
+// the static-profiler equivalence proof (static slice executor vs
+// interpreter, bitwise) — and exits non-zero when any non-allowlisted
+// finding survives.
 //
 // Usage:
 //
@@ -11,6 +13,7 @@
 //	flexcl-check -smoke          # CI subset, time-boxed
 //	flexcl-check -families invariant,differential
 //	flexcl-check -families search
+//	flexcl-check -families profile
 //	flexcl-check -bench srad -kernel srad
 package main
 
@@ -30,7 +33,7 @@ import (
 func main() {
 	var (
 		platform  = flag.String("platform", "virtex7", "virtex7 or ku060")
-		families  = flag.String("families", "", "comma-separated check families (invariant,differential,serve,search); empty = all")
+		families  = flag.String("families", "", "comma-separated check families (invariant,differential,serve,search,profile); empty = all")
 		benchName = flag.String("bench", "", "restrict to one benchmark (with -kernel)")
 		kernel    = flag.String("kernel", "", "restrict to one kernel (with -bench)")
 		smoke     = flag.Bool("smoke", false, "CI smoke mode: deterministic kernel subset, one WG size each")

@@ -1,0 +1,178 @@
+// Command flexcl-profile measures the profiler fast paths over the
+// benchmark corpus: for every kernel it times the static slice executor
+// against the interpreter on the same sampled launch, records which
+// path the dispatcher takes, and writes the BENCH_profile.json artifact
+// CI publishes. The speedup column is the point of the static path;
+// the check family ("profile") separately proves the profiles equal.
+//
+// Usage:
+//
+//	flexcl-profile                          # smoke subset, BENCH_profile.json
+//	flexcl-profile -all                     # full 60-kernel corpus + generated families
+//	flexcl-profile -json out.json -reps 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/interp"
+)
+
+// row is one kernel's measurement in the artifact.
+type row struct {
+	Kernel   string  `json:"kernel"`
+	Suite    string  `json:"suite"`
+	Path     string  `json:"path"` // "static" or "interp"
+	Reason   string  `json:"decline_reason,omitempty"`
+	StaticMS float64 `json:"static_ms,omitempty"`
+	InterpMS float64 `json:"interp_ms"`
+	Speedup  float64 `json:"speedup,omitempty"`
+}
+
+type reportJSON struct {
+	Kernels       int     `json:"kernels"`
+	StaticKernels int     `json:"static_kernels"`
+	StaticFrac    float64 `json:"static_fraction"`
+	MedianSpeedup float64 `json:"median_speedup"` // over static-path kernels
+	Groups        int     `json:"profile_groups"`
+	Rows          []row   `json:"rows"`
+}
+
+// smokeStride matches internal/check's smoke subset so CI artifacts and
+// audit findings cover the same corpus slice.
+const smokeStride = 6
+
+func main() {
+	var (
+		jsonPath = flag.String("json", "BENCH_profile.json", "write the measurement artifact to this file")
+		all      = flag.Bool("all", false, "run the full corpus plus generated families instead of the smoke subset")
+		groups   = flag.Int("groups", 8, "sampled work-groups per profile (the prep pipeline's budget)")
+		reps     = flag.Int("reps", 3, "repetitions per measurement; the minimum is reported")
+	)
+	flag.Parse()
+
+	ks := bench.All()
+	if *all {
+		ks = append(ks, bench.GeneratedCorpus()...)
+	} else {
+		var sub []*bench.Kernel
+		for i, k := range ks {
+			if i%smokeStride == 0 {
+				sub = append(sub, k)
+			}
+		}
+		ks = sub
+	}
+
+	rep := reportJSON{Kernels: len(ks), Groups: *groups}
+	var speedups []float64
+	for _, k := range ks {
+		r, err := measure(k, *groups, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flexcl-profile: %s: %v\n", k.ID(), err)
+			os.Exit(1)
+		}
+		rep.Rows = append(rep.Rows, r)
+		if r.Path == "static" {
+			rep.StaticKernels++
+			speedups = append(speedups, r.Speedup)
+			fmt.Printf("%-28s static %8.3fms  interp %8.3fms  speedup %6.1fx\n",
+				k.ID(), r.StaticMS, r.InterpMS, r.Speedup)
+		} else {
+			fmt.Printf("%-28s interp %8.3fms  (fallback: %s)\n", k.ID(), r.InterpMS, r.Reason)
+		}
+	}
+	if rep.Kernels > 0 {
+		rep.StaticFrac = float64(rep.StaticKernels) / float64(rep.Kernels)
+	}
+	rep.MedianSpeedup = median(speedups)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flexcl-profile: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "flexcl-profile: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d/%d kernels on the static path (%.0f%%), median speedup %.1fx → %s\n",
+		rep.StaticKernels, rep.Kernels, rep.StaticFrac*100, rep.MedianSpeedup, *jsonPath)
+}
+
+// measure times both paths for one kernel at its smallest sweep size.
+func measure(k *bench.Kernel, groups, reps int) (row, error) {
+	r := row{Kernel: k.ID(), Suite: k.Suite, Path: "interp"}
+	f, err := k.Compile(k.MinWG)
+	if err != nil {
+		return r, err
+	}
+	ok, reason := interp.StaticAnalyzable(f)
+	if !ok {
+		r.Reason = reason
+	}
+
+	// Fresh Config per run: the interpreter mutates buffers, and both
+	// arms must profile the same launch.
+	interpNS, err := best(reps, func() error {
+		_, err := interp.InterpProfile(f, k.Config(k.MinWG), groups, true, 1)
+		return err
+	})
+	if err != nil {
+		return r, err
+	}
+	r.InterpMS = float64(interpNS) / 1e6
+
+	if ok {
+		staticNS, err := best(reps, func() error {
+			_, _, err := interp.StaticProfile(f, k.Config(k.MinWG), groups, true)
+			return err
+		})
+		if err != nil {
+			return r, err
+		}
+		r.Path = "static"
+		r.StaticMS = float64(staticNS) / 1e6
+		if staticNS > 0 {
+			r.Speedup = float64(interpNS) / float64(staticNS)
+		}
+	}
+	return r, nil
+}
+
+// best runs fn reps times and returns the fastest wall time.
+func best(reps int, fn func() error) (int64, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var min int64 = -1
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(t0).Nanoseconds(); min < 0 || d < min {
+			min = d
+		}
+	}
+	return min, nil
+}
+
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}

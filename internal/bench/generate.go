@@ -1,0 +1,222 @@
+package bench
+
+import "fmt"
+
+// GenSpec parameterizes one synthetic workload, HPCChallenge-style:
+// pick a family and a problem size and Generate returns a complete
+// Kernel — source, NDRange geometry and deterministically filled
+// buffers — ready for Compile/Config like any bundled benchmark.
+type GenSpec struct {
+	// Family selects the kernel shape; see GenFamilies.
+	Family string
+	// N is the problem size: vector length for the 1-D families, the
+	// matrix dimension for the 2-D ones. Families with work-group
+	// granularity requirements round it up internally.
+	N int64
+}
+
+// GenFamilies lists the generator families in stable order. The first
+// six are affine — control flow and addresses are functions of IDs,
+// constants and scalar arguments, so the static profiler covers them —
+// while "datadep" routes a kernel-written buffer into its own
+// addressing, forcing the interpreter fallback.
+func GenFamilies() []string {
+	return []string{"vecadd", "saxpy", "mm", "stencil", "transpose", "reduce", "datadep"}
+}
+
+// Generate synthesizes the workload for spec. Kernels are not added to
+// the registry: the generator is a pure function, and equal specs
+// produce Kernels with equal CacheKeys.
+func Generate(spec GenSpec) (*Kernel, error) {
+	n := spec.N
+	if n <= 0 {
+		return nil, fmt.Errorf("bench: generate %s: size %d not positive", spec.Family, n)
+	}
+	var k *Kernel
+	switch spec.Family {
+	case "vecadd":
+		n = roundUp(n, 256)
+		k = &Kernel{
+			Fn: "gen_vecadd",
+			Source: `
+__kernel void gen_vecadd(__global const float* a, __global const float* b,
+                         __global float* c) {
+    int i = get_global_id(0);
+    c[i] = a[i] + b[i];
+}`,
+			Global: [3]int64{n},
+			Bufs: []Buf{
+				{Name: "a", Float: true, Len: n, Fill: FillNoise},
+				{Name: "b", Float: true, Len: n, Fill: FillMod},
+				{Name: "c", Float: true, Len: n},
+			},
+		}
+	case "saxpy":
+		n = roundUp(n, 256)
+		k = &Kernel{
+			Fn: "gen_saxpy",
+			Source: `
+__kernel void gen_saxpy(__global const float* x, __global float* y, int alpha) {
+    int i = get_global_id(0);
+    y[i] = (float)alpha * x[i] + y[i];
+}`,
+			Global: [3]int64{n},
+			Bufs: []Buf{
+				{Name: "x", Float: true, Len: n, Fill: FillNoise},
+				{Name: "y", Float: true, Len: n, Fill: FillRamp},
+			},
+			Scalars: map[string]int64{"alpha": 3},
+		}
+	case "mm":
+		n = roundUp(n, 16)
+		k = &Kernel{
+			Fn: "gen_mm", TwoD: true,
+			Source: `
+__kernel void gen_mm(__global const float* A, __global const float* B,
+                     __global float* C, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    float acc = 0.0f;
+    for (int k = 0; k < n; k++) {
+        acc += A[i * n + k] * B[k * n + j];
+    }
+    C[i * n + j] = acc;
+}`,
+			Global: [3]int64{n, n},
+			Bufs: []Buf{
+				{Name: "A", Float: true, Len: n * n, Fill: FillNoise},
+				{Name: "B", Float: true, Len: n * n, Fill: FillMod},
+				{Name: "C", Float: true, Len: n * n},
+			},
+			Scalars: map[string]int64{"n": n},
+		}
+	case "stencil":
+		n = roundUp(n, 16)
+		k = &Kernel{
+			Fn: "gen_stencil", TwoD: true,
+			Source: `
+__kernel void gen_stencil(__global const float* in, __global float* out, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    if (i > 0 && i < n - 1 && j > 0 && j < n - 1) {
+        out[i * n + j] = 0.25f * (in[(i - 1) * n + j] + in[(i + 1) * n + j]
+                                + in[i * n + j - 1] + in[i * n + j + 1]);
+    }
+}`,
+			Global: [3]int64{n, n},
+			Bufs: []Buf{
+				{Name: "in", Float: true, Len: n * n, Fill: FillNoise},
+				{Name: "out", Float: true, Len: n * n},
+			},
+			Scalars: map[string]int64{"n": n},
+		}
+	case "transpose":
+		n = roundUp(n, 16)
+		k = &Kernel{
+			Fn: "gen_transpose", TwoD: true,
+			Source: `
+__kernel void gen_transpose(__global const float* in, __global float* out, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    out[j * n + i] = in[i * n + j];
+}`,
+			Global: [3]int64{n, n},
+			Bufs: []Buf{
+				{Name: "in", Float: true, Len: n * n, Fill: FillRamp},
+				{Name: "out", Float: true, Len: n * n},
+			},
+			Scalars: map[string]int64{"n": n},
+		}
+	case "reduce":
+		// One partial sum per work-group through a __local staging
+		// array and a barrier tree: the launch must tile exactly.
+		n = roundUp(n, 256)
+		k = &Kernel{
+			Fn: "gen_reduce",
+			Source: `
+__kernel void gen_reduce(__global const float* in, __global float* out) {
+    __local float tmp[WG];
+    int l = get_local_id(0);
+    tmp[l] = in[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int s = (int)get_local_size(0) / 2; s > 0; s /= 2) {
+        if (l < s) {
+            tmp[l] += tmp[l + s];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (l == 0) {
+        out[get_group_id(0)] = tmp[0];
+    }
+}`,
+			Global: [3]int64{n},
+			Bufs: []Buf{
+				{Name: "in", Float: true, Len: n, Fill: FillNoise},
+				{Name: "out", Float: true, Len: n / 16},
+			},
+		}
+	case "datadep":
+		// The address of the second access reloads an index the kernel
+		// itself just wrote: not statically derivable by construction,
+		// so this family pins the interpreter fallback.
+		n = roundUp(n, 256)
+		k = &Kernel{
+			Fn: "gen_datadep",
+			Source: `
+__kernel void gen_datadep(__global int* idx, __global float* a, int len) {
+    int i = get_global_id(0);
+    int j = idx[i];
+    idx[i] = (j + 7) % len;
+    a[idx[i]] = a[j] + 1.0f;
+}`,
+			Global: [3]int64{n},
+			Bufs: []Buf{
+				{Name: "idx", Float: false, Len: n, Fill: FillPerm, Mod: n},
+				{Name: "a", Float: true, Len: n, Fill: FillMod},
+			},
+			Scalars: map[string]int64{"len": n},
+		}
+	default:
+		return nil, fmt.Errorf("bench: generate: unknown family %q (see GenFamilies)", spec.Family)
+	}
+	k.Suite = "generated"
+	k.Bench = "gen"
+	k.Name = fmt.Sprintf("%s-n%d", spec.Family, n)
+	// Bound the sweep by the launch: a work-group larger than the whole
+	// NDRange would step outside the synthesized buffers.
+	k.MaxWG = 256
+	for k.MaxWG > k.NWI() {
+		k.MaxWG /= 2
+	}
+	k.MinWG = 16
+	if k.MinWG > k.MaxWG {
+		k.MinWG = k.MaxWG
+	}
+	return k, nil
+}
+
+// GeneratedCorpus returns one kernel per family at a small and a medium
+// size: the differential and fuzz harnesses use it to cover shapes the
+// bundled suites miss.
+func GeneratedCorpus() []*Kernel {
+	var out []*Kernel
+	for _, fam := range GenFamilies() {
+		// 512 (not 256) as the larger size so families that round up to
+		// work-group granularity still yield two distinct kernels.
+		for _, n := range []int64{64, 512} {
+			k, err := Generate(GenSpec{Family: fam, N: n})
+			if err != nil {
+				panic(err) // unreachable: every family accepts positive sizes
+			}
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func roundUp(n, m int64) int64 {
+	if r := n % m; r != 0 {
+		n += m - r
+	}
+	return n
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+)
+
+// TestGenerateFamilies: every family at several sizes compiles,
+// interprets under a sampled profile, and keys stably into the caches.
+func TestGenerateFamilies(t *testing.T) {
+	for _, fam := range GenFamilies() {
+		// Sizes that stay distinct per family after granularity
+		// rounding (1-D families round to 256, 2-D to 16).
+		for _, n := range []int64{100, 300, 1000} {
+			spec := GenSpec{Family: fam, N: n}
+			k, err := Generate(spec)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", fam, n, err)
+			}
+			t.Run(k.Name, func(t *testing.T) {
+				if k.Suite != "generated" {
+					t.Errorf("suite = %q, want generated", k.Suite)
+				}
+				for _, wg := range k.WGSizes() {
+					f, err := k.Compile(wg)
+					if err != nil {
+						t.Fatalf("compile wg=%d: %v", wg, err)
+					}
+					prof, err := interp.ProfileKernel(f, k.Config(wg), 2)
+					if err != nil {
+						t.Fatalf("profile wg=%d: %v", wg, err)
+					}
+					if prof.WorkItems == 0 {
+						t.Errorf("wg=%d: empty profile", wg)
+					}
+				}
+				// Equal specs must produce equal cache keys (the
+				// serving layer coalesces on them) …
+				k2, err := Generate(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if k.CacheKey() != k2.CacheKey() {
+					t.Error("same spec, different CacheKey")
+				}
+				// … and a different size a different key.
+				k3, err := Generate(GenSpec{Family: fam, N: n + 512})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if k.CacheKey() == k3.CacheKey() {
+					t.Error("different size, same CacheKey")
+				}
+			})
+		}
+	}
+}
+
+func TestGenerateRejectsBadSpecs(t *testing.T) {
+	if _, err := Generate(GenSpec{Family: "vecadd", N: 0}); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := Generate(GenSpec{Family: "nope", N: 64}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestGeneratedCorpusShape(t *testing.T) {
+	corpus := GeneratedCorpus()
+	if want := len(GenFamilies()) * 2; len(corpus) != want {
+		t.Fatalf("corpus size = %d, want %d", len(corpus), want)
+	}
+	seen := map[string]bool{}
+	for _, k := range corpus {
+		if seen[k.Name] {
+			t.Errorf("duplicate corpus kernel %s", k.Name)
+		}
+		seen[k.Name] = true
+	}
+}
+
+// TestGeneratedStaticCoverage pins the design intent: the affine
+// families take the static profiler path, datadep falls back.
+func TestGeneratedStaticCoverage(t *testing.T) {
+	for _, fam := range GenFamilies() {
+		k, err := Generate(GenSpec{Family: fam, N: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := k.Compile(16)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		ok, reason := interp.StaticAnalyzable(f)
+		if fam == "datadep" {
+			if ok {
+				t.Errorf("datadep should force the interpreter fallback")
+			}
+		} else if !ok {
+			t.Errorf("%s should be statically analyzable, declined: %s", fam, reason)
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Package check is the cross-layer correctness subsystem: it
-// mechanically audits the FlexCL reproduction by running four families
+// mechanically audits the FlexCL reproduction by running five families
 // of checks over the benchmark corpus and reporting every violation as
 // a structured finding (see docs/CHECK.md for each invariant's paper
 // grounding):
@@ -21,6 +21,13 @@
 //     exhaustive sweep while evaluating under 10 % of the space on the
 //     corpus-median kernel — the proof-of-equivalence behind trusting
 //     its pruning.
+//   - profile equivalence: the static-analysis profiler fast path
+//     yields bitwise the same Profile as the interpreter for every
+//     kernel the analyzer claims (both sampling modes, errors
+//     included), the parallel interpreter is deterministic across
+//     worker counts, and the statically analyzable fraction of
+//     PolyBench stays above its floor — the proof behind letting the
+//     dispatcher skip interpretation.
 //
 // The whole value of an analytical model is that its numbers can be
 // trusted in place of synthesis, so silent correctness drift is the
@@ -46,8 +53,8 @@ const (
 	FamilyInvariant    = "invariant"
 	FamilyDifferential = "differential"
 	FamilyServe        = "serve"
-	// FamilySearch is declared in search.go with its equivalence
-	// contract.
+	// FamilySearch and FamilyProfile are declared in search.go and
+	// profile.go with their equivalence contracts.
 )
 
 // Finding is one violated check: what was checked, where, and the
@@ -114,7 +121,7 @@ func (o Options) platform() *device.Platform {
 
 func (o Options) families() []string {
 	if len(o.Families) == 0 {
-		return []string{FamilyInvariant, FamilyDifferential, FamilyServe, FamilySearch}
+		return []string{FamilyInvariant, FamilyDifferential, FamilyServe, FamilySearch, FamilyProfile}
 	}
 	return o.Families
 }
@@ -254,7 +261,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	}
 	for f := range families {
 		switch f {
-		case FamilyInvariant, FamilyDifferential, FamilyServe, FamilySearch:
+		case FamilyInvariant, FamilyDifferential, FamilyServe, FamilySearch, FamilyProfile:
 		default:
 			return nil, fmt.Errorf("check: unknown family %q", f)
 		}
@@ -300,6 +307,16 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		rep.Findings = append(rep.Findings, fs...)
 		rep.Checks += checks
 		opts.logf("search equivalence: %d assertions, %d findings", checks, len(fs))
+	}
+
+	if families[FamilyProfile] {
+		fs, checks, err := ProfileFindings(ctx, kernels, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Findings = append(rep.Findings, fs...)
+		rep.Checks += checks
+		opts.logf("profile equivalence: %d assertions, %d findings", checks, len(fs))
 	}
 
 	if families[FamilyServe] {

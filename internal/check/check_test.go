@@ -351,8 +351,8 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.platform() == nil {
 		t.Fatal("nil default platform")
 	}
-	if got := len(o.families()); got != 4 {
-		t.Errorf("default families = %d, want 4", got)
+	if got := len(o.families()); got != 5 {
+		t.Errorf("default families = %d, want 5", got)
 	}
 	if o.simGroups() != 64 {
 		t.Errorf("default sim groups = %d, want 64", o.simGroups())

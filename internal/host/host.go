@@ -185,22 +185,10 @@ func (q *Queue) Simulate(k *Kernel, global, local [3]int64, d model.Design, maxG
 	return rtlsim.Simulate(k.f, q.ctx.Platform, cfg, d, rtlsim.Options{MaxGroups: maxGroups})
 }
 
-// snapshot deep-copies the launch buffers.
+// snapshot deep-copies the launch configuration. The previous local
+// copy shared the Scalars map with the live kernel bindings, so a
+// SetArg racing a profiling run mutated the snapshot's arguments;
+// interp.Config.Clone copies maps and vector lanes too.
 func snapshot(cfg *interp.Config) *interp.Config {
-	out := &interp.Config{
-		Range:   cfg.Range,
-		Buffers: make(map[string]*interp.Buffer, len(cfg.Buffers)),
-		Scalars: cfg.Scalars,
-	}
-	for name, b := range cfg.Buffers {
-		nb := &interp.Buffer{Elem: b.Elem}
-		if b.I != nil {
-			nb.I = append([]int64(nil), b.I...)
-		}
-		if b.F != nil {
-			nb.F = append([]float64(nil), b.F...)
-		}
-		out.Buffers[name] = nb
-	}
-	return out
+	return cfg.Clone()
 }

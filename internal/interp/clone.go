@@ -1,0 +1,54 @@
+package interp
+
+// Clone returns a deep copy of the value: vector lanes are copied
+// recursively so no slice is shared with the original.
+func (v Val) Clone() Val {
+	if v.Vec == nil {
+		return v
+	}
+	out := v
+	out.Vec = make([]Val, len(v.Vec))
+	for i, l := range v.Vec {
+		out.Vec[i] = l.Clone()
+	}
+	return out
+}
+
+// Clone returns a deep copy of the buffer.
+func (b *Buffer) Clone() *Buffer {
+	if b == nil {
+		return nil
+	}
+	nb := &Buffer{Elem: b.Elem}
+	if b.I != nil {
+		nb.I = append([]int64(nil), b.I...)
+	}
+	if b.F != nil {
+		nb.F = append([]float64(nil), b.F...)
+	}
+	return nb
+}
+
+// Clone returns a deep copy of the launch configuration: buffers,
+// scalar map and vector-scalar lanes. Executing or profiling the copy
+// cannot disturb the original, and no slice or map is shared between
+// the two — handing a shallow copy to a concurrent worker is the same
+// class of aliasing bug as the PredCache estimate aliasing fixed in the
+// check subsystem PR, so callers that snapshot a Config must use Clone.
+func (cfg *Config) Clone() *Config {
+	if cfg == nil {
+		return nil
+	}
+	out := &Config{
+		Range:   cfg.Range,
+		Buffers: make(map[string]*Buffer, len(cfg.Buffers)),
+		Scalars: make(map[string]Val, len(cfg.Scalars)),
+	}
+	for name, b := range cfg.Buffers {
+		out.Buffers[name] = b.Clone()
+	}
+	for name, v := range cfg.Scalars {
+		out.Scalars[name] = v.Clone()
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/opencl/ast"
+)
+
+// TestConfigCloneNoAliasing pins the deep-copy contract of Config.Clone:
+// mutating the original after cloning — buffer contents, scalar map
+// entries, even the lanes of a vector scalar — must not disturb the
+// copy. host.Analyze snapshots its Config this way before handing it to
+// the profiler, so an aliased slice here silently corrupts profiles.
+func TestConfigCloneNoAliasing(t *testing.T) {
+	orig := &Config{
+		Range: NDRange{Global: [3]int64{32, 1, 1}, Local: [3]int64{16, 1, 1}},
+		Buffers: map[string]*Buffer{
+			"a": NewFloatBuffer(ast.KFloat, 4),
+			"n": NewIntBuffer(ast.KInt, 4),
+		},
+		Scalars: map[string]Val{
+			"k": IntVal(7),
+			"v": {Vec: []Val{IntVal(1), IntVal(2)}},
+		},
+	}
+	orig.Buffers["a"].F[0] = 1.5
+	orig.Buffers["n"].I[0] = 9
+
+	c := orig.Clone()
+
+	// Mutate every layer of the original.
+	orig.Range.Global[0] = 64
+	orig.Buffers["a"].F[0] = -1
+	orig.Buffers["n"].I[0] = -1
+	orig.Buffers["extra"] = NewIntBuffer(ast.KInt, 1)
+	orig.Scalars["k"] = IntVal(0)
+	orig.Scalars["v"].Vec[1] = IntVal(99)
+	orig.Scalars["extra"] = IntVal(1)
+
+	if c.Range.Global[0] != 32 {
+		t.Errorf("Range aliased: %v", c.Range.Global)
+	}
+	if got := c.Buffers["a"].F[0]; got != 1.5 {
+		t.Errorf("float buffer aliased: %v", got)
+	}
+	if got := c.Buffers["n"].I[0]; got != 9 {
+		t.Errorf("int buffer aliased: %v", got)
+	}
+	if _, ok := c.Buffers["extra"]; ok {
+		t.Error("buffer map aliased")
+	}
+	if got := c.Scalars["k"].I; got != 7 {
+		t.Errorf("scalar aliased: %v", got)
+	}
+	if got := c.Scalars["v"].Vec[1].I; got != 2 {
+		t.Errorf("vector scalar lanes aliased: %v", got)
+	}
+	if _, ok := c.Scalars["extra"]; ok {
+		t.Error("scalar map aliased")
+	}
+
+	// Nil handling: a nil Config and nil buffers clone to nil.
+	if (*Config)(nil).Clone() != nil {
+		t.Error("nil Config must clone to nil")
+	}
+	if (*Buffer)(nil).Clone() != nil {
+		t.Error("nil Buffer must clone to nil")
+	}
+}

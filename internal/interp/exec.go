@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"fmt"
 	"math"
 	"sync/atomic"
 	"unsafe"
@@ -22,29 +23,13 @@ func (w *wiState) exec(in *ir.Instr) {
 	case ir.OpICmp, ir.OpFCmp:
 		a := w.eval(in.Args[0])
 		b := w.eval(in.Args[1])
-		w.regs[in] = w.compare(in, a, b)
+		w.regs[in] = compareVal(in, a, b)
 
 	case ir.OpSelect:
 		c := w.eval(in.Args[0])
 		a := w.eval(in.Args[1])
 		b := w.eval(in.Args[2])
-		if in.T.IsVector() && c.Vec != nil {
-			out := Val{Vec: make([]Val, in.T.Lanes())}
-			for i := range out.Vec {
-				if lane(c, i).I != 0 || lane(c, i).F != 0 {
-					out.Vec[i] = lane(a, i)
-				} else {
-					out.Vec[i] = lane(b, i)
-				}
-			}
-			w.regs[in] = out
-			return
-		}
-		if truthy(c) {
-			w.regs[in] = a
-		} else {
-			w.regs[in] = b
-		}
+		w.regs[in] = selectVal(in, c, a, b)
 
 	case ir.OpCast:
 		w.regs[in] = castVal(w.eval(in.Args[0]), in.Args[0].Type(), in.T)
@@ -73,35 +58,21 @@ func (w *wiState) exec(in *ir.Instr) {
 		w.regs[in] = IntVal(w.workItem(in.Fn, in.Dim))
 
 	case ir.OpVecBuild:
-		out := Val{Vec: make([]Val, len(in.Args))}
+		args := make([]Val, len(in.Args))
 		for i, a := range in.Args {
-			out.Vec[i] = w.eval(a)
+			args[i] = w.eval(a)
 		}
-		w.regs[in] = out
+		w.regs[in] = vecBuildVal(args)
 
 	case ir.OpVecExtract:
-		v := w.eval(in.Args[0])
-		if len(in.Lanes) == 1 {
-			w.regs[in] = lane(v, in.Lanes[0])
-		} else {
-			out := Val{Vec: make([]Val, len(in.Lanes))}
-			for i, l := range in.Lanes {
-				out.Vec[i] = lane(v, l)
-			}
-			w.regs[in] = out
-		}
+		w.regs[in] = vecExtractVal(in, w.eval(in.Args[0]))
 
 	case ir.OpVecInsert:
-		v := w.eval(in.Args[0])
-		lanes := in.T.Lanes()
-		out := Val{Vec: make([]Val, lanes)}
-		for i := 0; i < lanes; i++ {
-			out.Vec[i] = lane(v, i)
+		args := make([]Val, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = w.eval(a)
 		}
-		for i, l := range in.Lanes {
-			out.Vec[l] = w.eval(in.Args[1+i])
-		}
-		w.regs[in] = out
+		w.regs[in] = vecInsertVal(in, args)
 
 	case ir.OpBarrier:
 		w.barriers++
@@ -126,68 +97,136 @@ func lane(v Val, i int) Val {
 	return v.Vec[i]
 }
 
+// The evaluators below are pure functions of (instruction, operand
+// values) shared by the work-item interpreter and the static-profile
+// plan executor, so the two paths cannot drift: one switch defines each
+// operation's semantics.
+
 func (w *wiState) arith(in *ir.Instr, a, b Val) Val {
+	v, err := arithVal(in, a, b)
+	if err != nil {
+		panic(execError{err})
+	}
+	return v
+}
+
+func arithVal(in *ir.Instr, a, b Val) (Val, error) {
 	t := in.T
 	if t.IsVector() {
 		out := Val{Vec: make([]Val, t.Lanes())}
 		for i := range out.Vec {
-			out.Vec[i] = w.scalarArith(in, lane(a, i), lane(b, i))
+			v, err := scalarArithVal(in, lane(a, i), lane(b, i))
+			if err != nil {
+				return Val{}, err
+			}
+			out.Vec[i] = v
+		}
+		return out, nil
+	}
+	return scalarArithVal(in, a, b)
+}
+
+func scalarArithVal(in *ir.Instr, a, b Val) (Val, error) {
+	switch in.Op {
+	case ir.OpAdd:
+		return IntVal(a.I + b.I), nil
+	case ir.OpSub:
+		return IntVal(a.I - b.I), nil
+	case ir.OpMul:
+		return IntVal(a.I * b.I), nil
+	case ir.OpDiv:
+		if b.I == 0 {
+			return Val{}, fmt.Errorf("interp: integer division by zero")
+		}
+		if in.T.Base.IsUnsigned() {
+			return IntVal(int64(uint64(a.I) / uint64(b.I))), nil
+		}
+		return IntVal(a.I / b.I), nil
+	case ir.OpRem:
+		if b.I == 0 {
+			return Val{}, fmt.Errorf("interp: integer remainder by zero")
+		}
+		if in.T.Base.IsUnsigned() {
+			return IntVal(int64(uint64(a.I) % uint64(b.I))), nil
+		}
+		return IntVal(a.I % b.I), nil
+	case ir.OpAnd:
+		return IntVal(a.I & b.I), nil
+	case ir.OpOr:
+		return IntVal(a.I | b.I), nil
+	case ir.OpXor:
+		return IntVal(a.I ^ b.I), nil
+	case ir.OpShl:
+		return IntVal(a.I << uint(b.I&63)), nil
+	case ir.OpLShr:
+		return IntVal(int64(uint64(a.I) >> uint(b.I&63))), nil
+	case ir.OpAShr:
+		return IntVal(a.I >> uint(b.I&63)), nil
+	case ir.OpFAdd:
+		return FloatVal(a.F + b.F), nil
+	case ir.OpFSub:
+		return FloatVal(a.F - b.F), nil
+	case ir.OpFMul:
+		return FloatVal(a.F * b.F), nil
+	case ir.OpFDiv:
+		return FloatVal(a.F / b.F), nil
+	}
+	return Val{}, fmt.Errorf("interp: bad arith op %v", in.Op)
+}
+
+// selectVal implements OpSelect over evaluated operands.
+func selectVal(in *ir.Instr, c, a, b Val) Val {
+	if in.T.IsVector() && c.Vec != nil {
+		out := Val{Vec: make([]Val, in.T.Lanes())}
+		for i := range out.Vec {
+			if lane(c, i).I != 0 || lane(c, i).F != 0 {
+				out.Vec[i] = lane(a, i)
+			} else {
+				out.Vec[i] = lane(b, i)
+			}
 		}
 		return out
 	}
-	return w.scalarArith(in, a, b)
-}
-
-func (w *wiState) scalarArith(in *ir.Instr, a, b Val) Val {
-	switch in.Op {
-	case ir.OpAdd:
-		return IntVal(a.I + b.I)
-	case ir.OpSub:
-		return IntVal(a.I - b.I)
-	case ir.OpMul:
-		return IntVal(a.I * b.I)
-	case ir.OpDiv:
-		if b.I == 0 {
-			w.fail("integer division by zero")
-		}
-		if in.T.Base.IsUnsigned() {
-			return IntVal(int64(uint64(a.I) / uint64(b.I)))
-		}
-		return IntVal(a.I / b.I)
-	case ir.OpRem:
-		if b.I == 0 {
-			w.fail("integer remainder by zero")
-		}
-		if in.T.Base.IsUnsigned() {
-			return IntVal(int64(uint64(a.I) % uint64(b.I)))
-		}
-		return IntVal(a.I % b.I)
-	case ir.OpAnd:
-		return IntVal(a.I & b.I)
-	case ir.OpOr:
-		return IntVal(a.I | b.I)
-	case ir.OpXor:
-		return IntVal(a.I ^ b.I)
-	case ir.OpShl:
-		return IntVal(a.I << uint(b.I&63))
-	case ir.OpLShr:
-		return IntVal(int64(uint64(a.I) >> uint(b.I&63)))
-	case ir.OpAShr:
-		return IntVal(a.I >> uint(b.I&63))
-	case ir.OpFAdd:
-		return FloatVal(a.F + b.F)
-	case ir.OpFSub:
-		return FloatVal(a.F - b.F)
-	case ir.OpFMul:
-		return FloatVal(a.F * b.F)
-	case ir.OpFDiv:
-		return FloatVal(a.F / b.F)
+	if truthy(c) {
+		return a
 	}
-	w.fail("bad arith op %v", in.Op)
-	return Val{}
+	return b
 }
 
-func (w *wiState) compare(in *ir.Instr, a, b Val) Val {
+// vecBuildVal packs evaluated args into a vector.
+func vecBuildVal(args []Val) Val {
+	out := Val{Vec: make([]Val, len(args))}
+	copy(out.Vec, args)
+	return out
+}
+
+// vecExtractVal implements OpVecExtract over an evaluated operand.
+func vecExtractVal(in *ir.Instr, v Val) Val {
+	if len(in.Lanes) == 1 {
+		return lane(v, in.Lanes[0])
+	}
+	out := Val{Vec: make([]Val, len(in.Lanes))}
+	for i, l := range in.Lanes {
+		out.Vec[i] = lane(v, l)
+	}
+	return out
+}
+
+// vecInsertVal implements OpVecInsert; args holds every evaluated
+// operand (the base vector followed by the inserted lanes).
+func vecInsertVal(in *ir.Instr, args []Val) Val {
+	lanes := in.T.Lanes()
+	out := Val{Vec: make([]Val, lanes)}
+	for i := 0; i < lanes; i++ {
+		out.Vec[i] = lane(args[0], i)
+	}
+	for i, l := range in.Lanes {
+		out.Vec[l] = args[1+i]
+	}
+	return out
+}
+
+func compareVal(in *ir.Instr, a, b Val) Val {
 	cmp := func(a, b Val) Val {
 		var r bool
 		if in.Op == ir.OpFCmp {
@@ -499,36 +538,45 @@ func elemTypeOfStorage(store ir.Storage) ast.Type {
 }
 
 func (w *wiState) workItem(fn string, dim int) int64 {
+	v, ok := workItemVal(fn, dim, w.nd, w.group, w.local, w.global)
+	if !ok {
+		w.fail("unknown work-item query %s", fn)
+	}
+	return v
+}
+
+// workItemVal evaluates an NDRange coordinate query as a pure function
+// of the work-item's position; ok is false for unknown queries.
+func workItemVal(fn string, dim int, nd NDRange, group, local, global [3]int64) (int64, bool) {
 	if dim < 0 || dim > 2 {
 		dim = 0
 	}
 	switch fn {
 	case "get_global_id":
-		return w.global[dim]
+		return global[dim], true
 	case "get_local_id":
-		return w.local[dim]
+		return local[dim], true
 	case "get_group_id":
-		return w.group[dim]
+		return group[dim], true
 	case "get_global_size":
-		return w.nd.Global[dim]
+		return nd.Global[dim], true
 	case "get_local_size":
-		return w.nd.Local[dim]
+		return nd.Local[dim], true
 	case "get_num_groups":
-		return w.nd.NumGroups()[dim]
+		return nd.NumGroups()[dim], true
 	case "get_work_dim":
 		d := int64(1)
-		if w.nd.Global[1] > 1 {
+		if nd.Global[1] > 1 {
 			d = 2
 		}
-		if w.nd.Global[2] > 1 {
+		if nd.Global[2] > 1 {
 			d = 3
 		}
-		return d
+		return d, true
 	case "get_global_offset":
-		return 0
+		return 0, true
 	}
-	w.fail("unknown work-item query %s", fn)
-	return 0
+	return 0, false
 }
 
 func (w *wiState) builtin(in *ir.Instr) Val {
@@ -536,6 +584,43 @@ func (w *wiState) builtin(in *ir.Instr) Val {
 	for i, a := range in.Args {
 		args[i] = w.eval(a)
 	}
+	v, err := builtinVal(in, args)
+	if err != nil {
+		panic(execError{err})
+	}
+	return v
+}
+
+// knownBuiltins lists every builtin both executors evaluate; the static
+// analyzer consults KnownBuiltin so the fast path never meets a call it
+// cannot execute.
+var knownBuiltins = map[string]bool{
+	"sqrt": true, "native_sqrt": true, "rsqrt": true, "fabs": true,
+	"exp": true, "native_exp": true, "exp2": true,
+	"log": true, "native_log": true, "log2": true,
+	"sin": true, "cos": true, "tan": true,
+	"floor": true, "ceil": true, "round": true, "abs": true,
+	"pow": true, "fmax": true, "fmin": true, "fmod": true,
+	"atan2": true, "hypot": true, "max": true, "min": true,
+	"mad": true, "fma": true, "clamp": true, "select": true, "dot": true,
+}
+
+// KnownBuiltin reports whether the interpreter can evaluate the builtin.
+func KnownBuiltin(fn string) bool { return knownBuiltins[fn] }
+
+// knownAtomics lists the atomic operations wiState.atomic implements.
+var knownAtomics = map[string]bool{
+	"atomic_add": true, "atomic_sub": true, "atomic_inc": true,
+	"atomic_dec": true, "atomic_min": true, "atomic_max": true,
+	"atomic_xchg": true, "atomic_cmpxchg": true,
+}
+
+// KnownAtomic reports whether the interpreter can execute the atomic op.
+func KnownAtomic(fn string) bool { return knownAtomics[fn] }
+
+// builtinVal evaluates a builtin call over fully evaluated operands,
+// splitting lanes for vector-result calls like the interpreter.
+func builtinVal(in *ir.Instr, args []Val) (Val, error) {
 	t := in.T
 	if t.IsVector() {
 		out := Val{Vec: make([]Val, t.Lanes())}
@@ -544,87 +629,95 @@ func (w *wiState) builtin(in *ir.Instr) Val {
 			for j, a := range args {
 				ls[j] = lane(a, i)
 			}
-			out.Vec[i] = w.scalarBuiltin(in.Fn, ls, ast.Scalar(t.Base), in)
+			v, err := scalarBuiltinVal(in, ls, args, ast.Scalar(t.Base))
+			if err != nil {
+				return Val{}, err
+			}
+			out.Vec[i] = v
 		}
-		return out
+		return out, nil
 	}
-	return w.scalarBuiltin(in.Fn, args, t, in)
+	return scalarBuiltinVal(in, args, args, t)
 }
 
-func (w *wiState) scalarBuiltin(fn string, a []Val, t ast.Type, in *ir.Instr) Val {
+// scalarBuiltinVal evaluates one scalar builtin application. a holds the
+// per-lane operands, full the unsplit operands (for reductions like dot
+// that consume whole vectors even when the result is scalar).
+func scalarBuiltinVal(in *ir.Instr, a, full []Val, t ast.Type) (Val, error) {
+	fn := in.Fn
 	f1 := func(f func(float64) float64) Val { return FloatVal(f(a[0].F)) }
 	isFloatArgs := len(in.Args) > 0 && in.Args[0].Type().Base.IsFloat()
 	switch fn {
 	case "sqrt", "native_sqrt":
-		return f1(math.Sqrt)
+		return f1(math.Sqrt), nil
 	case "rsqrt":
-		return FloatVal(1 / math.Sqrt(a[0].F))
+		return FloatVal(1 / math.Sqrt(a[0].F)), nil
 	case "fabs":
-		return f1(math.Abs)
+		return f1(math.Abs), nil
 	case "exp", "native_exp":
-		return f1(math.Exp)
+		return f1(math.Exp), nil
 	case "exp2":
-		return f1(math.Exp2)
+		return f1(math.Exp2), nil
 	case "log", "native_log":
-		return f1(math.Log)
+		return f1(math.Log), nil
 	case "log2":
-		return f1(math.Log2)
+		return f1(math.Log2), nil
 	case "sin":
-		return f1(math.Sin)
+		return f1(math.Sin), nil
 	case "cos":
-		return f1(math.Cos)
+		return f1(math.Cos), nil
 	case "tan":
-		return f1(math.Tan)
+		return f1(math.Tan), nil
 	case "floor":
-		return f1(math.Floor)
+		return f1(math.Floor), nil
 	case "ceil":
-		return f1(math.Ceil)
+		return f1(math.Ceil), nil
 	case "round":
-		return f1(math.Round)
+		return f1(math.Round), nil
 	case "abs":
 		if isFloatArgs {
-			return f1(math.Abs)
+			return f1(math.Abs), nil
 		}
 		if a[0].I < 0 {
-			return IntVal(-a[0].I)
+			return IntVal(-a[0].I), nil
 		}
-		return a[0]
+		return a[0], nil
 	case "pow":
-		return FloatVal(math.Pow(a[0].F, a[1].F))
+		return FloatVal(math.Pow(a[0].F, a[1].F)), nil
 	case "fmax":
-		return FloatVal(math.Max(a[0].F, a[1].F))
+		return FloatVal(math.Max(a[0].F, a[1].F)), nil
 	case "fmin":
-		return FloatVal(math.Min(a[0].F, a[1].F))
+		return FloatVal(math.Min(a[0].F, a[1].F)), nil
 	case "fmod":
-		return FloatVal(math.Mod(a[0].F, a[1].F))
+		return FloatVal(math.Mod(a[0].F, a[1].F)), nil
 	case "atan2":
-		return FloatVal(math.Atan2(a[0].F, a[1].F))
+		return FloatVal(math.Atan2(a[0].F, a[1].F)), nil
 	case "hypot":
-		return FloatVal(math.Hypot(a[0].F, a[1].F))
+		return FloatVal(math.Hypot(a[0].F, a[1].F)), nil
 	case "max":
 		if isFloatArgs {
-			return FloatVal(math.Max(a[0].F, a[1].F))
+			return FloatVal(math.Max(a[0].F, a[1].F)), nil
 		}
 		if a[0].I > a[1].I {
-			return a[0]
+			return a[0], nil
 		}
-		return a[1]
+		return a[1], nil
 	case "min":
 		if isFloatArgs {
-			return FloatVal(math.Min(a[0].F, a[1].F))
+			return FloatVal(math.Min(a[0].F, a[1].F)), nil
 		}
 		if a[0].I < a[1].I {
-			return a[0]
+			return a[0], nil
 		}
-		return a[1]
+		return a[1], nil
 	case "mad", "fma":
 		if t.Base.IsFloat() {
-			return FloatVal(a[0].F*a[1].F + a[2].F)
+			return FloatVal(a[0].F*a[1].F + a[2].F), nil
 		}
-		return IntVal(a[0].I*a[1].I + a[2].I)
+		return IntVal(a[0].I*a[1].I + a[2].I), nil
 	case "clamp":
 		if isFloatArgs {
-			return FloatVal(math.Min(math.Max(a[0].F, a[1].F), a[2].F))
+			return FloatVal(math.Min(math.Max(a[0].F, a[1].F), a[2].F)), nil
 		}
 		v := a[0].I
 		if v < a[1].I {
@@ -633,15 +726,15 @@ func (w *wiState) scalarBuiltin(fn string, a []Val, t ast.Type, in *ir.Instr) Va
 		if v > a[2].I {
 			v = a[2].I
 		}
-		return IntVal(v)
+		return IntVal(v), nil
 	case "select":
 		// select(a, b, c): returns b when c is true (MSB set), else a.
 		if truthy(a[2]) {
-			return a[1]
+			return a[1], nil
 		}
-		return a[0]
+		return a[0], nil
 	case "dot":
-		x, y := w.eval(in.Args[0]), w.eval(in.Args[1])
+		x, y := full[0], full[1]
 		sum := 0.0
 		n := 1
 		if x.Vec != nil {
@@ -650,8 +743,7 @@ func (w *wiState) scalarBuiltin(fn string, a []Val, t ast.Type, in *ir.Instr) Va
 		for i := 0; i < n; i++ {
 			sum += lane(x, i).F * lane(y, i).F
 		}
-		return FloatVal(sum)
+		return FloatVal(sum), nil
 	}
-	w.fail("unknown builtin %s", fn)
-	return Val{}
+	return Val{}, fmt.Errorf("interp: unknown builtin %s", fn)
 }

@@ -128,6 +128,9 @@ type Profile struct {
 	WorkItems int
 	// Barriers is the number of barrier crossings per work-item.
 	Barriers float64
+	// Source records which profiling path produced the profile (see
+	// fastpath.go); it is informational and excluded from Diff.
+	Source Source
 }
 
 // Run executes every work-group of the kernel, mutating the buffers.
@@ -137,15 +140,22 @@ func Run(f *ir.Func, cfg *Config) error {
 	return err
 }
 
-// ProfileKernel executes up to maxGroups work-groups (default 2) and
-// collects trip counts and global-memory traces. Buffers are mutated.
-// The profiled groups are the first maxGroups of the launch — FlexCL's
-// own choice (§3.2), whose sampling bias is part of the modeled error.
+// ProfileKernel collects trip counts and global-memory traces for up to
+// maxGroups work-groups (default 2). The profiled groups are the first
+// maxGroups of the launch — FlexCL's own choice (§3.2), whose sampling
+// bias is part of the modeled error.
+//
+// The profile is produced by the cheapest path that yields the exact
+// interpreted result (see fastpath.go): the static slice executor when
+// the kernel analyzes, else the interpreter with parallel work-group
+// execution when groups are provably independent, else the sequential
+// interpreter. Profile.Source records the path taken. Buffers are
+// mutated only on the interpreted paths.
 func ProfileKernel(f *ir.Func, cfg *Config, maxGroups int) (*Profile, error) {
 	if maxGroups <= 0 {
 		maxGroups = 2
 	}
-	return execute(f, cfg, prefixSample(maxGroups), true)
+	return profileDispatch(f, cfg, maxGroups, false)
 }
 
 // ProfileKernelSpread is ProfileKernel with representative sampling:
@@ -156,23 +166,32 @@ func ProfileKernel(f *ir.Func, cfg *Config, maxGroups int) (*Profile, error) {
 // the analytical model deliberately keeps the paper's prefix sampling.
 // Work-groups of one launch are independent (OpenCL offers no
 // inter-group ordering), so any subset is as valid to execute as a
-// prefix. Buffers are mutated.
+// prefix. Buffers are mutated only on the interpreted paths (see
+// ProfileKernel).
 func ProfileKernelSpread(f *ir.Func, cfg *Config, maxGroups int) (*Profile, error) {
 	if maxGroups <= 0 {
 		maxGroups = 2
 	}
+	return profileDispatch(f, cfg, maxGroups, true)
+}
+
+// sampleFor builds the group sample of a profiling run: the prefix of
+// the launch, or — for spread sampling with more groups than the sample
+// — exactly maxGroups groups spread evenly across the launch. Include
+// gid iff ⌊(gid+1)·m/t⌋ > ⌊gid·m/t⌋: deterministic, in dispatch order.
+func sampleFor(cfg *Config, maxGroups int, spread bool) groupSample {
+	if !spread {
+		return prefixSample(maxGroups)
+	}
 	total := cfg.Range.Normalize().TotalGroups()
 	if int64(maxGroups) >= total {
-		return execute(f, cfg, prefixSample(maxGroups), true)
+		return prefixSample(maxGroups)
 	}
 	m, t := int64(maxGroups), total
-	// Include gid iff ⌊(gid+1)·m/t⌋ > ⌊gid·m/t⌋: exactly m groups,
-	// evenly spread across the launch, in dispatch order,
-	// deterministically.
 	sel := func(gid int64) bool {
 		return (gid+1)*m/t > gid*m/t
 	}
-	return execute(f, cfg, groupSample{sel: sel, last: t - 1}, true)
+	return groupSample{sel: sel, last: t - 1}
 }
 
 // groupSample selects which work-groups (by linear dispatch index) an
@@ -203,15 +222,8 @@ func execute(f *ir.Func, cfg *Config, sample groupSample, trace bool) (*Profile,
 	if wgSize <= 0 {
 		return nil, fmt.Errorf("interp: empty work-group")
 	}
-	// Validate arguments.
-	for _, p := range f.Params {
-		if p.T.Ptr {
-			if cfg.Buffers[p.PName] == nil {
-				return nil, fmt.Errorf("interp: missing buffer for parameter %s", p.PName)
-			}
-		} else if _, ok := cfg.Scalars[p.PName]; !ok {
-			return nil, fmt.Errorf("interp: missing scalar argument %s", p.PName)
-		}
+	if err := validateArgs(f, cfg); err != nil {
+		return nil, err
 	}
 
 	prof := &Profile{BlockCounts: make(map[*ir.Block]float64)}
@@ -236,6 +248,21 @@ loop:
 	}
 	finalizeProfile(prof)
 	return prof, nil
+}
+
+// validateArgs checks that every kernel parameter is bound in cfg, with
+// the same errors on every profiling path.
+func validateArgs(f *ir.Func, cfg *Config) error {
+	for _, p := range f.Params {
+		if p.T.Ptr {
+			if cfg.Buffers[p.PName] == nil {
+				return fmt.Errorf("interp: missing buffer for parameter %s", p.PName)
+			}
+		} else if _, ok := cfg.Scalars[p.PName]; !ok {
+			return fmt.Errorf("interp: missing scalar argument %s", p.PName)
+		}
+	}
+	return nil
 }
 
 func finalizeProfile(p *Profile) {
@@ -419,7 +446,7 @@ func (w *wiState) run() {
 	}
 	w.regs = make(map[*ir.Instr]Val)
 
-	const maxSteps = 64 << 20 // runaway-loop guard
+	maxSteps := int(profStepLimit) // runaway-loop guard
 	steps := 0
 	blk := w.f.Entry()
 	for blk != nil {

@@ -6,8 +6,6 @@ import (
 	"repro/internal/opencl/ast"
 )
 
-// spreadKernel writes each work-item's group index, so the profile's
-// traces reveal exactly which groups ran.
 func spreadConfig(groups int64) (*Config, *Buffer) {
 	out := NewFloatBuffer(ast.KFloat, int(groups*16))
 	return &Config{
@@ -16,17 +14,32 @@ func spreadConfig(groups int64) (*Config, *Buffer) {
 	}, out
 }
 
-// Each work-item writes group+1, so an untouched (zero) slot is
-// distinguishable from group 0 having run.
+// Each work-item writes its global index, so the profile's traces
+// reveal exactly which groups ran (the static fast path collects
+// traces without mutating the buffer).
 const spreadSrc = `
 __kernel void mark(__global float* out) {
     int i = get_global_id(0);
     out[i] = (float)(get_group_id(0) + 1);
 }`
 
+// groupsRan recovers the executed group set from the profile's write
+// trace (16 work-items per group in these launches).
+func groupsRan(prof *Profile) map[int64]bool {
+	ran := map[int64]bool{}
+	for _, wi := range prof.Traces {
+		for _, a := range wi {
+			if a.Write {
+				ran[a.Index/16] = true
+			}
+		}
+	}
+	return ran
+}
+
 func TestProfileKernelSpreadCoversLaunch(t *testing.T) {
 	k := compileKernel(t, spreadSrc, "mark")
-	cfg, out := spreadConfig(16)
+	cfg, _ := spreadConfig(16)
 	prof, err := ProfileKernelSpread(k, cfg, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -35,12 +48,7 @@ func TestProfileKernelSpreadCoversLaunch(t *testing.T) {
 		t.Fatalf("profiled WIs = %d, want 64 (4 groups of 16)", prof.WorkItems)
 	}
 	// Exactly 4 groups ran, spread across all 16 — not the first 4.
-	ran := map[int64]bool{}
-	for g := int64(0); g < 16; g++ {
-		if out.F[g*16] == float64(g+1) {
-			ran[g] = true
-		}
-	}
+	ran := groupsRan(prof)
 	if len(ran) != 4 {
 		t.Fatalf("groups executed = %v, want 4", ran)
 	}
@@ -57,7 +65,7 @@ func TestProfileKernelSpreadCoversLaunch(t *testing.T) {
 
 func TestProfileKernelSpreadDegeneratesToFull(t *testing.T) {
 	k := compileKernel(t, spreadSrc, "mark")
-	cfg, out := spreadConfig(3)
+	cfg, _ := spreadConfig(3)
 	prof, err := ProfileKernelSpread(k, cfg, 8) // more than the launch has
 	if err != nil {
 		t.Fatal(err)
@@ -65,8 +73,9 @@ func TestProfileKernelSpreadDegeneratesToFull(t *testing.T) {
 	if prof.WorkItems != 3*16 {
 		t.Fatalf("profiled WIs = %d, want all 48", prof.WorkItems)
 	}
+	ran := groupsRan(prof)
 	for g := int64(0); g < 3; g++ {
-		if out.F[g*16] != float64(g+1) {
+		if !ran[g] {
 			t.Errorf("group %d did not run", g)
 		}
 	}
@@ -74,17 +83,17 @@ func TestProfileKernelSpreadDegeneratesToFull(t *testing.T) {
 
 func TestProfileKernelSpreadDeterministic(t *testing.T) {
 	k := compileKernel(t, spreadSrc, "mark")
-	cfg1, out1 := spreadConfig(32)
-	cfg2, out2 := spreadConfig(32)
-	if _, err := ProfileKernelSpread(k, cfg1, 5); err != nil {
+	cfg1, _ := spreadConfig(32)
+	cfg2, _ := spreadConfig(32)
+	p1, err := ProfileKernelSpread(k, cfg1, 5)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ProfileKernelSpread(k, cfg2, 5); err != nil {
+	p2, err := ProfileKernelSpread(k, cfg2, 5)
+	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range out1.F {
-		if out1.F[i] != out2.F[i] {
-			t.Fatalf("sample differs between runs at %d", i)
-		}
+	if d := p1.Diff(p2); d != "" {
+		t.Fatalf("sample differs between runs: %s", d)
 	}
 }

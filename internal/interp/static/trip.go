@@ -1,0 +1,197 @@
+package static
+
+import (
+	"repro/internal/ir"
+	"repro/internal/opencl/ast"
+)
+
+// TripCounts derives compile-time trip counts for the canonical counted
+// loops of f: loops the IR generator already annotated (Loop.StaticTrip)
+// plus loops matching the affine pattern
+//
+//	i = c0;  while (i <pred> c1) { ...; i = i ± step }
+//
+// with a private scalar induction alloca, constant bounds and a
+// constant step. The result maps loop headers to trip counts; loops
+// whose bounds involve scalar arguments or profiled data are absent
+// (the slice executor still counts them exactly — at run time).
+func TripCounts(f *ir.Func) map[*ir.Block]int64 {
+	f.EnsureLoops()
+	out := make(map[*ir.Block]int64)
+	for _, l := range f.Loops {
+		if l.StaticTrip >= 0 {
+			out[l.Header] = l.StaticTrip
+			continue
+		}
+		if n, ok := affineTrip(f, l); ok {
+			out[l.Header] = n
+		}
+	}
+	return out
+}
+
+// affineTrip matches one natural loop against the canonical counted
+// form and returns its trip count.
+func affineTrip(f *ir.Func, l *ir.Loop) (int64, bool) {
+	term := l.Header.Term()
+	if term == nil || term.Op != ir.OpCondBr {
+		return 0, false
+	}
+	cmp, ok := term.Args[0].(*ir.Instr)
+	if !ok || cmp.Op != ir.OpICmp {
+		return 0, false
+	}
+	// The comparison must read the induction variable on one side and a
+	// constant on the other; the loop body must be the true edge.
+	iv, bound, pred, ok := splitCmp(cmp, l)
+	if !ok {
+		return 0, false
+	}
+	if term.To == nil || !l.Contains(term.To) {
+		return 0, false
+	}
+	init, step, ok := inductionOf(f, iv, l)
+	if !ok {
+		return 0, false
+	}
+	return countTrips(init, bound, step, pred)
+}
+
+// splitCmp finds the induction alloca load and the constant bound of a
+// header comparison, normalizing the predicate so the load is the
+// left-hand side.
+func splitCmp(cmp *ir.Instr, l *ir.Loop) (*ir.Alloca, int64, ir.Pred, bool) {
+	load := func(v ir.Value) *ir.Alloca {
+		in, ok := v.(*ir.Instr)
+		if !ok || in.Op != ir.OpLoad {
+			return nil
+		}
+		a, ok := in.Mem.(*ir.Alloca)
+		if !ok || a.AS == ast.ASLocal || a.IsArray() {
+			return nil
+		}
+		return a
+	}
+	cst := func(v ir.Value) (int64, bool) {
+		c, ok := v.(*ir.Const)
+		if !ok || c.T.Base.IsFloat() {
+			return 0, false
+		}
+		return c.I, true
+	}
+	if a := load(cmp.Args[0]); a != nil {
+		if b, ok := cst(cmp.Args[1]); ok {
+			return a, b, cmp.Pr, true
+		}
+	}
+	if a := load(cmp.Args[1]); a != nil {
+		if b, ok := cst(cmp.Args[0]); ok {
+			return a, b, flipPred(cmp.Pr), true
+		}
+	}
+	return nil, 0, 0, false
+}
+
+func flipPred(p ir.Pred) ir.Pred {
+	switch p {
+	case ir.PredLT:
+		return ir.PredGT
+	case ir.PredLE:
+		return ir.PredGE
+	case ir.PredGT:
+		return ir.PredLT
+	case ir.PredGE:
+		return ir.PredLE
+	}
+	return p // EQ/NE are symmetric
+}
+
+// inductionOf checks that the alloca behaves as a canonical induction
+// variable for l: one constant initialization outside the loop, one
+// in-loop update of the form i = i ± const, and no other stores.
+func inductionOf(f *ir.Func, iv *ir.Alloca, l *ir.Loop) (init, step int64, ok bool) {
+	var haveInit, haveStep bool
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpStore || in.Mem != iv {
+				continue
+			}
+			if !l.Contains(b) {
+				c, isC := in.Args[1].(*ir.Const)
+				if !isC || c.T.Base.IsFloat() || haveInit {
+					return 0, 0, false
+				}
+				init, haveInit = c.I, true
+				continue
+			}
+			// In-loop update: add/sub of a load of iv with a constant.
+			upd, isI := in.Args[1].(*ir.Instr)
+			if !isI || (upd.Op != ir.OpAdd && upd.Op != ir.OpSub) || haveStep {
+				return 0, 0, false
+			}
+			ld, isL := upd.Args[0].(*ir.Instr)
+			c, isC := upd.Args[1].(*ir.Const)
+			if !isL || ld.Op != ir.OpLoad || ld.Mem != iv || !isC || c.T.Base.IsFloat() {
+				return 0, 0, false
+			}
+			step = c.I
+			if upd.Op == ir.OpSub {
+				step = -step
+			}
+			haveStep = true
+		}
+	}
+	if !haveInit || !haveStep || step == 0 {
+		return 0, 0, false
+	}
+	return init, step, true
+}
+
+// countTrips evaluates the closed form for i = init; i <pred> bound;
+// i += step.
+func countTrips(init, bound, step int64, pred ir.Pred) (int64, bool) {
+	switch pred {
+	case ir.PredLT:
+		if step <= 0 {
+			return 0, false
+		}
+		if init >= bound {
+			return 0, true
+		}
+		return (bound - init + step - 1) / step, true
+	case ir.PredLE:
+		if step <= 0 {
+			return 0, false
+		}
+		if init > bound {
+			return 0, true
+		}
+		return (bound - init + step) / step, true
+	case ir.PredGT:
+		if step >= 0 {
+			return 0, false
+		}
+		if init <= bound {
+			return 0, true
+		}
+		return (init - bound - step - 1) / (-step), true
+	case ir.PredGE:
+		if step >= 0 {
+			return 0, false
+		}
+		if init < bound {
+			return 0, true
+		}
+		return (init - bound - step) / (-step), true
+	case ir.PredNE:
+		if step == 0 {
+			return 0, false
+		}
+		diff := bound - init
+		if diff%step != 0 || diff/step < 0 {
+			return 0, false // never hits the bound exactly
+		}
+		return diff / step, true
+	}
+	return 0, false
+}

@@ -1,0 +1,29 @@
+package obs
+
+import "sync"
+
+var (
+	globalOnce sync.Once
+	globalReg  *Registry
+)
+
+// Global returns the process-wide registry for metrics that belong to
+// the process rather than to one server instance (e.g. the profiler
+// fast-path counters bumped deep inside internal/interp, far from any
+// Server). internal/serve renders it on /metrics alongside each
+// server's own registry.
+func Global() *Registry {
+	globalOnce.Do(func() {
+		globalReg = NewRegistry("flexcl_global")
+		// Help applies to registered families, so register them eagerly:
+		// the counters should render as 0 on /metrics before the first
+		// profile rather than appear out of nowhere later.
+		globalReg.Counter("profile_static_total", "")
+		globalReg.Help("profile_static_total",
+			"Kernel profiles produced by the static fast path (no work-group execution).")
+		globalReg.Counter("profile_interp_total", "")
+		globalReg.Help("profile_interp_total",
+			"Kernel profiles produced by the interpreter (sequential or parallel work-groups).")
+	})
+	return globalReg
+}

@@ -566,4 +566,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)
+	// Process-wide counters (profiler fast-path takes, etc.) live in
+	// the global registry, under their own namespace.
+	obs.Global().WritePrometheus(w)
 }

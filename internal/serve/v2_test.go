@@ -184,8 +184,15 @@ func TestV2PredictCoalescing(t *testing.T) {
 	if st.Computes != 1 {
 		t.Errorf("prep computes = %d for %d concurrent identical predicts, want 1", st.Computes, K)
 	}
-	if st.Coalesced == 0 && st.Hits == 0 {
-		t.Error("no coalesced or cached lookups recorded; singleflight not engaged")
+	// The other K-1 requests must each have been served by a dedup
+	// layer: coalesced onto the in-flight prep fill, a prep-cache hit,
+	// or a pred-cache (estimate) hit. With the static-profile fast
+	// path, prep can finish before the stragglers arrive, so the pred
+	// cache legitimately absorbs them instead of singleflight.
+	deduped := st.Coalesced + st.Hits + s.pred.Stats().Hits
+	if deduped < K-1 {
+		t.Errorf("deduplicated lookups = %d (coalesced %d, prep hits %d, pred hits %d), want >= %d",
+			deduped, st.Coalesced, st.Hits, s.pred.Stats().Hits, K-1)
 	}
 }
 

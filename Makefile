@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet test race cover serve fuzz-smoke bench-explore bench-serve bench-dse bench-profile check check-smoke ci
+.PHONY: build vet test race cover serve fuzz-smoke bench-explore bench-serve bench-dse bench-profile bench-trace check check-smoke ci
 
 build:
 	$(GO) build ./...
@@ -63,13 +63,24 @@ bench-dse:
 bench-profile:
 	$(GO) run ./cmd/flexcl-profile -json BENCH_profile.json $(BENCH_PROFILE_FLAGS)
 
+# Tracing overhead proof: the predict hot path benchmarked with the
+# tracer on vs off, written to BENCH_trace.json (a CI artifact). The
+# budget is <3% overhead; the artifact records the measured ratio. See
+# docs/OBSERVABILITY.md.
+bench-trace:
+	BENCH_TRACE_JSON=$(CURDIR)/BENCH_trace.json $(GO) test -run='^TestTraceOverheadArtifact$$' -count=1 -v ./internal/serve
+
 # Cross-layer correctness audit (see docs/CHECK.md): model invariants,
 # differential bands vs the simulator, serve consistency. check-smoke is
 # the time-boxed subset CI runs on every push; check is the full corpus.
 check:
 	$(GO) run ./cmd/flexcl-check
 
+# check-smoke also runs tracelint: every telemetry span must be ended or
+# delegated (see cmd/tracelint) — an unended span never reaches the
+# trace ring and skews the stage histograms.
 check-smoke:
+	$(GO) run ./cmd/tracelint -root .
 	$(GO) run ./cmd/flexcl-check -smoke -timeout 5m
 
-ci: build vet race fuzz-smoke bench-dse bench-profile check-smoke
+ci: build vet race fuzz-smoke bench-dse bench-profile bench-trace check-smoke

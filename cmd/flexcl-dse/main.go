@@ -29,6 +29,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/dse"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 		list      = flag.Bool("list", false, "list available kernels and exit")
 		benchJSON = flag.String("bench-json", "", "benchmark guided search vs exhaustive exploration over the corpus and write a JSON report to this file")
 		benchAll  = flag.Bool("bench-all", false, "with -bench-json: run the full 60-kernel corpus instead of the smoke subset")
+		trace     = flag.Bool("trace", false, "print a per-stage timing table of the exploration after the results")
 	)
 	flag.Parse()
 
@@ -76,6 +78,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	// With -trace the exploration becomes one trace; the per-stage table
+	// (prep, compile, profile, sweep/search, …) prints after the results.
+	ctx := context.Background()
+	var tr *telemetry.Tracer
+	var root *telemetry.Span
+	if *trace {
+		tr = telemetry.New(telemetry.Options{Capacity: 8})
+		ctx, root = tr.StartTrace(ctx, "cli", "flexcl-dse "+k.ID())
+	}
+
 	switch *search {
 	case dse.StrategyExhaustive:
 	case dse.StrategyGuided, dse.StrategyPareto:
@@ -83,14 +95,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "flexcl-dse: -sim requires -search=exhaustive (guided search evaluates only the designs its bounds cannot prune)")
 			os.Exit(2)
 		}
-		runGuided(k, p, *search, *workers, *top)
+		runGuided(ctx, k, p, *search, *workers, *top)
+		finishTrace(tr, root)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "flexcl-dse: unknown -search %q (want exhaustive, guided or pareto)\n", *search)
 		os.Exit(2)
 	}
 
-	r, err := core.ExploreOpts(context.Background(), k, core.ExploreOptions{
+	r, err := core.ExploreOpts(ctx, k, core.ExploreOptions{
 		Platform:     p,
 		SimMaxGroups: 8,
 		SkipActual:   !*sim,
@@ -135,12 +148,26 @@ func main() {
 		fmt.Printf("\navg |error| %.1f%%  selected-design gap to optimum %s  speedup over unoptimized %s\n",
 			fe, gapStr, spStr)
 	}
+	finishTrace(tr, root)
+}
+
+// finishTrace ends a -trace run's root span and prints the stage table.
+// A nil root (no -trace) is a no-op.
+func finishTrace(tr *telemetry.Tracer, root *telemetry.Span) {
+	if root == nil {
+		return
+	}
+	root.End()
+	if v, ok := tr.Get("cli"); ok {
+		fmt.Println()
+		v.WriteTable(os.Stdout)
+	}
 }
 
 // runGuided runs the branch-and-bound search and prints the evaluated
 // points (and, for pareto, the frontier).
-func runGuided(k *bench.Kernel, p *core.Platform, strategy string, workers, top int) {
-	sr, err := core.Search(context.Background(), k, core.SearchOptions{
+func runGuided(ctx context.Context, k *bench.Kernel, p *core.Platform, strategy string, workers, top int) {
+	sr, err := core.Search(ctx, k, core.SearchOptions{
 		Platform: p,
 		Workers:  workers,
 		Pareto:   strategy == dse.StrategyPareto,

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/interp"
+	"repro/internal/telemetry"
 )
 
 // row is one kernel's measurement in the artifact.
@@ -54,8 +56,19 @@ func main() {
 		all      = flag.Bool("all", false, "run the full corpus plus generated families instead of the smoke subset")
 		groups   = flag.Int("groups", 8, "sampled work-groups per profile (the prep pipeline's budget)")
 		reps     = flag.Int("reps", 3, "repetitions per measurement; the minimum is reported")
+		trace    = flag.Bool("trace", false, "print a per-kernel timing table (compile/interp/static spans) after the run")
 	)
 	flag.Parse()
+
+	// With -trace every kernel's measurement becomes a span with
+	// compile/interp/static children; the table prints after the summary.
+	ctx := context.Background()
+	var tr *telemetry.Tracer
+	var root *telemetry.Span
+	if *trace {
+		tr = telemetry.New(telemetry.Options{Capacity: 8})
+		ctx, root = tr.StartTrace(ctx, "cli", "flexcl-profile")
+	}
 
 	ks := bench.All()
 	if *all {
@@ -73,7 +86,7 @@ func main() {
 	rep := reportJSON{Kernels: len(ks), Groups: *groups}
 	var speedups []float64
 	for _, k := range ks {
-		r, err := measure(k, *groups, *reps)
+		r, err := measure(ctx, k, *groups, *reps)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "flexcl-profile: %s: %v\n", k.ID(), err)
 			os.Exit(1)
@@ -104,36 +117,54 @@ func main() {
 	}
 	fmt.Printf("\n%d/%d kernels on the static path (%.0f%%), median speedup %.1fx → %s\n",
 		rep.StaticKernels, rep.Kernels, rep.StaticFrac*100, rep.MedianSpeedup, *jsonPath)
+
+	if root != nil {
+		root.End()
+		if v, ok := tr.Get("cli"); ok {
+			fmt.Println()
+			v.WriteTable(os.Stdout)
+		}
+	}
 }
 
 // measure times both paths for one kernel at its smallest sweep size.
-func measure(k *bench.Kernel, groups, reps int) (row, error) {
+func measure(ctx context.Context, k *bench.Kernel, groups, reps int) (row, error) {
 	r := row{Kernel: k.ID(), Suite: k.Suite, Path: "interp"}
+	kctx, ksp := telemetry.Start(ctx, k.ID())
+	defer ksp.End()
+
+	_, csp := telemetry.Start(kctx, "compile")
 	f, err := k.Compile(k.MinWG)
+	csp.End()
 	if err != nil {
 		return r, err
 	}
 	ok, reason := interp.StaticAnalyzable(f)
 	if !ok {
 		r.Reason = reason
+		ksp.Annotate("fallback", reason)
 	}
 
 	// Fresh Config per run: the interpreter mutates buffers, and both
 	// arms must profile the same launch.
+	_, isp := telemetry.Start(kctx, "interp")
 	interpNS, err := best(reps, func() error {
 		_, err := interp.InterpProfile(f, k.Config(k.MinWG), groups, true, 1)
 		return err
 	})
+	isp.End()
 	if err != nil {
 		return r, err
 	}
 	r.InterpMS = float64(interpNS) / 1e6
 
 	if ok {
+		_, ssp := telemetry.Start(kctx, "static")
 		staticNS, err := best(reps, func() error {
 			_, _, err := interp.StaticProfile(f, k.Config(k.MinWG), groups, true)
 			return err
 		})
+		ssp.End()
 		if err != nil {
 			return r, err
 		}

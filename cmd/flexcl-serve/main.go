@@ -10,6 +10,8 @@
 //	             [-max-batch 256] [-batch-timeout 2m]
 //	             [-pred-cache 4096] [-timeout 10s] [-explore-timeout 5m]
 //	             [-drain 30s] [-log text|json]
+//	             [-trace-capacity 256] [-trace-keep-slowest 32]
+//	             [-debug-addr localhost:6060]
 //
 // Try it:
 //
@@ -31,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,6 +59,9 @@ func main() {
 		drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		logFormat   = flag.String("log", "text", "log format: text or json")
 		logLevelStr = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		traceCap    = flag.Int("trace-capacity", 0, "finished request traces kept in memory (0 = 256, negative disables tracing)")
+		traceSlow   = flag.Int("trace-keep-slowest", 0, "slowest traces additionally retained past ring rotation (0 = 32)")
+		debugAddr   = flag.String("debug-addr", "", "serve pprof/expvar/trace debug endpoints on this extra address (empty = disabled; bind to localhost)")
 	)
 	flag.Parse()
 
@@ -91,8 +97,21 @@ func main() {
 		RequestTimeout:        *timeout,
 		ExploreTimeout:        *exploreTO,
 		DrainTimeout:          *drain,
+		TraceCapacity:         *traceCap,
+		TraceKeepSlowest:      *traceSlow,
 		Logger:                logger,
 	})
+
+	// The debug listener is opt-in and separate from the API port so
+	// pprof never ships to the open internet by accident.
+	if *debugAddr != "" {
+		go func() {
+			logger.Info("debug listener", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, s.DebugHandler()); err != nil {
+				logger.Error("debug listener", "err", err)
+			}
+		}()
+	}
 
 	// SIGTERM/SIGINT cancel the context; Serve then drains in-flight
 	// requests and jobs before returning.

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 type argList map[string]int64
@@ -55,6 +56,7 @@ func main() {
 		cu       = flag.Int("cu", 1, "compute units")
 		mode     = flag.String("mode", "pipeline", "communication mode: barrier or pipeline")
 		simulate = flag.Bool("sim", false, "also run the cycle-level simulator for comparison")
+		trace    = flag.Bool("trace", false, "print a per-stage timing table of the pipeline after the prediction")
 	)
 	args := argList{}
 	flag.Var(args, "arg", "scalar kernel argument name=value (repeatable)")
@@ -67,7 +69,20 @@ func main() {
 	src, err := os.ReadFile(*file)
 	fatal(err)
 
+	// With -trace the whole run becomes one trace: the same spans the
+	// service records (compile, profile, memtrace, model, …) are printed
+	// as a per-stage table once the prediction is done.
+	ctx := context.Background()
+	var tr *telemetry.Tracer
+	var root *telemetry.Span
+	if *trace {
+		tr = telemetry.New(telemetry.Options{Capacity: 8})
+		ctx, root = tr.StartTrace(ctx, "cli", "flexcl "+*file)
+	}
+
+	_, csp := telemetry.Start(ctx, "compile")
 	prog, err := core.Compile(*file, src, map[string]string{"WG": fmt.Sprint(*wg)})
+	csp.End()
 	fatal(err)
 	f := prog.Kernels[0]
 	if *kernel != "" {
@@ -82,7 +97,7 @@ func main() {
 	}
 
 	launch := makeLaunch(f, *global, *wg, args)
-	an, err := core.Analyze(context.Background(), f, p, launch)
+	an, err := core.Analyze(ctx, f, p, launch)
 	fatal(err)
 
 	d := core.Design{
@@ -92,7 +107,9 @@ func main() {
 	if *mode == "pipeline" {
 		d.Mode = core.ModePipeline
 	}
+	_, msp := telemetry.Start(ctx, "model")
 	est := an.Predict(d)
+	msp.End()
 
 	fmt.Printf("kernel      %s (%s)\n", f.Name, p.Name)
 	fmt.Printf("design      %v (effective mode: %v)\n", d, est.Mode)
@@ -120,13 +137,23 @@ func main() {
 
 	if *simulate {
 		launch2 := makeLaunch(f, *global, *wg, args)
+		_, ssp := telemetry.Start(ctx, "simulate")
 		sim, err := core.Simulate(f, p, launch2, d, 8)
+		ssp.End()
 		fatal(err)
 		errPct := 0.0
 		if sim.Cycles > 0 {
 			errPct = (est.Cycles - sim.Cycles) / sim.Cycles * 100
 		}
 		fmt.Printf("simulated   %.0f cycles (model error %+.1f%%)\n", sim.Cycles, errPct)
+	}
+
+	if root != nil {
+		root.End()
+		if v, ok := tr.Get("cli"); ok {
+			fmt.Println()
+			v.WriteTable(os.Stdout)
+		}
 	}
 }
 

@@ -1,0 +1,170 @@
+// Command tracelint enforces span hygiene across the tree: every span
+// obtained from telemetry.Start or StartTrace must either be ended in
+// the same function (an <ident>.End() call, including deferred calls
+// and calls inside nested closures) or delegated by passing the span
+// ident to another function. Discarding the span (`ctx, _ :=`) is an
+// error too — an unended span never reaches the trace ring and skews
+// the stage histograms.
+//
+// The check is purely syntactic (go/parser, no type information), so it
+// is fast enough for make check-smoke; _test.go files are skipped
+// because tests legitimately construct unfinished spans.
+//
+// Usage:
+//
+//	tracelint [-root .]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "directory tree to lint")
+	flag.Parse()
+
+	fset := token.NewFileSet()
+	var problems []string
+	files := 0
+	err := filepath.WalkDir(*root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", "vendor", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		files++
+		problems = append(problems, lintFile(fset, f)...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracelint:", err)
+		os.Exit(1)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "tracelint:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("tracelint: %d files ok\n", files)
+}
+
+// lintFile checks every top-level function. Closures are covered by
+// scanning the whole enclosing function body, so a span started in a
+// function and ended in one of its closures (or vice versa) passes.
+func lintFile(fset *token.FileSet, f *ast.File) []string {
+	var problems []string
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		for _, st := range spanStarts(fn.Body) {
+			if st.name == "_" {
+				problems = append(problems, fmt.Sprintf(
+					"%s: span from %s is discarded (never ended)",
+					fset.Position(st.pos), st.kind))
+				continue
+			}
+			if !spanHandled(fn.Body, st.name) {
+				problems = append(problems, fmt.Sprintf(
+					"%s: span %q from %s has no %s.End() call (or delegation) in %s",
+					fset.Position(st.pos), st.name, st.kind, st.name, fn.Name.Name))
+			}
+		}
+	}
+	return problems
+}
+
+type spanStart struct {
+	name string
+	kind string // "telemetry.Start" or "StartTrace"
+	pos  token.Pos
+}
+
+// spanStarts finds `_, sp := telemetry.Start(...)` and
+// `ctx, sp := x.StartTrace(...)` assignments (":=" or "=").
+func spanStarts(body *ast.BlockStmt) []spanStart {
+	var out []spanStart
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var kind string
+		switch sel.Sel.Name {
+		case "Start":
+			// Only the telemetry package's Start — other Start calls
+			// (timers, servers) are none of our business.
+			if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "telemetry" {
+				return true
+			}
+			kind = "telemetry.Start"
+		case "StartTrace":
+			kind = "StartTrace"
+		default:
+			return true
+		}
+		id, ok := as.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		out = append(out, spanStart{name: id.Name, kind: kind, pos: as.Pos()})
+		return true
+	})
+	return out
+}
+
+// spanHandled reports whether the body contains <name>.End() or passes
+// <name> as an argument to some call (delegating the End to the callee).
+func spanHandled(body *ast.BlockStmt, name string) bool {
+	handled := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == name {
+				handled = true
+				return false
+			}
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && id.Name == name {
+				handled = true
+				return false
+			}
+		}
+		return true
+	})
+	return handled
+}

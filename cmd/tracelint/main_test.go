@@ -1,0 +1,88 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func lintSrc(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return lintFile(fset, f)
+}
+
+func TestEndedSpanPasses(t *testing.T) {
+	probs := lintSrc(t, `package p
+func f(ctx context.Context) {
+	ctx, sp := telemetry.Start(ctx, "compile")
+	defer sp.End()
+	_ = ctx
+}`)
+	if len(probs) != 0 {
+		t.Fatalf("want clean, got %v", probs)
+	}
+}
+
+func TestClosureEndPasses(t *testing.T) {
+	probs := lintSrc(t, `package p
+func f(ctx context.Context) {
+	_, sp := telemetry.Start(ctx, "search")
+	defer func() {
+		sp.Annotate("k", "v")
+		sp.End()
+	}()
+}`)
+	if len(probs) != 0 {
+		t.Fatalf("want clean, got %v", probs)
+	}
+}
+
+func TestDelegatedSpanPasses(t *testing.T) {
+	probs := lintSrc(t, `package p
+func f(ctx context.Context) {
+	ctx, root := tr.StartTrace(ctx, "id", "name")
+	finish(tr, root)
+}`)
+	if len(probs) != 0 {
+		t.Fatalf("want clean, got %v", probs)
+	}
+}
+
+func TestUnendedSpanFlagged(t *testing.T) {
+	probs := lintSrc(t, `package p
+func leaky(ctx context.Context) {
+	ctx, sp := telemetry.Start(ctx, "model")
+	_ = ctx
+	_ = sp
+}`)
+	if len(probs) != 1 || !strings.Contains(probs[0], `span "sp"`) {
+		t.Fatalf("want one unended-span problem, got %v", probs)
+	}
+}
+
+func TestDiscardedSpanFlagged(t *testing.T) {
+	probs := lintSrc(t, `package p
+func leaky(ctx context.Context) {
+	ctx, _ = tr.StartTrace(ctx, "id", "name")
+}`)
+	if len(probs) != 1 || !strings.Contains(probs[0], "discarded") {
+		t.Fatalf("want one discarded-span problem, got %v", probs)
+	}
+}
+
+func TestUnrelatedStartIgnored(t *testing.T) {
+	probs := lintSrc(t, `package p
+func f() {
+	a, b := server.Start(ctx, "not telemetry")
+	_, _ = a, b
+}`)
+	if len(probs) != 0 {
+		t.Fatalf("want clean for non-telemetry Start, got %v", probs)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/ir"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // PrepCache memoizes the per-work-group-size preparation of an
@@ -110,15 +111,22 @@ func (c *PrepCache) entry(k *bench.Kernel, p *device.Platform, wg int64) (e *pre
 	return e, false, coalesced
 }
 
-// compute fills the entry and closes done. It deliberately ignores the
-// caller's context: the entry is shared, so one impatient request must
-// not poison the fill every coalesced waiter (and the retry after a
-// 504) depends on.
-func (e *prepEntry) compute(k *bench.Kernel, p *device.Platform, wg int64) {
+// compute fills the entry and closes done. Callers must pass a context
+// that cannot be cancelled (context.WithoutCancel of the request, or
+// context.Background()): the entry is shared, so one impatient request
+// must not poison the fill every coalesced waiter (and the retry after
+// a 504) depends on. The context still carries the creating request's
+// trace, so the compile and model-analysis spans attach to it.
+func (e *prepEntry) compute(ctx context.Context, k *bench.Kernel, p *device.Platform, wg int64) {
 	defer close(e.done)
 	t0 := time.Now()
+	_, csp := telemetry.Start(ctx, "compile")
+	csp.Annotate("kernel", k.ID())
+	csp.Annotate("wg", fmt.Sprint(wg))
 	f, err := k.Compile(wg)
 	if err != nil {
+		csp.Annotate("error", err.Error())
+		csp.End()
 		e.err = err
 		return
 	}
@@ -126,7 +134,8 @@ func (e *prepEntry) compute(k *bench.Kernel, p *device.Platform, wg int64) {
 	// exclusive: afterwards the function is shared read-only by
 	// every concurrent Predict and Simulate.
 	f.EnsureLoops()
-	an, err := model.Analyze(context.Background(), f, p, k.Config(wg), model.AnalysisOptions{ProfileGroups: 8})
+	csp.End()
+	an, err := model.Analyze(ctx, f, p, k.Config(wg), model.AnalysisOptions{ProfileGroups: 8})
 	if err != nil {
 		e.err = fmt.Errorf("dse %s wg=%d: %w", k.ID(), wg, err)
 		return
@@ -140,10 +149,12 @@ func (e *prepEntry) compute(k *bench.Kernel, p *device.Platform, wg int64) {
 // goroutine computes it. computed reports whether this call did the
 // work. It is the synchronous path Explore uses; services with request
 // deadlines use AnalysisContext.
-func (c *PrepCache) get(k *bench.Kernel, p *device.Platform, wg int64) (e *prepEntry, computed bool) {
+func (c *PrepCache) get(ctx context.Context, k *bench.Kernel, p *device.Platform, wg int64) (e *prepEntry, computed bool) {
 	e, created, _ := c.entry(k, p, wg)
 	if created {
-		e.compute(k, p, wg)
+		// WithoutCancel: keep the caller's trace attached to the fill's
+		// spans but never let its cancellation poison the shared entry.
+		e.compute(context.WithoutCancel(ctx), k, p, wg)
 		return e, true
 	}
 	<-e.done
@@ -162,7 +173,7 @@ func (c *PrepCache) AnalysisContext(ctx context.Context, k *bench.Kernel, p *dev
 	switch {
 	case created:
 		outcome = PrepComputed
-		go e.compute(k, p, wg)
+		go e.compute(context.WithoutCancel(ctx), k, p, wg)
 	case coalesced:
 		outcome = PrepCoalesced
 	}
@@ -182,7 +193,7 @@ func (c *PrepCache) AnalysisContext(ctx context.Context, k *bench.Kernel, p *dev
 func (c *PrepCache) Analyses(k *bench.Kernel, p *device.Platform) (map[int64]*model.Analysis, error) {
 	out := make(map[int64]*model.Analysis)
 	for _, wg := range k.WGSizes() {
-		e, _ := c.get(k, p, wg)
+		e, _ := c.get(context.Background(), k, p, wg)
 		if e.err != nil {
 			return nil, e.err
 		}
@@ -195,7 +206,7 @@ func (c *PrepCache) Analyses(k *bench.Kernel, p *device.Platform) (map[int64]*mo
 // caching it on first use. Explore and HeuristicSearch share the same
 // entries; deadline-carrying callers should prefer AnalysisContext.
 func (c *PrepCache) Analysis(k *bench.Kernel, p *device.Platform, wg int64) (*model.Analysis, error) {
-	e, _ := c.get(k, p, wg)
+	e, _ := c.get(context.Background(), k, p, wg)
 	if e.err != nil {
 		return nil, e.err
 	}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/model"
 	"repro/internal/rtlsim"
+	"repro/internal/telemetry"
 )
 
 // Point is one evaluated design.
@@ -135,11 +136,13 @@ func Explore(ctx context.Context, k *bench.Kernel, opts Options) (*Result, error
 	// One analysis per work-group size serves every design at that size.
 	wgs := k.WGSizes()
 	var prepNanos int64
+	_, prepSpan := telemetry.Start(ctx, "prep")
+	prepSpan.Annotate("wg_sizes", fmt.Sprint(len(wgs)))
 	runShards(workers, len(wgs), func(i int) {
 		if ctx.Err() != nil {
 			return
 		}
-		e, computed := cache.get(k, p, wgs[i])
+		e, computed := cache.get(ctx, k, p, wgs[i])
 		if e.err != nil {
 			fail(e.err)
 			return
@@ -148,6 +151,7 @@ func Explore(ctx context.Context, k *bench.Kernel, opts Options) (*Result, error
 			atomic.AddInt64(&prepNanos, int64(e.dur))
 		}
 	})
+	prepSpan.End()
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -162,12 +166,14 @@ func Explore(ctx context.Context, k *bench.Kernel, opts Options) (*Result, error
 	}
 	slots := make([]slot, len(designs))
 	var modelNanos, simNanos int64
+	_, sweepSpan := telemetry.Start(ctx, "sweep")
+	sweepSpan.Annotate("designs", fmt.Sprint(len(designs)))
 	runShards(workers, len(designs), func(i int) {
 		if ctx.Err() != nil {
 			return
 		}
 		d := designs[i]
-		e, _ := cache.get(k, p, d.WGSize)
+		e, _ := cache.get(ctx, k, p, d.WGSize)
 		if e.err != nil {
 			fail(e.err)
 			return
@@ -205,6 +211,7 @@ func Explore(ctx context.Context, k *bench.Kernel, opts Options) (*Result, error
 		}
 		slots[i] = slot{pt: pt, keep: true}
 	})
+	sweepSpan.End()
 	if firstErr != nil {
 		return nil, firstErr
 	}

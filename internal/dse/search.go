@@ -15,6 +15,7 @@ package dse
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sort"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/device"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // Search strategies, as spelled on cmd/flexcl-dse's -search flag and the
@@ -260,11 +262,13 @@ func Search(ctx context.Context, k *bench.Kernel, opts SearchOptions) (*SearchRe
 	peVals := model.PEValues(p.MaxPE)
 	cuVals := model.CUValues(p.MaxCU)
 	var prepNanos int64
+	_, prepSpan := telemetry.Start(ctx, "prep")
+	prepSpan.Annotate("wg_sizes", fmt.Sprint(len(wgs)))
 	runShards(workers, len(wgs), func(i int) {
 		if ctx.Err() != nil {
 			return
 		}
-		e, computed := cache.get(k, p, wgs[i])
+		e, computed := cache.get(ctx, k, p, wgs[i])
 		if e.err != nil {
 			errs[i] = e.err
 			return
@@ -277,6 +281,7 @@ func Search(ctx context.Context, k *bench.Kernel, opts SearchOptions) (*SearchRe
 		}
 		atomic.AddInt64(&prepNanos, int64(d))
 	})
+	prepSpan.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -441,6 +446,12 @@ func Search(ctx context.Context, k *bench.Kernel, opts SearchOptions) (*SearchRe
 		}
 	}
 
+	_, searchSpan := telemetry.Start(ctx, "search")
+	defer func() {
+		searchSpan.Annotate("evaluated", fmt.Sprint(res.Evaluated))
+		searchSpan.Annotate("pruned", fmt.Sprint(res.Space-res.Evaluated))
+		searchSpan.End()
+	}()
 	if opts.Pareto {
 		// One constrained search per budget level, cheapest first; the
 		// frontier keeps the levels whose optimum strictly improves.

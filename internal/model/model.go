@@ -11,6 +11,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -75,24 +76,37 @@ func Analyze(ctx context.Context, f *ir.Func, p *device.Platform, cfg *interp.Co
 		return nil, fmt.Errorf("model: analyzing %s: %w", f.Name, err)
 	}
 	f.EnsureLoops()
+	_, psp := telemetry.Start(ctx, "profile")
 	prof, err := interp.ProfileKernel(f, cfg, opts.ProfileGroups)
+	if prof != nil {
+		psp.Annotate("source", string(prof.Source))
+	}
+	psp.Annotate("groups", fmt.Sprint(opts.ProfileGroups))
+	psp.End()
 	if err != nil {
 		return nil, fmt.Errorf("model: profiling %s: %w", f.Name, err)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("model: analyzing %s: %w", f.Name, err)
 	}
+	_, msp := telemetry.Start(ctx, "memtrace")
 	layout := trace.NewLayout(f, trace.BufferCounts(f, cfg), p.DRAM)
 	nd := cfg.Range.Normalize()
 	cls := trace.ClassifyGrouped(prof.Traces, nd.WorkGroupSize(), layout, p.DRAM, p.MemAccessUnitBits/8)
+	msp.Annotate("bursts_per_wi", fmt.Sprintf("%.3f", cls.BurstsPerWI))
+	msp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("model: analyzing %s: %w", f.Name, err)
 	}
+	_, dsp := telemetry.Start(ctx, "devprofile")
+	table := device.Profile(p, opts.OpSamples)
+	patLat := dram.ProfilePatterns(p.DRAM, opts.DRAMSamples, device.HashString(p.Name))
+	dsp.End()
 	return &Analysis{
 		F:        f,
 		Platform: p,
-		Table:    device.Profile(p, opts.OpSamples),
-		PatLat:   dram.ProfilePatterns(p.DRAM, opts.DRAMSamples, device.HashString(p.Name)),
+		Table:    table,
+		PatLat:   patLat,
 		Freq:     prof.BlockCounts,
 		Mem:      cls,
 		NWI:      nd.TotalWorkItems(),

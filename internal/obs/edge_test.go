@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestLabelValueEscaping: quotes, backslashes and newlines in label
+// values must render escaped per the text exposition format — one
+// metric line, no raw quote or newline inside the braces.
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry("t")
+	hostile := `he said "hi"` + "\n" + `back\slash`
+	r.Counter("odd_total", Label("msg", hostile)).Inc()
+	var sb bytes.Buffer
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	want := `t_odd_total{msg="he said \"hi\"\nback\\slash"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaped line missing.\nwant %q\ngot:\n%s", want, out)
+	}
+	// Every non-comment line must be exactly `name{labels} value` with
+	// no embedded raw newline having split a sample.
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "t_odd_total") {
+			t.Fatalf("stray line %q — a label value leaked a newline", line)
+		}
+	}
+}
+
+// TestLabelHelper: Label escapes, Labels joins.
+func TestLabelHelper(t *testing.T) {
+	if got, want := Label("k", `a"b`), `k="a\"b"`; got != want {
+		t.Errorf("Label = %q, want %q", got, want)
+	}
+	if got, want := Labels(Label("a", "1"), Label("b", "2")), `a="1",b="2"`; got != want {
+		t.Errorf("Labels = %q, want %q", got, want)
+	}
+}
+
+// TestHelpEscaping: backslash and newline in HELP text must render
+// escaped so the exposition stays line-oriented.
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry("t")
+	r.Counter("x_total", "")
+	r.Help("x_total", "line one\nwith a back\\slash")
+	var sb bytes.Buffer
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	want := `# HELP t_x_total line one\nwith a back\\slash`
+	if !strings.Contains(out, want) {
+		t.Fatalf("help not escaped.\nwant %q\ngot:\n%s", want, out)
+	}
+}
+
+// TestInfBucketCumulativeCount: the +Inf bucket must equal the total
+// sample count even when samples land beyond the last finite bound, and
+// the cumulative counts must be monotone.
+func TestInfBucketCumulativeCount(t *testing.T) {
+	r := NewRegistry("t")
+	h := r.Histogram("lat", "", 0.1, 1)
+	for _, v := range []float64{0.05, 0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	var sb bytes.Buffer
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`t_lat_bucket{le="0.1"} 1`,
+		`t_lat_bucket{le="1"} 2`,
+		`t_lat_bucket{le="+Inf"} 5`,
+		`t_lat_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// A histogram with zero samples still renders a 0 +Inf bucket.
+	r2 := NewRegistry("t")
+	r2.Histogram("empty", "", 1)
+	sb.Reset()
+	r2.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `t_empty_bucket{le="+Inf"} 0`) {
+		t.Errorf("empty histogram must render +Inf 0:\n%s", sb.String())
+	}
+}
+
+// TestAccessLogFields: fields attached deep in the handler stack via
+// AddField must appear on the access-log line.
+func TestAccessLogFields(t *testing.T) {
+	var buf bytes.Buffer
+	log := slog.New(slog.NewJSONHandler(&buf, nil))
+	h := AccessLog(log, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		AddField(r.Context(), "request_id", "r-42")
+		AddField(r.Context(), "lane", "interactive")
+		AddField(r.Context(), "cache", "coalesced")
+		w.WriteHeader(http.StatusOK)
+	}))
+	req := httptest.NewRequest("POST", "/v2/predict", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, buf.String())
+	}
+	for k, want := range map[string]string{
+		"request_id": "r-42", "lane": "interactive", "cache": "coalesced",
+	} {
+		if line[k] != want {
+			t.Errorf("%s = %v, want %q", k, line[k], want)
+		}
+	}
+}
+
+// TestAddFieldWithoutCarrier: AddField outside AccessLog is a no-op.
+func TestAddFieldWithoutCarrier(t *testing.T) {
+	req := httptest.NewRequest("GET", "/x", nil)
+	AddField(req.Context(), "k", "v") // must not panic
+}
+
+// flushRecorder counts flushes so the passthrough is observable.
+type flushRecorder struct {
+	httptest.ResponseRecorder
+	flushes int
+}
+
+func (f *flushRecorder) Flush() { f.flushes++ }
+
+// TestResponseRecorderFlusher: wrapping must not hide the underlying
+// Flusher from streaming handlers.
+func TestResponseRecorderFlusher(t *testing.T) {
+	under := &flushRecorder{ResponseRecorder: *httptest.NewRecorder()}
+	rec := NewResponseRecorder(under)
+	var w http.ResponseWriter = rec
+	f, ok := w.(http.Flusher)
+	if !ok {
+		t.Fatal("ResponseRecorder must implement http.Flusher")
+	}
+	f.Flush()
+	f.Flush()
+	if under.flushes != 2 {
+		t.Fatalf("flushes = %d, want 2 (passthrough broken)", under.flushes)
+	}
+	if rec.Unwrap() != http.ResponseWriter(under) {
+		t.Fatal("Unwrap must expose the underlying writer")
+	}
+	// And a non-Flusher underlying writer must not panic.
+	NewResponseRecorder(plainWriter{}).Flush()
+}
+
+type plainWriter struct{}
+
+func (plainWriter) Header() http.Header         { return http.Header{} }
+func (plainWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (plainWriter) WriteHeader(int)             {}
+
+// TestBuildInfoGauge: the global registry must expose the replica
+// identity gauge with version and goversion labels, value 1.
+func TestBuildInfoGauge(t *testing.T) {
+	var sb bytes.Buffer
+	Global().WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "flexcl_global_build_info{") {
+		t.Fatalf("build_info gauge missing:\n%s", out)
+	}
+	for _, want := range []string{`version="`, `goversion="go`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("build_info missing label %q:\n%s", want, out)
+		}
+	}
+	var line string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "flexcl_global_build_info{") {
+			line = l
+		}
+	}
+	if !strings.HasSuffix(line, " 1") {
+		t.Errorf("build_info value should be 1: %q", line)
+	}
+}

@@ -1,13 +1,17 @@
 package obs
 
 import (
+	"context"
 	"log/slog"
 	"net/http"
+	"sync"
 	"time"
 )
 
 // ResponseRecorder wraps a ResponseWriter to capture the status code
-// and body size for logging and metrics.
+// and body size for logging and metrics. It passes http.Flusher through
+// to the underlying writer, so streaming handlers keep working behind
+// the middleware stack, and exposes Unwrap for http.ResponseController.
 type ResponseRecorder struct {
 	http.ResponseWriter
 	Code  int
@@ -33,20 +37,79 @@ func (r *ResponseRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer's Flusher when it has one
+// (a no-op otherwise), so wrapping a streaming response does not
+// silently swallow flushes.
+func (r *ResponseRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (r *ResponseRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// fieldsKey carries the per-request *Fields through a context.
+type fieldsKey struct{}
+
+// Fields is a per-request bag of extra access-log fields. AccessLog
+// installs one into the request context; handlers deeper in the stack
+// attach correlation fields (request id, admission lane, cache outcome)
+// with AddField, and the final log line carries them. Safe for
+// concurrent use: batch handlers add fields from item goroutines.
+type Fields struct {
+	mu sync.Mutex
+	kv []any // alternating key, value — slog's loosely-typed arg shape
+}
+
+// WithFields returns a context carrying a fresh Fields bag (and the
+// bag). Middleware-only; handlers use AddField.
+func WithFields(ctx context.Context) (context.Context, *Fields) {
+	f := &Fields{}
+	return context.WithValue(ctx, fieldsKey{}, f), f
+}
+
+// AddField attaches one key/value to the request's access-log line. A
+// no-op when the context carries no Fields bag (e.g. unit tests calling
+// handlers directly). Setting the same key again appends — slog renders
+// both, last one visually winning — which is fine for the rare
+// overwrite (a batch's per-item cache outcomes) and keeps the hot path
+// allocation-free beyond the append.
+func AddField(ctx context.Context, key string, value any) {
+	f, _ := ctx.Value(fieldsKey{}).(*Fields)
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.kv = append(f.kv, key, value)
+	f.mu.Unlock()
+}
+
+// snapshot returns the collected fields.
+func (f *Fields) snapshot() []any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]any(nil), f.kv...)
+}
+
 // AccessLog wraps a handler with one structured log line per request:
-// method, path, status, response bytes and wall time.
+// method, path, status, response bytes, wall time, plus any fields the
+// handler stack attached via AddField (request_id, lane, cache, …).
 func AccessLog(log *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		t0 := time.Now()
 		rec := NewResponseRecorder(w)
-		next.ServeHTTP(rec, req)
-		log.Info("http",
+		ctx, fields := WithFields(req.Context())
+		next.ServeHTTP(rec, req.WithContext(ctx))
+		args := []any{
 			"method", req.Method,
 			"path", req.URL.Path,
 			"code", rec.Code,
 			"bytes", rec.Bytes,
-			"dur_ms", float64(time.Since(t0).Microseconds())/1000,
+			"dur_ms", float64(time.Since(t0).Microseconds()) / 1000,
 			"remote", req.RemoteAddr,
-		)
+		}
+		args = append(args, fields.snapshot()...)
+		log.Info("http", args...)
 	})
 }

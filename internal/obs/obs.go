@@ -16,6 +16,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -210,6 +211,53 @@ func (r *Registry) Help(name, help string) {
 
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double-quote and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string per the text exposition format:
+// backslash and newline (quotes are legal in help text).
+func escapeHelp(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Label renders one `key="value"` label pair with the value escaped, so
+// call sites carrying arbitrary strings (kernel ids, error text,
+// versions) cannot corrupt the exposition format. Join several with
+// Labels.
+func Label(key, value string) string {
+	return key + `="` + escapeLabelValue(value) + `"`
+}
+
+// Labels joins pre-rendered label pairs into one label-set string.
+func Labels(pairs ...string) string { return strings.Join(pairs, ",") }
+
 func withLabels(base, extra string) string {
 	switch {
 	case base == "" && extra == "":
@@ -238,7 +286,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 
 		full := r.namespace + "_" + name
 		if help != "" {
-			fmt.Fprintf(w, "# HELP %s %s\n", full, help)
+			fmt.Fprintf(w, "# HELP %s %s\n", full, escapeHelp(help))
 		}
 		fmt.Fprintf(w, "# TYPE %s %s\n", full, typ)
 		for _, labels := range labelSets {

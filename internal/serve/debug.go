@@ -1,0 +1,26 @@
+package serve
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the handler for the opt-in debug listener
+// (flexcl-serve -debug-addr): pprof profiles, expvar and the trace
+// inspection API. It is deliberately a separate handler so production
+// deployments can keep profiling off the service port (bind it to
+// localhost or an operations network) without touching the API surface;
+// /debug/traces remains available on the main port too.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/traces", s.tracer.HandleList)
+	mux.HandleFunc("GET /debug/traces/{id}", s.tracer.HandleGet)
+	return mux
+}

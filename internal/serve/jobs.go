@@ -278,6 +278,12 @@ func (s *Server) runExplore(ctx context.Context, j *Job) {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.ExploreTimeout)
 	defer cancel()
 	t0 := time.Now()
+	// Each job gets its own trace under a predictable id so operators
+	// can pull /debug/traces/job-{id} after polling the job.
+	ctx, root := s.tracer.StartTrace(ctx, "job-"+j.ID, "explore "+k.ID())
+	root.Annotate("job", j.ID)
+	root.Annotate("kernel", k.ID())
+	defer root.End()
 	if req.Search == api.SearchGuided || req.Search == api.SearchPareto {
 		s.runGuidedExplore(ctx, j, k, p, req, t0)
 		return

@@ -54,6 +54,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/serve/api"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the service.
@@ -97,6 +98,13 @@ type Config struct {
 	Logger *slog.Logger
 	// Namespace prefixes exported metrics (empty = "flexcl").
 	Namespace string
+	// TraceCapacity bounds the in-memory ring of finished request
+	// traces served on /debug/traces (0 = 256; negative disables
+	// tracing entirely — spans become no-ops).
+	TraceCapacity int
+	// TraceKeepSlowest additionally retains the N slowest traces even
+	// after they rotate out of the recent ring (0 = 32).
+	TraceKeepSlowest int
 }
 
 func (c Config) withDefaults() Config {
@@ -148,18 +156,25 @@ func (c Config) withDefaults() Config {
 	if c.Namespace == "" {
 		c.Namespace = "flexcl"
 	}
+	if c.TraceCapacity == 0 {
+		c.TraceCapacity = 256
+	}
+	if c.TraceKeepSlowest == 0 {
+		c.TraceKeepSlowest = 32
+	}
 	return c
 }
 
 // Server is the flexcl prediction/DSE service.
 type Server struct {
-	cfg   Config
-	log   *slog.Logger
-	reg   *obs.Registry
-	prep  *dse.PrepCache
-	pred  *dse.PredCache
-	pool  *jobPool
-	admit *admitter
+	cfg    Config
+	log    *slog.Logger
+	reg    *obs.Registry
+	prep   *dse.PrepCache
+	pred   *dse.PredCache
+	pool   *jobPool
+	admit  *admitter
+	tracer *telemetry.Tracer
 
 	mu sync.Mutex
 	ln net.Listener
@@ -177,6 +192,13 @@ func New(cfg Config) *Server {
 		pred:  dse.NewPredCache(cfg.PredCacheSize),
 		admit: newAdmitter(cfg.MaxConcurrentPredicts, cfg.PredictQueueDepth),
 	}
+	s.tracer = telemetry.New(telemetry.Options{
+		Capacity:    cfg.TraceCapacity,
+		KeepSlowest: cfg.TraceKeepSlowest,
+		StageObserver: func(stage string, seconds float64) {
+			s.reg.Histogram("stage_seconds", obs.Label("stage", stage)).Observe(seconds)
+		},
+	})
 	s.pool = newJobPool(s, cfg.Workers, cfg.QueueDepth, cfg.MaxRetainedJobs)
 	s.reg.Help("requests_total", "HTTP requests by route and status code.")
 	s.reg.Help("request_seconds", "HTTP request latency by route.")
@@ -190,9 +212,13 @@ func New(cfg Config) *Server {
 	s.reg.Help("prep_cache_computes", "Actual compile+analyze executions performed by the prep cache.")
 	s.reg.Help("prep_cache_coalesced", "Lookups that joined an in-flight compile+analyze instead of duplicating it.")
 	s.reg.Help("batch_items_total", "Batch prediction items by outcome.")
+	s.reg.Help("stage_seconds", "Per-pipeline-stage latency, fed from finished request traces.")
 	s.reg.PublishExpvar(cfg.Namespace)
 	return s
 }
+
+// Tracer exposes the server's trace ring (CLIs and the debug listener).
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
 // Metrics returns the server's metric registry (tests and embedders).
 func (s *Server) Metrics() *obs.Registry { return s.reg }
@@ -214,7 +240,9 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.Handle("GET /debug/vars", expvar.Handler())
-	return obs.AccessLog(s.log, s.instrument(s.deadline(mux)))
+	mux.HandleFunc("GET /debug/traces", s.tracer.HandleList)
+	mux.HandleFunc("GET /debug/traces/{id}", s.tracer.HandleGet)
+	return obs.AccessLog(s.log, s.trace(s.instrument(s.deadline(mux))))
 }
 
 // deadline attaches the per-request timeout to the request context —
@@ -460,13 +488,21 @@ func (s *Server) predictErr(err error, timeout time.Duration) *api.Error {
 // immediately while an in-flight fill keeps running in the background
 // and lands in the cache for the retry.
 func (s *Server) predictCore(ctx context.Context, lane int, k *bench.Kernel, p *device.Platform, d model.Design) (predictOutcome, error) {
+	telemetry.Annotate(ctx, "kernel", k.ID())
+	telemetry.Annotate(ctx, "source_hash", k.SourceHash())
+	obs.AddField(ctx, "lane", laneName(lane))
 	key := k.CacheKey() + "|" + p.Name + "|" + d.String()
 	if est, ok := s.pred.Get(key); ok {
 		s.reg.Counter("predict_source_total", `source="pred"`).Inc()
+		telemetry.Annotate(ctx, "cache", "pred")
+		obs.AddField(ctx, "cache", "pred")
 		return predictOutcome{est: est, cache: "pred"}, nil
 	}
 	ll := fmt.Sprintf(`lane="%s"`, laneName(lane))
-	release, wait, err := s.admit.admit(ctx, lane)
+	actx, asp := telemetry.Start(ctx, "admission")
+	asp.Annotate("lane", laneName(lane))
+	release, wait, err := s.admit.admit(actx, lane)
+	asp.End()
 	s.reg.Histogram("predict_queue_wait_seconds", ll, obs.QueueBuckets...).
 		Observe(wait.Seconds())
 	if err != nil {
@@ -478,11 +514,16 @@ func (s *Server) predictCore(ctx context.Context, lane int, k *bench.Kernel, p *
 	defer release()
 	s.reg.Counter("predict_admitted_total", ll).Inc()
 
-	an, outcome, err := s.prep.AnalysisContext(ctx, k, p, d.WGSize)
+	pctx, psp := telemetry.Start(ctx, "prep")
+	an, outcome, err := s.prep.AnalysisContext(pctx, k, p, d.WGSize)
+	psp.Annotate("outcome", outcome.String())
+	psp.End()
 	if err != nil {
 		return predictOutcome{wait: wait}, err
 	}
+	_, msp := telemetry.Start(ctx, "model")
 	est := an.Predict(d)
+	msp.End()
 	s.pred.Put(key, est)
 	cache := "miss"
 	switch outcome {
@@ -491,6 +532,8 @@ func (s *Server) predictCore(ctx context.Context, lane int, k *bench.Kernel, p *
 	case dse.PrepCached:
 		cache = "prep"
 	}
+	telemetry.Annotate(ctx, "cache", cache)
+	obs.AddField(ctx, "cache", cache)
 	s.reg.Counter("predict_source_total", fmt.Sprintf(`source="%s"`, cache)).Inc()
 	return predictOutcome{est: est, cache: cache, wait: wait}, nil
 }

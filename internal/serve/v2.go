@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"fmt"
 	"net/http"
 	"sync"
 	"time"
 
 	"repro/internal/serve/api"
+	"repro/internal/telemetry"
 )
 
 // v2 handlers: the unified envelope (internal/serve/api) rendered with
@@ -88,8 +90,12 @@ func (s *Server) handleV2Batch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, item api.PredictRequest) {
 			defer wg.Done()
-			res, apiErr := s.v2Predict(r, item, laneBulk, s.cfg.BatchTimeout)
+			ictx, isp := telemetry.Start(r.Context(), "item")
+			isp.Annotate("index", fmt.Sprint(i))
+			defer isp.End()
+			res, apiErr := s.v2Predict(r.WithContext(ictx), item, laneBulk, s.cfg.BatchTimeout)
 			if apiErr != nil {
+				isp.Annotate("error", apiErr.Code)
 				resp.Items[i] = api.BatchItem{OK: false, Error: apiErr}
 				return
 			}

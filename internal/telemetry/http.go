@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// traceList is the GET /debug/traces response envelope.
+type traceList struct {
+	Count int `json:"count"`
+	// Capacity and KeepSlowest echo the retention configuration so a
+	// reader knows what window they are looking at.
+	Capacity    int            `json:"capacity"`
+	KeepSlowest int            `json:"keep_slowest"`
+	Traces      []TraceSummary `json:"traces"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// HandleList serves GET /debug/traces: summaries of every retained
+// trace, newest first.
+func (t *Tracer) HandleList(w http.ResponseWriter, r *http.Request) {
+	sums := t.List()
+	if sums == nil {
+		sums = []TraceSummary{}
+	}
+	var capacity, slowCap int
+	if t != nil {
+		capacity, slowCap = t.capacity, t.slowCap
+	}
+	writeJSON(w, http.StatusOK, traceList{
+		Count:       len(sums),
+		Capacity:    capacity,
+		KeepSlowest: slowCap,
+		Traces:      sums,
+	})
+}
+
+// HandleGet serves GET /debug/traces/{id}: the full span tree of one
+// finished trace. The id is the request's X-Request-ID (echoed on every
+// response) or a job trace id.
+func (t *Tracer) HandleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := t.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": "unknown trace " + id + " (rotated out, or tracing disabled)",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}

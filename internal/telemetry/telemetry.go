@@ -1,0 +1,392 @@
+// Package telemetry is the request-scoped tracing layer of the FlexCL
+// service: context-propagated spans that follow one prediction from the
+// HTTP edge through admission, the prep cache, frontend compilation,
+// profiling, memory-trace classification and the analytical model, so a
+// slow p99 can be attributed to the stage (and kernel) that ate it.
+//
+// The design mirrors the codebase's ctx-first convention: starting a
+// span never changes a function signature, it rides the context —
+//
+//	ctx, sp := telemetry.Start(ctx, "compile")
+//	defer sp.End()
+//
+// When the context carries no active trace, Start returns a nil span
+// whose methods are all no-ops, so library code pays one context lookup
+// and nothing else. Traces are created at the edge (one per HTTP
+// request, keyed by its X-Request-ID) or by a CLI's -trace flag;
+// finished traces land in a bounded in-memory ring with
+// always-keep-slowest retention and are exported as JSON span trees via
+// GET /debug/traces and /debug/traces/{id} (see http.go).
+//
+// Spans are safe for concurrent use: batch items and sharded DSE
+// workers may open children of one request's trace from many
+// goroutines, and a detached prep-cache fill may end its spans after
+// the request's root span already finished (the trace view simply shows
+// them completed later).
+package telemetry
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ctxKey carries the current *Span through a context.
+type ctxKey struct{}
+
+// withSpan returns ctx carrying sp as the current span.
+func withSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// Attr is one key/value annotation on a span (cache outcome, admission
+// lane, kernel hash, …). Values are strings so the trace JSON stays
+// schema-free.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one named stage of a trace. All fields are guarded by the
+// owning trace's mutex; a nil *Span (no active trace) is valid and all
+// its methods are no-ops.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Time
+	end      time.Time // zero while running
+	attrs    []Attr
+	children []*Span
+}
+
+// Trace is one request's span tree, rooted at the edge (or CLI) span.
+type Trace struct {
+	tracer *Tracer
+
+	mu    sync.Mutex
+	id    string
+	name  string
+	start time.Time
+	end   time.Time // zero until the root span ends
+	root  *Span
+	spans int
+}
+
+// Options tunes a Tracer.
+type Options struct {
+	// Capacity bounds the finished-trace ring (0 = 256 entries;
+	// negative disables tracing entirely — StartTrace returns nil
+	// spans and the tracer retains nothing).
+	Capacity int
+	// KeepSlowest additionally retains the N slowest traces seen since
+	// start, even after the ring has rotated past them (0 = 32).
+	KeepSlowest int
+	// StageObserver, when non-nil, receives every finished non-root
+	// span's (name, duration) as the trace completes — the hook the
+	// service uses to feed per-stage latency histograms into its
+	// metrics registry. Spans still running when the root ends (e.g. a
+	// detached cache fill the request stopped waiting for) are not
+	// reported.
+	StageObserver func(stage string, seconds float64)
+}
+
+// Tracer owns trace retention: a FIFO ring of recent finished traces
+// plus an always-keep-slowest set, both bounded.
+type Tracer struct {
+	disabled bool
+	capacity int
+	slowCap  int
+	observer func(stage string, seconds float64)
+
+	mu     sync.Mutex
+	recent []*Trace // newest last
+	slow   []*Trace // the slowest traces seen, unordered
+}
+
+// New builds a Tracer. A nil *Tracer is also valid (fully disabled).
+func New(opts Options) *Tracer {
+	t := &Tracer{capacity: opts.Capacity, slowCap: opts.KeepSlowest, observer: opts.StageObserver}
+	if opts.Capacity < 0 {
+		t.disabled = true
+		t.capacity = 0
+		t.slowCap = 0
+		return t
+	}
+	if t.capacity == 0 {
+		t.capacity = 256
+	}
+	if t.slowCap == 0 {
+		t.slowCap = 32
+	}
+	return t
+}
+
+// Enabled reports whether the tracer records anything at all.
+func (t *Tracer) Enabled() bool { return t != nil && !t.disabled }
+
+// StartTrace opens a new trace with its root span and returns a context
+// carrying it. id is the request id the trace is retrieved by; name is
+// the root span's label (typically the route). The trace is finished —
+// and becomes visible to Get/List — when the returned root span Ends.
+func (t *Tracer) StartTrace(ctx context.Context, id, name string) (context.Context, *Span) {
+	if !t.Enabled() {
+		return ctx, nil
+	}
+	tr := &Trace{tracer: t, id: id, name: name, start: time.Now()}
+	root := &Span{tr: tr, name: name, start: tr.start}
+	tr.root = root
+	tr.spans = 1
+	return withSpan(ctx, root), root
+}
+
+// Start opens a child span of the context's current span, returning a
+// context carrying the child. Without an active trace it returns the
+// context unchanged and a nil (no-op) span.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(ctxKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	tr := parent.tr
+	sp := &Span{tr: tr, name: name, start: time.Now()}
+	tr.mu.Lock()
+	parent.children = append(parent.children, sp)
+	tr.spans++
+	tr.mu.Unlock()
+	return withSpan(ctx, sp), sp
+}
+
+// Annotate attaches a key/value pair to the context's current span (a
+// no-op without an active trace). Use it when the span itself is out of
+// reach — e.g. annotating the request's root span from a handler.
+func Annotate(ctx context.Context, key, value string) {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	sp.Annotate(key, value)
+}
+
+// ContextTraceID returns the id of the context's active trace, or "".
+func ContextTraceID(ctx context.Context) string {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	if sp == nil {
+		return ""
+	}
+	sp.tr.mu.Lock()
+	defer sp.tr.mu.Unlock()
+	return sp.tr.id
+}
+
+// Annotate attaches a key/value pair to the span. Last write for a key
+// wins in rendered views.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.tr.mu.Unlock()
+}
+
+// End finishes the span (idempotent). Ending the root span finishes the
+// whole trace: stage durations are reported to the StageObserver and
+// the trace becomes retrievable from the tracer's ring.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	tr := s.tr
+	tr.mu.Lock()
+	if !s.end.IsZero() {
+		tr.mu.Unlock()
+		return
+	}
+	s.end = time.Now()
+	isRoot := s == tr.root
+	if isRoot {
+		tr.end = s.end
+	}
+	tr.mu.Unlock()
+	if isRoot {
+		tr.tracer.finish(tr)
+	}
+}
+
+// Duration returns the span's wall time so far (final once ended).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// finish reports stages and inserts the trace into the retention sets.
+func (t *Tracer) finish(tr *Trace) {
+	if t.observer != nil {
+		// Snapshot under the trace lock, observe outside it: the
+		// observer typically takes a metrics-registry lock of its own.
+		type stage struct {
+			name string
+			dur  time.Duration
+		}
+		var stages []stage
+		tr.mu.Lock()
+		var walk func(s *Span)
+		walk = func(s *Span) {
+			if s != tr.root && !s.end.IsZero() {
+				stages = append(stages, stage{s.name, s.end.Sub(s.start)})
+			}
+			for _, c := range s.children {
+				walk(c)
+			}
+		}
+		walk(tr.root)
+		tr.mu.Unlock()
+		for _, st := range stages {
+			t.observer(st.name, st.dur.Seconds())
+		}
+	}
+
+	dur := tr.duration()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recent = append(t.recent, tr)
+	if len(t.recent) > t.capacity {
+		t.recent = t.recent[1:]
+	}
+	if t.slowCap > 0 {
+		if len(t.slow) < t.slowCap {
+			t.slow = append(t.slow, tr)
+		} else {
+			// Replace the fastest of the kept-slowest set if this trace
+			// is slower (linear scan; the set is small).
+			minI, minD := -1, dur
+			for i, cand := range t.slow {
+				if d := cand.duration(); d < minD {
+					minI, minD = i, d
+				}
+			}
+			if minI >= 0 {
+				t.slow[minI] = tr
+			}
+		}
+	}
+}
+
+func (tr *Trace) duration() time.Duration {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.end.IsZero() {
+		return time.Since(tr.start)
+	}
+	return tr.end.Sub(tr.start)
+}
+
+// Get returns the finished trace with the given id (the newest one,
+// when a client reused an X-Request-ID).
+func (t *Tracer) Get(id string) (*TraceView, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	var found *Trace
+	for i := len(t.recent) - 1; i >= 0 && found == nil; i-- {
+		if t.recent[i].idLocked() == id {
+			found = t.recent[i]
+		}
+	}
+	if found == nil {
+		for _, tr := range t.slow {
+			if tr.idLocked() == id {
+				found = tr
+				break
+			}
+		}
+	}
+	t.mu.Unlock()
+	if found == nil {
+		return nil, false
+	}
+	v := found.View()
+	return &v, true
+}
+
+func (tr *Trace) idLocked() string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.id
+}
+
+// List returns summaries of every retained trace, newest first, with
+// the kept-slowest traces flagged.
+func (t *Tracer) List() []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	slowSet := make(map[*Trace]bool, len(t.slow))
+	for _, tr := range t.slow {
+		slowSet[tr] = true
+	}
+	seen := make(map[*Trace]bool, len(t.recent)+len(t.slow))
+	all := make([]*Trace, 0, len(t.recent)+len(t.slow))
+	for _, tr := range t.recent {
+		if !seen[tr] {
+			seen[tr] = true
+			all = append(all, tr)
+		}
+	}
+	for _, tr := range t.slow {
+		if !seen[tr] {
+			seen[tr] = true
+			all = append(all, tr)
+		}
+	}
+	t.mu.Unlock()
+
+	out := make([]TraceSummary, 0, len(all))
+	for _, tr := range all {
+		out = append(out, tr.summary(slowSet[tr]))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}
+
+// attrMap flattens an attr list, last write per key winning.
+func attrMap(attrs []Attr) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// joinAttrs renders attrs as "k=v k2=v2" for table output.
+func joinAttrs(m map[string]string) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(m[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,290 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNoopWithoutTrace(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "stage")
+	if sp != nil {
+		t.Fatal("Start without a trace must return a nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start without a trace must return the context unchanged")
+	}
+	// All nil-span methods are no-ops.
+	sp.End()
+	sp.Annotate("k", "v")
+	if d := sp.Duration(); d != 0 {
+		t.Fatalf("nil span duration = %v, want 0", d)
+	}
+	Annotate(ctx, "k", "v")
+	if id := ContextTraceID(ctx); id != "" {
+		t.Fatalf("ContextTraceID = %q, want empty", id)
+	}
+}
+
+func TestDisabledTracer(t *testing.T) {
+	tr := New(Options{Capacity: -1})
+	if tr.Enabled() {
+		t.Fatal("Capacity<0 must disable the tracer")
+	}
+	ctx, root := tr.StartTrace(context.Background(), "id1", "req")
+	if root != nil {
+		t.Fatal("disabled tracer must hand out nil spans")
+	}
+	root.End()
+	if _, ok := tr.Get("id1"); ok {
+		t.Fatal("disabled tracer must retain nothing")
+	}
+	if ContextTraceID(ctx) != "" {
+		t.Fatal("disabled tracer must not mark the context")
+	}
+	var nilT *Tracer
+	if nilT.Enabled() {
+		t.Fatal("nil tracer must read as disabled")
+	}
+	if _, ok := nilT.Get("x"); ok {
+		t.Fatal("nil tracer Get must miss")
+	}
+	if l := nilT.List(); l != nil {
+		t.Fatal("nil tracer List must be empty")
+	}
+}
+
+func TestSpanTreeAndStages(t *testing.T) {
+	var observed []string
+	tr := New(Options{
+		Capacity: 8,
+		StageObserver: func(stage string, seconds float64) {
+			if seconds < 0 {
+				t.Errorf("stage %s observed negative duration", stage)
+			}
+			observed = append(observed, stage)
+		},
+	})
+	ctx, root := tr.StartTrace(context.Background(), "req-1", "/v2/predict")
+	if got := ContextTraceID(ctx); got != "req-1" {
+		t.Fatalf("ContextTraceID = %q, want req-1", got)
+	}
+
+	actx, admission := Start(ctx, "admission")
+	admission.Annotate("lane", "interactive")
+	if ContextTraceID(actx) != "req-1" {
+		t.Fatal("child context lost the trace")
+	}
+	admission.End()
+
+	pctx, prep := Start(ctx, "prep")
+	_, compile := Start(pctx, "compile")
+	compile.End()
+	_, profile := Start(pctx, "profile")
+	profile.Annotate("source", "static")
+	profile.End()
+	prep.Annotate("cache", "miss")
+	prep.End()
+
+	_, model := Start(ctx, "model")
+	model.End()
+	root.End()
+
+	v, ok := tr.Get("req-1")
+	if !ok {
+		t.Fatal("finished trace not retrievable")
+	}
+	if v.Spans != 6 {
+		t.Fatalf("spans = %d, want 6", v.Spans)
+	}
+	if v.Root.Name != "/v2/predict" || len(v.Root.Children) != 3 {
+		t.Fatalf("unexpected root: %+v", v.Root)
+	}
+	prepView := v.Root.Children[1]
+	if prepView.Name != "prep" || len(prepView.Children) != 2 {
+		t.Fatalf("unexpected prep subtree: %+v", prepView)
+	}
+	if prepView.Attrs["cache"] != "miss" {
+		t.Fatalf("prep attrs = %v", prepView.Attrs)
+	}
+	for _, stage := range []string{"admission", "prep", "compile", "profile", "model"} {
+		if _, ok := v.StageMS[stage]; !ok {
+			t.Errorf("StageMS missing %q: %v", stage, v.StageMS)
+		}
+	}
+	// Sequential children must fit inside their parent's wall time.
+	sum := 0.0
+	for _, c := range v.Root.Children {
+		sum += c.DurationMS
+	}
+	if sum > v.DurationMS+0.001 {
+		t.Fatalf("children sum %.3fms exceeds root %.3fms", sum, v.DurationMS)
+	}
+	if len(observed) != 5 {
+		t.Fatalf("observer saw %d stages (%v), want 5", len(observed), observed)
+	}
+}
+
+func TestDoubleEndIsIdempotent(t *testing.T) {
+	tr := New(Options{Capacity: 4})
+	_, root := tr.StartTrace(context.Background(), "id", "req")
+	root.End()
+	root.End() // must not re-finish (or panic)
+	if got := len(tr.List()); got != 1 {
+		t.Fatalf("trace retained %d times, want 1", got)
+	}
+}
+
+func TestDetachedSpanEndsAfterRoot(t *testing.T) {
+	tr := New(Options{Capacity: 4})
+	ctx, root := tr.StartTrace(context.Background(), "id", "req")
+	_, late := Start(ctx, "fill")
+	root.End()
+
+	v, _ := tr.Get("id")
+	if !v.Root.Children[0].Unfinished {
+		t.Fatal("running detached span must render as unfinished")
+	}
+	late.End() // after the trace finished: must be safe
+	v, _ = tr.Get("id")
+	if v.Root.Children[0].Unfinished {
+		t.Fatal("ended span still renders unfinished")
+	}
+}
+
+func TestRingRetentionKeepsSlowest(t *testing.T) {
+	tr := New(Options{Capacity: 4, KeepSlowest: 1})
+	// One deliberately slow trace, then enough fast ones to rotate the
+	// recent ring past it.
+	_, slowRoot := tr.StartTrace(context.Background(), "slow", "req")
+	time.Sleep(25 * time.Millisecond)
+	slowRoot.End()
+	for i := 0; i < 10; i++ {
+		_, r := tr.StartTrace(context.Background(), fmt.Sprintf("fast-%d", i), "req")
+		r.End()
+	}
+	if _, ok := tr.Get("fast-0"); ok {
+		t.Fatal("fast-0 should have rotated out of a capacity-4 ring")
+	}
+	v, ok := tr.Get("slow")
+	if !ok {
+		t.Fatal("keep-slowest retention lost the slow trace")
+	}
+	if v.DurationMS < 20 {
+		t.Fatalf("slow trace duration %.3fms, want ≥ 20ms", v.DurationMS)
+	}
+	var slowMarked bool
+	for _, s := range tr.List() {
+		if s.ID == "slow" && s.Slow {
+			slowMarked = true
+		}
+	}
+	if !slowMarked {
+		t.Fatal("listing must flag the kept-slowest trace")
+	}
+	// 4 recent + 1 slow.
+	if got := len(tr.List()); got != 5 {
+		t.Fatalf("retained %d traces, want 5", got)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(Options{Capacity: 4})
+	ctx, root := tr.StartTrace(context.Background(), "c", "batch")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ictx, item := Start(ctx, "item")
+			item.Annotate("index", fmt.Sprint(i))
+			_, child := Start(ictx, "model")
+			child.End()
+			item.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	v, _ := tr.Get("c")
+	if v.Spans != 1+32 {
+		t.Fatalf("spans = %d, want 33", v.Spans)
+	}
+	if len(v.Root.Children) != 16 {
+		t.Fatalf("items = %d, want 16", len(v.Root.Children))
+	}
+}
+
+func TestHTTPHandlers(t *testing.T) {
+	tr := New(Options{Capacity: 4})
+	ctx, root := tr.StartTrace(context.Background(), "req-9", "/v2/predict")
+	_, sp := Start(ctx, "prep")
+	sp.End()
+	root.End()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/traces", tr.HandleList)
+	mux.HandleFunc("GET /debug/traces/{id}", tr.HandleGet)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != 200 || !strings.Contains(body, `"req-9"`) {
+		t.Fatalf("list: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/traces/req-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readAll(t, resp)
+	if resp.StatusCode != 200 || !strings.Contains(body, `"prep"`) {
+		t.Fatalf("get: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/traces/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body = readAll(t, resp); resp.StatusCode != 404 {
+		t.Fatalf("missing trace: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	tr := New(Options{Capacity: 4})
+	ctx, root := tr.StartTrace(context.Background(), "t", "flexcl hotspot")
+	_, sp := Start(ctx, "model")
+	sp.Annotate("design", "wg=64")
+	sp.End()
+	root.End()
+	v, _ := tr.Get("t")
+	var b strings.Builder
+	v.WriteTable(&b)
+	out := b.String()
+	for _, want := range []string{"stage", "flexcl hotspot", "  model", "design=wg=64"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// SpanView is the JSON rendering of one span, with times relative to
+// the trace start so the tree reads as a timeline.
+type SpanView struct {
+	Name string `json:"name"`
+	// StartMS is the span's offset from the trace start, milliseconds.
+	StartMS float64 `json:"start_ms"`
+	// DurationMS is the span's wall time. For a span still running when
+	// the view was taken (Unfinished), it is the elapsed time so far.
+	DurationMS float64 `json:"duration_ms"`
+	// Unfinished marks spans that had not Ended when the view was
+	// rendered (e.g. a detached prep-cache fill the request stopped
+	// waiting for).
+	Unfinished bool              `json:"unfinished,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []SpanView        `json:"children,omitempty"`
+}
+
+// TraceView is the JSON rendering of one trace: the span tree plus a
+// per-stage duration rollup (same-named spans summed).
+type TraceView struct {
+	ID    string    `json:"id"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	// DurationMS is the root span's wall time.
+	DurationMS float64 `json:"duration_ms"`
+	Spans      int     `json:"spans"`
+	// StageMS sums the duration of every finished non-root span by
+	// name — the per-stage attribution a latency investigation starts
+	// from.
+	StageMS map[string]float64 `json:"stage_ms,omitempty"`
+	Root    SpanView           `json:"root"`
+}
+
+// TraceSummary is one row of the trace listing.
+type TraceSummary struct {
+	ID         string    `json:"id"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+	// Slow marks traces retained by the keep-slowest policy (they may
+	// also still be in the recent ring).
+	Slow bool `json:"slow,omitempty"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// View renders the trace as a consistent snapshot (safe while detached
+// spans are still ending).
+func (tr *Trace) View() TraceView {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	v := TraceView{
+		ID:      tr.id,
+		Name:    tr.name,
+		Start:   tr.start,
+		Spans:   tr.spans,
+		StageMS: make(map[string]float64),
+	}
+	end := tr.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	v.DurationMS = ms(end.Sub(tr.start))
+	v.Root = tr.spanViewLocked(tr.root, &v)
+	if len(v.StageMS) == 0 {
+		v.StageMS = nil
+	}
+	return v
+}
+
+func (tr *Trace) spanViewLocked(s *Span, acc *TraceView) SpanView {
+	sv := SpanView{
+		Name:    s.name,
+		StartMS: ms(s.start.Sub(tr.start)),
+		Attrs:   attrMap(s.attrs),
+	}
+	if s.end.IsZero() {
+		sv.Unfinished = true
+		sv.DurationMS = ms(time.Since(s.start))
+	} else {
+		sv.DurationMS = ms(s.end.Sub(s.start))
+		if s != tr.root {
+			acc.StageMS[s.name] += sv.DurationMS
+		}
+	}
+	for _, c := range s.children {
+		sv.Children = append(sv.Children, tr.spanViewLocked(c, acc))
+	}
+	return sv
+}
+
+func (tr *Trace) summary(slow bool) TraceSummary {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	end := tr.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return TraceSummary{
+		ID:         tr.id,
+		Name:       tr.name,
+		Start:      tr.start,
+		DurationMS: ms(end.Sub(tr.start)),
+		Spans:      tr.spans,
+		Slow:       slow,
+	}
+}
+
+// WriteTable prints the span tree as an indented per-stage breakdown —
+// the rendering behind the CLIs' -trace flag:
+//
+//	stage                             ms      %  notes
+//	flexcl /v2/predict            12.402  100.0
+//	  admission                    0.011    0.1  lane=interactive
+//	  prep                        11.822   95.3  cache=miss kernel=hotspot/hotspot
+//	    compile                    3.104   25.0
+//	    ...
+func (v *TraceView) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%-34s %10s %6s  %s\n", "stage", "ms", "%", "notes")
+	total := v.DurationMS
+	var walk func(sv SpanView, depth int)
+	walk = func(sv SpanView, depth int) {
+		name := sv.Name
+		for i := 0; i < depth; i++ {
+			name = "  " + name
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = sv.DurationMS / total * 100
+		}
+		notes := joinAttrs(sv.Attrs)
+		if sv.Unfinished {
+			if notes != "" {
+				notes += " "
+			}
+			notes += "(unfinished)"
+		}
+		fmt.Fprintf(w, "%-34s %10.3f %6.1f  %s\n", name, sv.DurationMS, pct, notes)
+		for _, c := range sv.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(v.Root, 0)
+}

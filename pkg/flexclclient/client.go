@@ -17,12 +17,15 @@ package flexclclient
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/serve/api"
@@ -86,10 +89,19 @@ type APIError struct {
 	RetryAfterSeconds int
 	// Status is the HTTP status the error arrived with.
 	Status int
+	// RequestID is the correlation id of the failed request — the
+	// server's X-Request-ID echo when present, else the id this client
+	// sent. Quote it in bug reports: the server's access log and
+	// /debug/traces/{id} are keyed by it.
+	RequestID string
 }
 
 // Error implements the error interface.
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("flexcl-serve: %s (%s, HTTP %d, request %s)",
+			e.Message, e.Code, e.Status, e.RequestID)
+	}
 	return fmt.Sprintf("flexcl-serve: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
 }
 
@@ -204,8 +216,25 @@ func (c *Client) Kernels(ctx context.Context) (*KernelList, error) {
 	return &out, nil
 }
 
-// do performs one round trip: JSON-encode body (when non-nil), send,
-// map non-2xx responses to *APIError, decode 2xx bodies into out.
+// reqSeq + reqPrefix generate per-request correlation ids: a random
+// per-process prefix plus an atomic counter, unique across concurrent
+// clients in one process and across processes.
+var (
+	reqSeq    atomic.Uint64
+	reqPrefix = func() string {
+		var b [4]byte
+		rand.Read(b[:])
+		return hex.EncodeToString(b[:])
+	}()
+)
+
+func newRequestID() string {
+	return fmt.Sprintf("cli-%s-%d", reqPrefix, reqSeq.Add(1))
+}
+
+// do performs one round trip: JSON-encode body (when non-nil), stamp an
+// X-Request-ID for server-side correlation, send, map non-2xx responses
+// to *APIError (carrying the request id), decode 2xx bodies into out.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
@@ -222,13 +251,15 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	reqID := newRequestID()
+	req.Header.Set("X-Request-ID", reqID)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("flexclclient: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return decodeError(resp)
+		return decodeError(resp, reqID)
 	}
 	if out == nil {
 		return nil
@@ -241,9 +272,14 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 
 // decodeError maps an error response to *APIError. v2 bodies carry
 // {"error": {code, message, ...}}; anything else (v1 bodies, proxies)
-// degrades to a synthesized code from the status.
-func decodeError(resp *http.Response) error {
-	ae := &APIError{Status: resp.StatusCode}
+// degrades to a synthesized code from the status. sentID is the
+// request id this client stamped, the fallback when the response
+// carries no echo (e.g. a proxy answered before the service).
+func decodeError(resp *http.Response, sentID string) error {
+	ae := &APIError{Status: resp.StatusCode, RequestID: sentID}
+	if echo := resp.Header.Get("X-Request-ID"); echo != "" {
+		ae.RequestID = echo
+	}
 	var envelope struct {
 		Error json.RawMessage `json:"error"`
 	}

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"io"
 	"log/slog"
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -140,5 +143,103 @@ func TestClientKernels(t *testing.T) {
 	}
 	if list.Count == 0 || len(list.Kernels) != list.Count {
 		t.Fatalf("bad listing: count=%d kernels=%d", list.Count, len(list.Kernels))
+	}
+}
+
+// TestClientRequestID: every client call stamps an X-Request-ID, and a
+// typed error carries the server-echoed id so users can quote it
+// against the access log and /debug/traces/{id}.
+func TestClientRequestID(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		mu.Lock()
+		if id == "" {
+			t.Error("client request missing X-Request-ID")
+		} else if seen[id] {
+			t.Errorf("request id %q reused", id)
+		}
+		seen[id] = true
+		mu.Unlock()
+		w.Header().Set("X-Request-ID", id)
+		http.Error(w, `{"error":{"code":"not_found","message":"nope"}}`, http.StatusNotFound)
+	}))
+	t.Cleanup(backend.Close)
+	c := flexclclient.New(backend.URL, backend.Client())
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		_, err := c.Job(ctx, "x")
+		var ae *flexclclient.APIError
+		if !errors.As(err, &ae) {
+			t.Fatalf("err = %v, want *APIError", err)
+		}
+		if ae.RequestID == "" || !seen[ae.RequestID] {
+			t.Errorf("APIError.RequestID = %q, not a sent id", ae.RequestID)
+		}
+		if !strings.Contains(ae.Error(), ae.RequestID) {
+			t.Errorf("Error() %q does not quote the request id", ae.Error())
+		}
+	}
+}
+
+// TestClientRequestIDFallback: when the response carries no echo (a
+// proxy answered), the error still carries the id the client sent.
+func TestClientRequestIDFallback(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "proxy error", http.StatusBadGateway)
+	}))
+	t.Cleanup(backend.Close)
+	c := flexclclient.New(backend.URL, backend.Client())
+	_, err := c.Job(context.Background(), "x")
+	var ae *flexclclient.APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if !strings.HasPrefix(ae.RequestID, "cli-") {
+		t.Errorf("RequestID = %q, want the client-sent cli-… id", ae.RequestID)
+	}
+}
+
+// TestClientEndToEndTraceFetch: the id on a successful server round
+// trip keys a retrievable trace — the correlation loop the request id
+// exists for, exercised through the real server.
+func TestClientEndToEndTraceFetch(t *testing.T) {
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	s := serve.New(serve.Config{Logger: log})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
+	c := flexclclient.New(ts.URL, ts.Client())
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := c.Predict(ctx, flexclclient.PredictRequest{
+		Kernel: flexclclient.KernelRef{ID: "hotspot/hotspot"},
+		Design: flexclclient.Design{WGSize: 64, WIPipeline: true, PE: 4, CU: 2, Mode: "pipeline"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.Tracer().List()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no trace recorded for the client predict")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	id := s.Tracer().List()[0].ID
+	if !strings.HasPrefix(id, "cli-") {
+		t.Errorf("trace id = %q, want the client-stamped cli-… id", id)
+	}
+	resp, err := http.Get(ts.URL + "/debug/traces/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/traces/%s = %d, want 200", id, resp.StatusCode)
 	}
 }

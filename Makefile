@@ -31,12 +31,14 @@ serve:
 # Short fuzzing pass over the frontend targets: the seed corpora (all
 # bundled Rodinia/PolyBench kernels plus hostile fragments) run on every
 # plain `go test`; this additionally mutates for $(FUZZTIME) per target.
+# Patterns are anchored: an unanchored -fuzz=FuzzParse matches both
+# FuzzParse and FuzzParser and `go test` refuses to fuzz at all.
 fuzz-smoke:
-	$(GO) test -run='^$$' -fuzz=FuzzLexer -fuzztime=$(FUZZTIME) ./internal/opencl/lexer
-	$(GO) test -run='^$$' -fuzz=FuzzParser -fuzztime=$(FUZZTIME) ./internal/opencl/parser
-	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/opencl/parser
-	$(GO) test -run='^$$' -fuzz=FuzzLowerBound -fuzztime=$(FUZZTIME) ./internal/dse
-	$(GO) test -run='^$$' -fuzz=FuzzAffineAnalyzer -fuzztime=$(FUZZTIME) ./internal/interp
+	$(GO) test -run='^$$' -fuzz='^FuzzLexer$$' -fuzztime=$(FUZZTIME) ./internal/opencl/lexer
+	$(GO) test -run='^$$' -fuzz='^FuzzParser$$' -fuzztime=$(FUZZTIME) ./internal/opencl/parser
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/opencl/parser
+	$(GO) test -run='^$$' -fuzz='^FuzzLowerBound$$' -fuzztime=$(FUZZTIME) ./internal/dse
+	$(GO) test -run='^$$' -fuzz='^FuzzAffineAnalyzer$$' -fuzztime=$(FUZZTIME) ./internal/interp
 
 # Serial-vs-parallel exploration wall time (see docs/MODEL.md
 # "Exploration performance").
@@ -45,10 +47,15 @@ bench-explore:
 
 # Prediction-path benchmarks: coalesced vs uncoalesced concurrent
 # predictions (compare the computes/op metric — the singleflight prep
-# cache turns 32 compile+analyze executions into 1) and the cache-hit
-# latency floor. See docs/API.md "Coalescing".
+# cache turns 32 compile+analyze executions into 1), the cache-hit
+# latency floor, and the cold-start vs warm-restart proof — the stride-6
+# corpus served twice against one artifact directory, with per-request
+# p50/p99, compute counts and the zero-recompute warm restart written to
+# BENCH_serve.json (a CI artifact). See docs/API.md "Coalescing" and
+# docs/SERVE.md "Persistent artifacts".
 bench-serve:
 	$(GO) test -run='^$$' -bench='BenchmarkPredict|BenchmarkServe' -benchtime=1x ./internal/serve
+	BENCH_SERVE_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -run='^TestWarmRestartArtifact$$' -count=1 -v ./internal/serve
 
 # Guided search vs exhaustive exploration: per-kernel evaluations, wall
 # time and speedup, written to BENCH_dse.json (a CI artifact). Uses the

@@ -25,9 +25,11 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/bench"
 	"repro/internal/check"
 	"repro/internal/device"
+	"repro/internal/dse"
 )
 
 func main() {
@@ -40,8 +42,9 @@ func main() {
 		workers   = flag.Int("workers", 0, "kernel-level worker goroutines (0 = 4)")
 		simGroups = flag.Int("sim-groups", 0, "work-groups simulated per differential point (0 = 4)")
 		band      = flag.Float64("band", 0, "differential error band in percent (0 = default)")
-		timeout   = flag.Duration("timeout", 30*time.Minute, "overall deadline")
-		verbose   = flag.Bool("v", false, "per-kernel progress on stderr")
+		timeout     = flag.Duration("timeout", 30*time.Minute, "overall deadline")
+		verbose     = flag.Bool("v", false, "per-kernel progress on stderr")
+		artifactDir = flag.String("artifact-dir", "", "persist compile+analyze results to this directory and reuse them across audits (empty = memory only)")
 	)
 	flag.Parse()
 
@@ -57,6 +60,14 @@ func main() {
 		Workers:      *workers,
 		SimMaxGroups: *simGroups,
 		ErrorBandPct: *band,
+	}
+	if *artifactDir != "" {
+		store, err := artifact.Open(*artifactDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flexcl-check: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Cache = dse.NewPrepCacheOpts(dse.PrepCacheOptions{Store: store})
 	}
 	if *families != "" {
 		for _, f := range strings.Split(*families, ",") {
@@ -83,6 +94,11 @@ func main() {
 	defer cancel()
 
 	rep, err := check.Run(ctx, opts)
+	if opts.Cache != nil {
+		// Artifact writes trail the fills; let them land so the next
+		// audit against this directory starts warm.
+		opts.Cache.Flush()
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "flexcl-check: %v\n", err)
 		os.Exit(1)

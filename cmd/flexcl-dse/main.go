@@ -12,7 +12,12 @@
 //	flexcl-dse -bench hotspot -kernel hotspot [-sim] [-top 10] [-workers N]
 //	flexcl-dse -bench hotspot -kernel hotspot -search guided
 //	flexcl-dse -bench-json BENCH_dse.json [-bench-all]
+//	flexcl-dse -artifact-dir ~/.cache/flexcl -bench hotspot -kernel hotspot
 //	flexcl-dse -list
+//
+// -artifact-dir persists compile+analyze results between runs: the
+// second invocation against the same directory skips the profiling
+// interpreter entirely (see docs/SERVE.md "Warm restarts").
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/device"
@@ -42,9 +48,10 @@ func main() {
 		top       = flag.Int("top", 10, "show the N best designs")
 		workers   = flag.Int("workers", 0, "exploration worker goroutines (0 = all cores, 1 = serial; output is identical)")
 		list      = flag.Bool("list", false, "list available kernels and exit")
-		benchJSON = flag.String("bench-json", "", "benchmark guided search vs exhaustive exploration over the corpus and write a JSON report to this file")
-		benchAll  = flag.Bool("bench-all", false, "with -bench-json: run the full 60-kernel corpus instead of the smoke subset")
-		trace     = flag.Bool("trace", false, "print a per-stage timing table of the exploration after the results")
+		benchJSON   = flag.String("bench-json", "", "benchmark guided search vs exhaustive exploration over the corpus and write a JSON report to this file")
+		benchAll    = flag.Bool("bench-all", false, "with -bench-json: run the full 60-kernel corpus instead of the smoke subset")
+		trace       = flag.Bool("trace", false, "print a per-stage timing table of the exploration after the results")
+		artifactDir = flag.String("artifact-dir", "", "persist compile+analyze results to this directory and reuse them across runs (empty = memory only)")
 	)
 	flag.Parse()
 
@@ -61,8 +68,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flexcl-dse: unknown platform %q\n", *platform)
 		os.Exit(1)
 	}
+	cache, err := prepCache(*artifactDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexcl-dse:", err)
+		os.Exit(1)
+	}
+	// Trailing artifact writes land after the results print; wait for
+	// them so the next run actually starts warm.
+	defer cache.Flush()
 	if *benchJSON != "" {
-		if err := benchSearch(*benchJSON, p, *workers, *benchAll); err != nil {
+		if err := benchSearch(*benchJSON, p, *workers, *benchAll, cache); err != nil {
 			fmt.Fprintln(os.Stderr, "flexcl-dse:", err)
 			os.Exit(1)
 		}
@@ -95,7 +110,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "flexcl-dse: -sim requires -search=exhaustive (guided search evaluates only the designs its bounds cannot prune)")
 			os.Exit(2)
 		}
-		runGuided(ctx, k, p, *search, *workers, *top)
+		runGuided(ctx, k, p, *search, *workers, *top, cache)
 		finishTrace(tr, root)
 		return
 	default:
@@ -109,6 +124,7 @@ func main() {
 		SkipActual:   !*sim,
 		SkipBaseline: true,
 		Workers:      *workers,
+		Cache:        cache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flexcl-dse:", err)
@@ -151,6 +167,19 @@ func main() {
 	finishTrace(tr, root)
 }
 
+// prepCache builds the run's shared prep cache, disk-backed when an
+// artifact directory was given.
+func prepCache(dir string) (*dse.PrepCache, error) {
+	if dir == "" {
+		return dse.NewPrepCache(), nil
+	}
+	store, err := artifact.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return dse.NewPrepCacheOpts(dse.PrepCacheOptions{Store: store}), nil
+}
+
 // finishTrace ends a -trace run's root span and prints the stage table.
 // A nil root (no -trace) is a no-op.
 func finishTrace(tr *telemetry.Tracer, root *telemetry.Span) {
@@ -166,11 +195,12 @@ func finishTrace(tr *telemetry.Tracer, root *telemetry.Span) {
 
 // runGuided runs the branch-and-bound search and prints the evaluated
 // points (and, for pareto, the frontier).
-func runGuided(ctx context.Context, k *bench.Kernel, p *core.Platform, strategy string, workers, top int) {
+func runGuided(ctx context.Context, k *bench.Kernel, p *core.Platform, strategy string, workers, top int, cache *dse.PrepCache) {
 	sr, err := core.Search(ctx, k, core.SearchOptions{
 		Platform: p,
 		Workers:  workers,
 		Pareto:   strategy == dse.StrategyPareto,
+		Cache:    cache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flexcl-dse:", err)
@@ -232,7 +262,7 @@ type benchReport struct {
 // corpus kernel, so CI artifacts and audit findings cover the same slice.
 const benchSmokeStride = 6
 
-func benchSearch(path string, p *core.Platform, workers int, all bool) error {
+func benchSearch(path string, p *core.Platform, workers int, all bool, cache *dse.PrepCache) error {
 	ks := bench.All()
 	if !all {
 		var sub []*bench.Kernel
@@ -244,7 +274,6 @@ func benchSearch(path string, p *core.Platform, workers int, all bool) error {
 		ks = sub
 	}
 	ctx := context.Background()
-	cache := dse.NewPrepCache()
 	rep := benchReport{Platform: p.Name, Kernels: len(ks)}
 	for _, k := range ks {
 		// Warm the prep cache first so both arms measure evaluation

@@ -8,7 +8,9 @@
 //	flexcl-serve [-addr :8080] [-workers 2] [-dse-workers 0]
 //	             [-max-predicts 0] [-predict-queue 128] [-retry-after 1s]
 //	             [-max-batch 256] [-batch-timeout 2m]
-//	             [-pred-cache 4096] [-timeout 10s] [-explore-timeout 5m]
+//	             [-pred-cache 4096] [-prep-cache 4096]
+//	             [-artifact-dir /var/lib/flexcl/artifacts]
+//	             [-timeout 10s] [-explore-timeout 5m]
 //	             [-drain 30s] [-log text|json]
 //	             [-trace-capacity 256] [-trace-keep-slowest 32]
 //	             [-debug-addr localhost:6060]
@@ -54,6 +56,8 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 256, "max items per /v2/predict:batch request")
 		batchTO     = flag.Duration("batch-timeout", 2*time.Minute, "batch request deadline")
 		predCache   = flag.Int("pred-cache", 4096, "LRU prediction cache entries (negative disables)")
+		prepCache   = flag.Int("prep-cache", 0, "completed compile+analyze cache entries (0 = 4096, negative unbounded)")
+		artifactDir = flag.String("artifact-dir", "", "persist compile+analyze results to this directory and answer misses from it (warm restarts; empty = memory only)")
 		timeout     = flag.Duration("timeout", 10*time.Second, "synchronous request deadline")
 		exploreTO   = flag.Duration("explore-timeout", 5*time.Minute, "per-job exploration deadline")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
@@ -94,6 +98,8 @@ func main() {
 		MaxBatchItems:         *maxBatch,
 		BatchTimeout:          *batchTO,
 		PredCacheSize:         *predCache,
+		PrepCacheSize:         *prepCache,
+		ArtifactDir:           *artifactDir,
 		RequestTimeout:        *timeout,
 		ExploreTimeout:        *exploreTO,
 		DrainTimeout:          *drain,

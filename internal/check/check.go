@@ -110,6 +110,11 @@ type Options struct {
 	Allowlist []Allow
 	// Logf receives progress lines (nil = silent).
 	Logf func(format string, args ...any)
+	// Cache, when non-nil, is the prep cache the model-driven families
+	// share — pass a disk-backed one (dse.NewPrepCacheOpts with an
+	// artifact store) so repeated audits skip the profiling cost.
+	// nil uses a private in-memory cache.
+	Cache *dse.PrepCache
 }
 
 func (o Options) platform() *device.Platform {
@@ -269,7 +274,10 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 
 	// The model-driven families share one prep cache, so each
 	// (kernel, WG) is compiled and analyzed exactly once per run.
-	cache := dse.NewPrepCache()
+	cache := opts.Cache
+	if cache == nil {
+		cache = dse.NewPrepCache()
+	}
 
 	// Invariant + differential families shard per kernel.
 	if families[FamilyInvariant] || families[FamilyDifferential] {

@@ -1,11 +1,13 @@
 package dse
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/bench"
 	"repro/internal/device"
 	"repro/internal/ir"
@@ -27,19 +29,69 @@ import (
 // same source and launch — e.g. inline kernels submitted by separate
 // API requests — coalesce onto one entry.
 //
+// Lookups are tiered: memory (singleflight) → artifact store (when the
+// cache was built with one) → compute. A disk hit recompiles the
+// kernel (cheap, deterministic) and re-attaches the stored profile
+// instead of re-running the interpreter; a fresh compute is persisted
+// back to the store after the waiters are released, so restarts and
+// sibling replicas sharing the directory start warm.
+//
+// Completed entries are bounded: beyond Capacity the least recently
+// used completed entry is evicted (in-flight fills never are — that
+// would break singleflight), so a long-running server fed distinct
+// inline kernels cannot grow without bound. Failed fills are evicted as
+// soon as their waiters are released: an error is returned to everyone
+// who coalesced onto the fill, never cached against the key, so a
+// transient failure does not poison later requests.
+//
 // A cache may be shared across Explore calls (e.g. a suite sweep on one
 // platform, or an exploration followed by a heuristic search) to reuse
 // the preparation work; the zero Options use a private per-call cache.
 type PrepCache struct {
 	mu    sync.Mutex
 	m     map[prepKey]*prepEntry
+	ll    *list.List                 // completed entries, front = most recently used
+	idx   map[prepKey]*list.Element  // key → LRU element (completed entries only)
+	cap   int                        // max completed entries; < 0 = unbounded
+	store *artifact.Store            // nil = memory only
 	stats CacheStats
+
+	// persist tracks artifact writes still in flight on fill
+	// goroutines; Flush waits for them.
+	persist sync.WaitGroup
+
+	// testFillHook, when non-nil, runs at the start of every computed
+	// fill (after the disk tier). Tests use it to inject transient
+	// failures and to block fills; a non-nil return aborts the fill
+	// with that error.
+	testFillHook func(k *bench.Kernel, wg int64) error
+}
+
+// DefaultPrepCapacity bounds completed entries when PrepCacheOptions
+// leaves Capacity zero. It is sized an order of magnitude above the
+// bundled corpus × its WG sweeps (~300 entries), so corpus explorations
+// and the golden tests never see an eviction; the bound exists for
+// servers fed unbounded distinct inline kernels.
+const DefaultPrepCapacity = 4096
+
+// PrepCacheOptions configures NewPrepCacheOpts.
+type PrepCacheOptions struct {
+	// Capacity bounds completed entries (0 = DefaultPrepCapacity,
+	// negative = unbounded). In-flight fills are never evicted.
+	Capacity int
+	// Store, when non-nil, persists completed fills and answers misses
+	// from disk (see internal/artifact).
+	Store *artifact.Store
 }
 
 type prepKey struct {
 	kernel   string // bench.Kernel.CacheKey()
 	wg       int64
 	platform string
+}
+
+func (k prepKey) artifactKey() artifact.Key {
+	return artifact.Key{Kernel: k.kernel, Platform: k.platform, WG: k.wg}
 }
 
 type prepEntry struct {
@@ -49,9 +101,10 @@ type prepEntry struct {
 	f    *ir.Func
 	an   *model.Analysis
 	err  error
-	// dur is the wall time the computing goroutine spent on compile +
-	// analyze; Explore charges it to ModelTime only when this call did
-	// the work (cache hits are free).
+	// dur is the wall time the computing goroutine spent filling this
+	// entry (compile + analyze, or a disk restore); Explore charges it
+	// to ModelTime only when this call did the work (cache hits are
+	// free).
 	dur time.Duration
 }
 
@@ -60,8 +113,8 @@ type PrepOutcome int
 
 // Lookup outcomes, in increasing order of luck.
 const (
-	// PrepComputed: this call created the entry and did the
-	// compile+analyze work.
+	// PrepComputed: this call created the entry and did the fill work
+	// (a full compile+analyze, or a restore from the artifact store).
 	PrepComputed PrepOutcome = iota
 	// PrepCoalesced: the entry's fill was in flight; this call joined it
 	// and waited instead of duplicating the work.
@@ -81,16 +134,36 @@ func (o PrepOutcome) String() string {
 	}
 }
 
-// NewPrepCache returns an empty cache.
+// NewPrepCache returns an empty cache with the default capacity and no
+// artifact store.
 func NewPrepCache() *PrepCache {
-	return &PrepCache{m: make(map[prepKey]*prepEntry)}
+	return NewPrepCacheOpts(PrepCacheOptions{})
 }
 
+// NewPrepCacheOpts returns an empty cache with explicit bounds and an
+// optional persistent artifact store.
+func NewPrepCacheOpts(opts PrepCacheOptions) *PrepCache {
+	capacity := opts.Capacity
+	if capacity == 0 {
+		capacity = DefaultPrepCapacity
+	}
+	return &PrepCache{
+		m:     make(map[prepKey]*prepEntry),
+		ll:    list.New(),
+		idx:   make(map[prepKey]*list.Element),
+		cap:   capacity,
+		store: opts.Store,
+	}
+}
+
+// Store returns the artifact store backing this cache, or nil.
+func (c *PrepCache) Store() *artifact.Store { return c.store }
+
 // entry returns the cache slot for one WG size, creating it if absent.
-// created reports whether this caller must run compute; coalesced
+// created reports whether this caller must run the fill; coalesced
 // reports that the entry existed but its fill was still in flight.
-func (c *PrepCache) entry(k *bench.Kernel, p *device.Platform, wg int64) (e *prepEntry, created, coalesced bool) {
-	key := prepKey{kernel: k.CacheKey(), wg: wg, platform: p.Name}
+func (c *PrepCache) entry(k *bench.Kernel, p *device.Platform, wg int64) (key prepKey, e *prepEntry, created, coalesced bool) {
+	key = prepKey{kernel: k.CacheKey(), wg: wg, platform: p.Name}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.m[key]
@@ -98,28 +171,37 @@ func (c *PrepCache) entry(k *bench.Kernel, p *device.Platform, wg int64) (e *pre
 		e = &prepEntry{done: make(chan struct{})}
 		c.m[key] = e
 		c.stats.Misses++
-		c.stats.Computes++
-		return e, true, false
+		return key, e, true, false
 	}
 	c.stats.Hits++
 	select {
 	case <-e.done:
+		if el, ok := c.idx[key]; ok {
+			c.ll.MoveToFront(el)
+		}
 	default:
 		coalesced = true
 		c.stats.Coalesced++
 	}
-	return e, false, coalesced
+	return key, e, false, coalesced
 }
 
-// compute fills the entry and closes done. Callers must pass a context
-// that cannot be cancelled (context.WithoutCancel of the request, or
-// context.Background()): the entry is shared, so one impatient request
-// must not poison the fill every coalesced waiter (and the retry after
-// a 504) depends on. The context still carries the creating request's
-// trace, so the compile and model-analysis spans attach to it.
-func (e *prepEntry) compute(ctx context.Context, k *bench.Kernel, p *device.Platform, wg int64) {
-	defer close(e.done)
+// run fills the entry with a full compile+analyze. It does not close
+// done — fill publishes the entry's fate first, then releases waiters.
+// Callers must pass a context that cannot be cancelled
+// (context.WithoutCancel of the request, or context.Background()): the
+// entry is shared, so one impatient request must not poison the fill
+// every coalesced waiter (and the retry after a 504) depends on. The
+// context still carries the creating request's trace, so the compile
+// and model-analysis spans attach to it.
+func (e *prepEntry) run(ctx context.Context, k *bench.Kernel, p *device.Platform, wg int64, hook func(*bench.Kernel, int64) error) {
 	t0 := time.Now()
+	if hook != nil {
+		if err := hook(k, wg); err != nil {
+			e.err = err
+			return
+		}
+	}
 	_, csp := telemetry.Start(ctx, "compile")
 	csp.Annotate("kernel", k.ID())
 	csp.Annotate("wg", fmt.Sprint(wg))
@@ -144,17 +226,125 @@ func (e *prepEntry) compute(ctx context.Context, k *bench.Kernel, p *device.Plat
 	e.dur = time.Since(t0)
 }
 
+// restore attempts the disk tier: load the record, recompile the
+// kernel (cheap and deterministic — no interpreter run) and re-attach
+// the stored profile. A record whose structural fingerprint no longer
+// matches the compiled function is invalidated and reported as a miss.
+func (c *PrepCache) restore(ctx context.Context, key prepKey, e *prepEntry, k *bench.Kernel, wg int64, p *device.Platform) bool {
+	if c.store == nil {
+		return false
+	}
+	rec, ok := c.store.Load(key.artifactKey())
+	if !ok {
+		return false
+	}
+	t0 := time.Now()
+	_, sp := telemetry.Start(ctx, "artifact")
+	sp.Annotate("kernel", k.ID())
+	sp.Annotate("wg", fmt.Sprint(wg))
+	defer sp.End()
+	f, err := k.Compile(wg)
+	if err != nil {
+		sp.Annotate("error", err.Error())
+		return false
+	}
+	f.EnsureLoops()
+	an, err := rec.Analysis(f, p)
+	if err != nil {
+		sp.Annotate("error", err.Error())
+		c.store.Invalidate(key.artifactKey())
+		return false
+	}
+	e.f, e.an = f, an
+	e.dur = time.Since(t0)
+	return true
+}
+
+// fill completes a freshly created entry: artifact store first, full
+// compute otherwise. The entry's fate is published under the lock
+// before done is closed — error entries leave the map immediately, so
+// the error reaches exactly the requests that coalesced onto this fill
+// and the next request for the key recomputes; successful entries join
+// the completed-LRU (evicting over capacity). Fresh computes are
+// persisted after the waiters are released, so coalesced requests
+// never wait on disk I/O.
+func (c *PrepCache) fill(ctx context.Context, key prepKey, e *prepEntry, k *bench.Kernel, p *device.Platform, wg int64) {
+	fromDisk := c.restore(ctx, key, e, k, wg, p)
+	if !fromDisk {
+		c.mu.Lock()
+		c.stats.Computes++
+		hook := c.testFillHook
+		c.mu.Unlock()
+		e.run(ctx, k, p, wg, hook)
+	}
+	save := e.err == nil && !fromDisk && c.store != nil
+	c.mu.Lock()
+	if e.err != nil {
+		// Never negative-cache: drop the entry (if it is still ours)
+		// so the next request for this key starts a fresh fill.
+		if cur, ok := c.m[key]; ok && cur == e {
+			delete(c.m, key)
+		}
+	} else {
+		if fromDisk {
+			c.stats.DiskHits++
+		}
+		c.linkCompleted(key)
+	}
+	if save {
+		// Register the pending write before releasing waiters so a
+		// Flush racing the fill cannot miss it.
+		c.persist.Add(1)
+	}
+	c.mu.Unlock()
+	close(e.done)
+	if save {
+		defer c.persist.Done()
+		c.store.Save(artifact.New(key.artifactKey(), e.an, e.dur))
+	}
+}
+
+// linkCompleted (mu held) inserts a completed entry into the LRU and
+// evicts least-recently-used completed entries beyond capacity.
+// In-flight entries are not in the LRU and therefore never evicted —
+// evicting one would detach its waiters from the singleflight.
+func (c *PrepCache) linkCompleted(key prepKey) {
+	if el, ok := c.idx[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.idx[key] = c.ll.PushFront(key)
+	if c.cap < 0 {
+		return
+	}
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		old := oldest.Value.(prepKey)
+		c.ll.Remove(oldest)
+		delete(c.idx, old)
+		delete(c.m, old)
+		c.stats.Evictions++
+	}
+}
+
+// Flush blocks until every artifact write started by a completed fill
+// has finished. Call it before handing the artifact directory to
+// another process (tests, restarts) — fills persist after releasing
+// their waiters, so a caller can observe its result before the record
+// is on disk.
+func (c *PrepCache) Flush() { c.persist.Wait() }
+
 // get returns the prepared entry for one WG size, computing it if this
 // is the first request and blocking (without a deadline) while another
 // goroutine computes it. computed reports whether this call did the
 // work. It is the synchronous path Explore uses; services with request
 // deadlines use AnalysisContext.
 func (c *PrepCache) get(ctx context.Context, k *bench.Kernel, p *device.Platform, wg int64) (e *prepEntry, computed bool) {
-	e, created, _ := c.entry(k, p, wg)
+	key, e, created, _ := c.entry(k, p, wg)
 	if created {
 		// WithoutCancel: keep the caller's trace attached to the fill's
 		// spans but never let its cancellation poison the shared entry.
-		e.compute(context.WithoutCancel(ctx), k, p, wg)
+		c.fill(context.WithoutCancel(ctx), key, e, k, p, wg)
 		return e, true
 	}
 	<-e.done
@@ -163,17 +353,17 @@ func (c *PrepCache) get(ctx context.Context, k *bench.Kernel, p *device.Platform
 
 // AnalysisContext returns the prepared analysis for one WG size,
 // respecting ctx while waiting. The first caller for a key starts the
-// compile+analyze fill on its own goroutine; concurrent callers for the
-// same key coalesce onto that fill instead of duplicating it. When ctx
-// expires first the caller gets ctx's error immediately while the fill
-// keeps running in the background and lands in the cache for the retry.
+// fill on its own goroutine; concurrent callers for the same key
+// coalesce onto that fill instead of duplicating it. When ctx expires
+// first the caller gets ctx's error immediately while the fill keeps
+// running in the background and lands in the cache for the retry.
 func (c *PrepCache) AnalysisContext(ctx context.Context, k *bench.Kernel, p *device.Platform, wg int64) (*model.Analysis, PrepOutcome, error) {
-	e, created, coalesced := c.entry(k, p, wg)
+	key, e, created, coalesced := c.entry(k, p, wg)
 	outcome := PrepCached
 	switch {
 	case created:
 		outcome = PrepComputed
-		go e.compute(context.WithoutCancel(ctx), k, p, wg)
+		go c.fill(context.WithoutCancel(ctx), key, e, k, p, wg)
 	case coalesced:
 		outcome = PrepCoalesced
 	}
@@ -213,20 +403,24 @@ func (c *PrepCache) Analysis(k *bench.Kernel, p *device.Platform, wg int64) (*mo
 	return e.an, nil
 }
 
-// Len returns the number of prepared entries (including failed ones).
+// Len returns the number of resident entries (completed + in flight).
 func (c *PrepCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
 }
 
+// Cap returns the completed-entry capacity (negative = unbounded).
+func (c *PrepCache) Cap() int { return c.cap }
+
 // Stats returns a snapshot of the cache's hit/miss counters. A lookup
 // counts as a miss when it created the entry and a hit when the entry
 // already existed — so an Explore of d design points over w WG sizes
 // records w misses and d+w-ish hits, the reuse the cache exists to
-// provide. Computes counts actual compile+analyze executions (== Misses
-// for this cache, every created entry is computed exactly once) and
-// Coalesced counts lookups that joined a fill still in flight.
+// provide. Computes counts actual compile+analyze executions (misses
+// answered by the artifact store instead appear in DiskHits),
+// Coalesced counts lookups that joined a fill still in flight, and
+// Evictions counts completed entries dropped by the capacity bound.
 func (c *PrepCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -18,6 +18,10 @@ type CacheStats struct {
 	// Coalesced counts lookups that joined an in-flight fill instead of
 	// starting their own; zero for plain LRU caches.
 	Coalesced uint64
+	// DiskHits counts fills answered by the persistent artifact store
+	// instead of a full compile+analyze; zero for plain LRU caches and
+	// for caches without a store.
+	DiskHits uint64
 }
 
 // HitRatio returns hits/(hits+misses), or 0 before any lookup.

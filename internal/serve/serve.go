@@ -48,6 +48,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/bench"
 	"repro/internal/device"
 	"repro/internal/dse"
@@ -82,6 +83,15 @@ type Config struct {
 	// PredCacheSize bounds the LRU prediction cache (0 = 4096 entries;
 	// negative disables caching).
 	PredCacheSize int
+	// PrepCacheSize bounds completed compile+analyze entries in the
+	// singleflight prep cache (0 = dse.DefaultPrepCapacity; negative =
+	// unbounded). In-flight fills are never evicted.
+	PrepCacheSize int
+	// ArtifactDir, when non-empty, persists compile+analyze results to
+	// this directory and answers prep-cache misses from it, so restarts
+	// (and other replicas sharing the directory) start warm. Corrupt or
+	// stale files degrade to recompute, never errors.
+	ArtifactDir string
 	// RequestTimeout is the synchronous-endpoint deadline
 	// (0 = 10 s); expired requests answer 504.
 	RequestTimeout time.Duration
@@ -167,14 +177,15 @@ func (c Config) withDefaults() Config {
 
 // Server is the flexcl prediction/DSE service.
 type Server struct {
-	cfg    Config
-	log    *slog.Logger
-	reg    *obs.Registry
-	prep   *dse.PrepCache
-	pred   *dse.PredCache
-	pool   *jobPool
-	admit  *admitter
-	tracer *telemetry.Tracer
+	cfg       Config
+	log       *slog.Logger
+	reg       *obs.Registry
+	prep      *dse.PrepCache
+	pred      *dse.PredCache
+	artifacts *artifact.Store
+	pool      *jobPool
+	admit     *admitter
+	tracer    *telemetry.Tracer
 
 	mu sync.Mutex
 	ln net.Listener
@@ -184,13 +195,25 @@ type Server struct {
 // to run it, or Handler to mount it in a test server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	var store *artifact.Store
+	if cfg.ArtifactDir != "" {
+		var err error
+		store, err = artifact.Open(cfg.ArtifactDir)
+		if err != nil {
+			// A broken artifact directory must not keep the service
+			// down — it only loses the warm start.
+			cfg.Logger.Warn("artifact store disabled", "dir", cfg.ArtifactDir, "err", err)
+			store = nil
+		}
+	}
 	s := &Server{
-		cfg:   cfg,
-		log:   cfg.Logger,
-		reg:   obs.NewRegistry(cfg.Namespace),
-		prep:  dse.NewPrepCache(),
-		pred:  dse.NewPredCache(cfg.PredCacheSize),
-		admit: newAdmitter(cfg.MaxConcurrentPredicts, cfg.PredictQueueDepth),
+		cfg:       cfg,
+		log:       cfg.Logger,
+		reg:       obs.NewRegistry(cfg.Namespace),
+		prep:      dse.NewPrepCacheOpts(dse.PrepCacheOptions{Capacity: cfg.PrepCacheSize, Store: store}),
+		pred:      dse.NewPredCache(cfg.PredCacheSize),
+		artifacts: store,
+		admit:     newAdmitter(cfg.MaxConcurrentPredicts, cfg.PredictQueueDepth),
 	}
 	s.tracer = telemetry.New(telemetry.Options{
 		Capacity:    cfg.TraceCapacity,
@@ -211,6 +234,13 @@ func New(cfg Config) *Server {
 	s.reg.Help("predict_source_total", "Predictions by answer source (pred/prep/coalesced/miss).")
 	s.reg.Help("prep_cache_computes", "Actual compile+analyze executions performed by the prep cache.")
 	s.reg.Help("prep_cache_coalesced", "Lookups that joined an in-flight compile+analyze instead of duplicating it.")
+	s.reg.Help("prep_cache_evictions", "Completed prep-cache entries dropped by the capacity bound.")
+	s.reg.Help("prep_cache_disk_hits", "Prep-cache fills answered by the artifact store instead of a compile+analyze.")
+	s.reg.Help("artifact_hits", "Artifact-store loads that returned a valid record.")
+	s.reg.Help("artifact_misses", "Artifact-store loads that fell through to recompute (absent or invalid file).")
+	s.reg.Help("artifact_writes", "Analysis records persisted to the artifact store.")
+	s.reg.Help("artifact_write_errors", "Failed artifact-store writes (e.g. read-only directory); the computed result is kept.")
+	s.reg.Help("artifact_corrupt", "Corrupt, truncated or version-mismatched artifact files deleted on load.")
 	s.reg.Help("batch_items_total", "Batch prediction items by outcome.")
 	s.reg.Help("stage_seconds", "Per-pipeline-stage latency, fed from finished request traces.")
 	s.reg.PublishExpvar(cfg.Namespace)
@@ -346,6 +376,9 @@ func (s *Server) Serve(ctx context.Context) error {
 	if derr := s.pool.stop(dctx); derr != nil && err == nil {
 		err = derr
 	}
+	// Artifact writes trail their fills (waiters are released first);
+	// let them land so the next start is as warm as this run got.
+	s.prep.Flush()
 	s.log.Info("drained")
 	return err
 }
@@ -356,7 +389,9 @@ func (s *Server) Serve(ctx context.Context) error {
 // their own server (httptest fixtures, flexcl-check) instead of
 // calling Serve.
 func (s *Server) Close(ctx context.Context) error {
-	return s.pool.stop(ctx)
+	err := s.pool.stop(ctx)
+	s.prep.Flush()
+	return err
 }
 
 // ListenAndServe is Listen followed by Serve.
@@ -604,6 +639,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge("prep_cache_entries", "").Set(float64(s.prep.Len()))
 	s.reg.Gauge("prep_cache_computes", "").Set(float64(qs.Computes))
 	s.reg.Gauge("prep_cache_coalesced", "").Set(float64(qs.Coalesced))
+	s.reg.Gauge("prep_cache_evictions", "").Set(float64(qs.Evictions))
+	s.reg.Gauge("prep_cache_disk_hits", "").Set(float64(qs.DiskHits))
+	if s.artifacts != nil {
+		as := s.artifacts.Stats()
+		s.reg.Gauge("artifact_hits", "").Set(float64(as.Hits))
+		s.reg.Gauge("artifact_misses", "").Set(float64(as.Misses))
+		s.reg.Gauge("artifact_writes", "").Set(float64(as.Writes))
+		s.reg.Gauge("artifact_write_errors", "").Set(float64(as.WriteErrors))
+		s.reg.Gauge("artifact_corrupt", "").Set(float64(as.Corrupt))
+	}
 	s.admit.exportMetrics(s.reg)
 	s.pool.exportMetrics(s.reg)
 

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// warmCorpus is the deterministic stride-6 kernel subset (10 of the 60
+// bundled kernels, spanning Rodinia and PolyBench) that flexcl-check
+// -smoke and the DSE benchmarks also use.
+func warmCorpus() []*bench.Kernel {
+	var out []*bench.Kernel
+	for i, k := range bench.All() {
+		if i%6 == 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// predictCorpus runs one /v2/predict per corpus kernel (first WG size
+// each) and returns the raw response bodies keyed by kernel id plus the
+// per-request wall times.
+func predictCorpus(t *testing.T, baseURL string, ks []*bench.Kernel) (map[string][]byte, []time.Duration) {
+	t.Helper()
+	bodies := make(map[string][]byte, len(ks))
+	times := make([]time.Duration, 0, len(ks))
+	for _, k := range ks {
+		req := map[string]any{
+			"kernel": map[string]any{"id": k.ID()},
+			"design": map[string]any{"wg_size": k.WGSizes()[0]},
+		}
+		t0 := time.Now()
+		resp, body := postJSON(t, baseURL+"/v2/predict", req)
+		times = append(times, time.Since(t0))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: predict status %d: %s", k.ID(), resp.StatusCode, body)
+		}
+		bodies[k.ID()] = body
+	}
+	return bodies, times
+}
+
+func quantile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// TestWarmRestartArtifact is the tentpole's acceptance proof: a server
+// started against an artifact directory populated by a previous
+// instance serves the corpus with ZERO compile+analyze computes — every
+// prep fill restored from disk — and returns byte-identical prediction
+// bodies. With BENCH_SERVE_JSON set it also writes the cold-vs-warm
+// comparison as the `make bench-serve` CI artifact.
+func TestWarmRestartArtifact(t *testing.T) {
+	dir := t.TempDir()
+	ks := warmCorpus()
+	if len(ks) == 0 {
+		t.Fatal("empty corpus")
+	}
+
+	// Cold start: empty directory, every prediction pays the full
+	// compile+analyze.
+	cold, coldTS := newTestServer(t, Config{ArtifactDir: dir})
+	coldBodies, coldTimes := predictCorpus(t, coldTS.URL, ks)
+	coldStats := cold.prep.Stats()
+	if coldStats.Computes != uint64(len(ks)) {
+		t.Fatalf("cold computes = %d, want %d (one per kernel)", coldStats.Computes, len(ks))
+	}
+	if coldStats.DiskHits != 0 {
+		t.Fatalf("cold disk hits = %d, want 0", coldStats.DiskHits)
+	}
+	// Let the trailing artifact writes land before the "restart".
+	cold.prep.Flush()
+	if cold.artifacts == nil {
+		t.Fatal("server opened no artifact store despite ArtifactDir")
+	}
+	if got := cold.artifacts.Len(); got != len(ks) {
+		t.Fatalf("store holds %d records after the cold run, want %d", got, len(ks))
+	}
+
+	// Warm restart: a fresh process (new Server, new caches) on the
+	// populated directory.
+	warm, warmTS := newTestServer(t, Config{ArtifactDir: dir})
+	warmBodies, warmTimes := predictCorpus(t, warmTS.URL, ks)
+	warmStats := warm.prep.Stats()
+	if warmStats.Computes != 0 {
+		t.Errorf("warm restart ran %d compile+analyze computes, want 0", warmStats.Computes)
+	}
+	if warmStats.DiskHits != uint64(len(ks)) {
+		t.Errorf("warm disk hits = %d, want %d", warmStats.DiskHits, len(ks))
+	}
+	for _, k := range ks {
+		if !bytes.Equal(coldBodies[k.ID()], warmBodies[k.ID()]) {
+			t.Errorf("%s: warm body differs from cold\ncold: %s\nwarm: %s",
+				k.ID(), coldBodies[k.ID()], warmBodies[k.ID()])
+		}
+	}
+
+	// The artifact counters surface on /metrics for fleet dashboards.
+	resp, err := http.Get(warmTS.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb bytes.Buffer
+	if _, err := sb.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{
+		"flexcl_artifact_hits", "flexcl_artifact_misses",
+		"flexcl_prep_cache_disk_hits", "flexcl_prep_cache_evictions",
+	} {
+		if !bytes.Contains(sb.Bytes(), []byte(metric)) {
+			t.Errorf("/metrics missing %s", metric)
+		}
+	}
+
+	if out := os.Getenv("BENCH_SERVE_JSON"); out != "" {
+		writeBenchServeArtifact(t, out, len(ks), coldStats.Computes, warmStats.DiskHits, coldTimes, warmTimes)
+	}
+}
+
+// writeBenchServeArtifact records the cold-start vs warm-restart
+// comparison as the `make bench-serve` CI artifact (BENCH_serve.json).
+func writeBenchServeArtifact(t *testing.T, path string, kernels int, coldComputes, warmDiskHits uint64, coldTimes, warmTimes []time.Duration) {
+	t.Helper()
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	var coldSum, warmSum time.Duration
+	for _, d := range coldTimes {
+		coldSum += d
+	}
+	for _, d := range warmTimes {
+		warmSum += d
+	}
+	speedup := 0.0
+	if warmSum > 0 {
+		speedup = float64(coldSum) / float64(warmSum)
+	}
+	art := map[string]any{
+		"benchmark":          "ServeColdVsWarmRestart",
+		"kernels":            kernels,
+		"cold_computes":      coldComputes,
+		"warm_computes":      0,
+		"warm_disk_hits":     warmDiskHits,
+		"cold_p50_ms":        ms(quantile(coldTimes, 0.50)),
+		"cold_p99_ms":        ms(quantile(coldTimes, 0.99)),
+		"cold_total_ms":      ms(coldSum),
+		"warm_p50_ms":        ms(quantile(warmTimes, 0.50)),
+		"warm_p99_ms":        ms(quantile(warmTimes, 0.99)),
+		"warm_total_ms":      ms(warmSum),
+		"cold_over_warm":     speedup,
+		"predictions_match":  true,
+		"zero_warm_computes": true,
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cold p99 %.1fms, warm p99 %.1fms, cold/warm %.1fx over %d kernels",
+		ms(quantile(coldTimes, 0.99)), ms(quantile(warmTimes, 0.99)), speedup, kernels)
+}

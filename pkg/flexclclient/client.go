@@ -23,7 +23,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -127,11 +129,65 @@ func RetryAfter(err error) time.Duration {
 	return time.Second
 }
 
+// RetryPolicy makes a client retry shed requests (ErrShed, HTTP 429)
+// with bounded exponential backoff. A shed response is the one failure
+// the server guarantees performed no work — the admission gate refused
+// the request before queueing it — so every endpoint is safe to retry.
+// Other failures (bad request, not found, deadline, transport errors)
+// are never retried.
+//
+// The delay before attempt n is BaseDelay·2ⁿ, raised to the server's
+// Retry-After hint when that is larger, and capped at MaxDelay; the
+// request context bounds the whole exchange, retries included.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, first included
+	// (≤ 1 = no retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (0 = 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps each delay, including server Retry-After hints
+	// (0 = 5s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	return p
+}
+
+// delay returns the backoff before retry attempt (0-based: the delay
+// after the attempt'th failure), honoring the shed response's
+// Retry-After hint when it asks for more.
+func (p RetryPolicy) delay(attempt int, err error) time.Duration {
+	d := p.BaseDelay << uint(attempt)
+	if d <= 0 || d > p.MaxDelay { // overflow or past the cap
+		d = p.MaxDelay
+	}
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfterSeconds > 0 {
+		if hint := time.Duration(ae.RetryAfterSeconds) * time.Second; hint > d {
+			d = hint
+		}
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
 // Client talks to one flexcl-serve instance. The zero value is not
 // usable; construct with New.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
+	// sleep is swapped out by tests; nil means a real timer wait.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // New returns a client for the service at baseURL (e.g.
@@ -141,6 +197,17 @@ func New(baseURL string, httpClient *http.Client) *Client {
 		httpClient = http.DefaultClient
 	}
 	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// WithRetry returns a copy of the client that retries shed requests
+// under the given policy. The receiver is unchanged, so existing
+// callers keep the historical fail-fast behaviour unless they opt in:
+//
+//	c := flexclclient.New(url, nil).WithRetry(flexclclient.RetryPolicy{MaxAttempts: 4})
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	cp := *c
+	cp.retry = p
+	return &cp
 }
 
 // Predict runs one synchronous prediction.
@@ -232,10 +299,47 @@ func newRequestID() string {
 	return fmt.Sprintf("cli-%s-%d", reqPrefix, reqSeq.Add(1))
 }
 
-// do performs one round trip: JSON-encode body (when non-nil), stamp an
+// do performs the exchange, retrying shed responses when the client
+// carries a RetryPolicy (see WithRetry). Each attempt is a fresh
+// request with its own X-Request-ID.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	policy := c.retry.withDefaults()
+	for attempt := 0; ; attempt++ {
+		err := c.do1(ctx, method, path, body, out)
+		if err == nil || !errors.Is(err, ErrShed) || attempt+1 >= attempts {
+			return err
+		}
+		if serr := c.wait(ctx, policy.delay(attempt, err)); serr != nil {
+			// Context expired mid-backoff: surface the shed error (it
+			// names the request id) wrapped with the context cause.
+			return fmt.Errorf("flexclclient: giving up during retry backoff: %w (last error: %v)", serr, err)
+		}
+	}
+}
+
+// wait sleeps for d or until ctx is done.
+func (c *Client) wait(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// do1 performs one round trip: JSON-encode body (when non-nil), stamp an
 // X-Request-ID for server-side correlation, send, map non-2xx responses
 // to *APIError (carrying the request id), decode 2xx bodies into out.
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+func (c *Client) do1(ctx context.Context, method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		buf, err := json.Marshal(body)
@@ -319,9 +423,36 @@ func decodeError(resp *http.Response, sentID string) error {
 		ae.Message = http.StatusText(resp.StatusCode)
 	}
 	if ae.RetryAfterSeconds == 0 {
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			fmt.Sscanf(ra, "%d", &ae.RetryAfterSeconds)
+		if secs, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+			ae.RetryAfterSeconds = secs
 		}
 	}
 	return ae
+}
+
+// parseRetryAfter reads a Retry-After header value in either RFC 9110
+// form: delay-seconds ("120") or an HTTP-date ("Fri, 07 Aug 2026
+// 15:04:05 GMT", interpreted relative to now and rounded up to whole
+// seconds). Negative delays — a malformed header or a date already in
+// the past — clamp to zero: "retry immediately", never a negative
+// backoff. ok is false when the value parses as neither form.
+func parseRetryAfter(v string, now time.Time) (seconds int, ok bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			secs = 0
+		}
+		return secs, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now)
+		if d <= 0 {
+			return 0, true
+		}
+		return int(math.Ceil(d.Seconds())), true
+	}
+	return 0, false
 }

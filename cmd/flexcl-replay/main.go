@@ -1,0 +1,268 @@
+// Command flexcl-replay measures a clustered flexcl-serve fleet under
+// a synthetic randomized replay: it boots N in-process replicas
+// (httptest listeners over real serve.Server instances, empty caches),
+// joins them into a consistent-hash fleet, replays a randomized
+// request stream over a corpus sample through the replica-aware
+// client, and reports fleet-wide compile counts and request latency.
+//
+// The number that matters is computes vs distinct keys: a fleet that
+// "acts like one cache" (ROADMAP item 1) performs exactly one
+// compile+analyze per distinct (kernel, platform, WG) key no matter
+// how many replicas received requests for it. A single replica
+// trivially has this property; the 3-replica run proves the
+// consistent-hash prep forwarding preserves it fleet-wide.
+//
+// Usage:
+//
+//	flexcl-replay [-replicas 1,3] [-requests 240] [-kernels 8]
+//	              [-wg-sweep 1] [-concurrency 8] [-hedge 0]
+//	              [-seed 1] [-out BENCH_replay.json]
+//
+// The output JSON (one result per fleet size) is written to -out and
+// uploaded as a CI artifact by `make bench-replay`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/serve"
+	"repro/pkg/flexclclient"
+)
+
+// workItem is one replayed request: a corpus kernel at one WG size.
+type workItem struct {
+	id string // "bench/kernel"
+	wg int64
+}
+
+// fleetResult is the measured outcome of one fleet size.
+type fleetResult struct {
+	Replicas     int     `json:"replicas"`
+	Requests     int     `json:"requests"`
+	Errors       int     `json:"errors"`
+	DistinctKeys int     `json:"distinct_keys"`
+	// Computes is the fleet-wide sum of actual compile+analyze
+	// executions; CompileOnce reports Computes == DistinctKeys.
+	Computes    uint64 `json:"computes"`
+	CompileOnce bool   `json:"compile_once"`
+	// ForwardHits counts preps answered across a replica boundary
+	// (zero for a single replica).
+	ForwardHits uint64  `json:"forward_hits"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	WallMs      float64 `json:"wall_ms"`
+}
+
+type report struct {
+	Requests    int           `json:"requests"`
+	Kernels     int           `json:"kernels"`
+	WGSweep     int           `json:"wg_sweep"`
+	Concurrency int           `json:"concurrency"`
+	HedgeMs     float64       `json:"hedge_ms"`
+	Seed        int64         `json:"seed"`
+	Fleets      []fleetResult `json:"fleets"`
+}
+
+func main() {
+	var (
+		replicasFlag = flag.String("replicas", "1,3", "comma-separated fleet sizes to measure")
+		requests     = flag.Int("requests", 240, "requests per fleet replay")
+		kernels      = flag.Int("kernels", 8, "corpus kernels sampled into the stream")
+		wgSweep      = flag.Int("wg-sweep", 1, "work-group sizes per kernel (distinct keys = kernels × wg-sweep)")
+		concurrency  = flag.Int("concurrency", 8, "in-flight client requests")
+		hedge        = flag.Duration("hedge", 0, "client hedge delay (0 = no hedging)")
+		seed         = flag.Int64("seed", 1, "random seed for the request stream")
+		out          = flag.String("out", "BENCH_replay.json", "output JSON path")
+	)
+	flag.Parse()
+
+	var sizes []int
+	for _, f := range strings.Split(*replicasFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "flexcl-replay: bad -replicas entry %q\n", f)
+			os.Exit(2)
+		}
+		sizes = append(sizes, n)
+	}
+
+	stream, distinct := buildStream(*requests, *kernels, *wgSweep, *seed)
+	rep := report{
+		Requests:    *requests,
+		Kernels:     *kernels,
+		WGSweep:     *wgSweep,
+		Concurrency: *concurrency,
+		HedgeMs:     float64(*hedge) / float64(time.Millisecond),
+		Seed:        *seed,
+	}
+	for _, n := range sizes {
+		res := runFleet(n, stream, distinct, *concurrency, *hedge)
+		rep.Fleets = append(rep.Fleets, res)
+		fmt.Printf("replicas=%d requests=%d distinct=%d computes=%d compile_once=%v forward_hits=%d p50=%.1fms p99=%.1fms errors=%d\n",
+			res.Replicas, res.Requests, res.DistinctKeys, res.Computes,
+			res.CompileOnce, res.ForwardHits, res.P50Ms, res.P99Ms, res.Errors)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flexcl-replay: encoding report: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "flexcl-replay: writing %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	// The single-fleet sanity bar: every measured fleet must keep the
+	// compile-once property, or the replay fails the build.
+	for _, f := range rep.Fleets {
+		if !f.CompileOnce || f.Errors > 0 {
+			fmt.Fprintf(os.Stderr,
+				"flexcl-replay: fleet of %d broke compile-once (computes=%d distinct=%d errors=%d)\n",
+				f.Replicas, f.Computes, f.DistinctKeys, f.Errors)
+			os.Exit(1)
+		}
+	}
+}
+
+// buildStream samples nk corpus kernels × sweep WG sizes and draws a
+// seeded random stream of length n over them. Every sampled key
+// appears at least once (the stream opens with one pass over the
+// keys), so distinct == len(keys) holds by construction.
+func buildStream(n, nk, sweep int, seed int64) (stream []workItem, distinct int) {
+	all := bench.All()
+	if nk > len(all) {
+		nk = len(all)
+	}
+	stride := len(all) / nk
+	if stride < 1 {
+		stride = 1
+	}
+	var keys []workItem
+	for i := 0; i < nk; i++ {
+		k := all[i*stride]
+		wgs := k.WGSizes()
+		for j := 0; j < sweep && j < len(wgs); j++ {
+			keys = append(keys, workItem{id: k.ID(), wg: wgs[j]})
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stream = append(stream, keys...)
+	for len(stream) < n {
+		stream = append(stream, keys[rng.Intn(len(keys))])
+	}
+	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+	return stream[:n], len(keys)
+}
+
+// runFleet boots n replicas, replays the stream through the
+// replica-aware client, and collapses the fleet's counters into one
+// result.
+func runFleet(n int, stream []workItem, distinct, concurrency int, hedge time.Duration) fleetResult {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	servers := make([]*serve.Server, n)
+	listeners := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range servers {
+		servers[i] = serve.New(serve.Config{Logger: quiet})
+		listeners[i] = httptest.NewServer(servers[i].Handler())
+		urls[i] = listeners[i].URL
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for i := range servers {
+			listeners[i].Close()
+			servers[i].Close(ctx)
+		}
+	}()
+	if n > 1 {
+		for i := range servers {
+			if err := servers[i].ConfigureCluster(urls[i], urls); err != nil {
+				fmt.Fprintf(os.Stderr, "flexcl-replay: configuring replica %d: %v\n", i, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	opts := []flexclclient.Option{flexclclient.WithPeers(urls...)}
+	if hedge > 0 && n > 1 {
+		opts = append(opts, flexclclient.WithHedge(flexclclient.HedgePolicy{Delay: hedge}))
+	}
+	client := flexclclient.New(urls[0], nil, opts...)
+
+	lat := make([]float64, len(stream))
+	errs := make([]error, len(stream))
+	t0 := time.Now()
+	sem := make(chan struct{}, concurrency)
+	done := make(chan struct{})
+	for i := range stream {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem; done <- struct{}{} }()
+			it := stream[i]
+			r0 := time.Now()
+			_, err := client.Predict(context.Background(), flexclclient.PredictRequest{
+				Kernel: flexclclient.KernelRef{ID: it.id},
+				Design: flexclclient.Design{WGSize: it.wg},
+			})
+			lat[i] = float64(time.Since(r0)) / float64(time.Millisecond)
+			errs[i] = err
+		}(i)
+	}
+	for range stream {
+		<-done
+	}
+	wall := time.Since(t0)
+
+	res := fleetResult{
+		Replicas:     n,
+		Requests:     len(stream),
+		DistinctKeys: distinct,
+		P50Ms:        quantile(lat, 0.50),
+		P99Ms:        quantile(lat, 0.99),
+		WallMs:       float64(wall) / float64(time.Millisecond),
+	}
+	for _, err := range errs {
+		if err != nil {
+			if res.Errors == 0 {
+				fmt.Fprintf(os.Stderr, "flexcl-replay: first error: %v\n", err)
+			}
+			res.Errors++
+		}
+	}
+	for _, s := range servers {
+		res.Computes += s.PrepStats().Computes
+		for _, p := range s.Cluster().Snapshot().Peers {
+			res.ForwardHits += p.ForwardHits
+		}
+	}
+	res.CompileOnce = res.Computes == uint64(res.DistinctKeys)
+	return res
+}
+
+// quantile returns the q-quantile of xs (nearest-rank on a sorted
+// copy).
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}

@@ -1,0 +1,453 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/telemetry"
+)
+
+// Wire constants of the replica-to-replica prep protocol.
+const (
+	// PrepPath is the owner-side endpoint a non-owner forwards prep work
+	// to. It is part of the v2 surface but exists for replicas, not end
+	// users; see docs/SERVE.md "Clustered serving".
+	PrepPath = "/v2/cluster/prep"
+	// LaneHeader carries the originating admission lane of a forwarded
+	// prep, so a batch item forwarded to its owner still queues behind
+	// the owner's interactive traffic.
+	LaneHeader = "X-Flexcl-Lane"
+	// PeerHeader names the forwarding replica on a prep request. Its
+	// presence marks the request as replica-originated: owners never
+	// re-forward such work, so a stale ring cannot create loops.
+	PeerHeader = "X-Flexcl-Peer"
+)
+
+// PrepRequest is the body of a forwarded prep: the fully resolved
+// kernel (corpus, inline or generated — the forwarding replica already
+// validated it), the platform catalogue key and the work-group size.
+// Shipping the resolved kernel rather than the original reference makes
+// the owner's CacheKey bit-identical to the forwarder's by
+// construction.
+type PrepRequest struct {
+	Kernel   *bench.Kernel `json:"kernel"`
+	Platform string        `json:"platform"`
+	WG       int64         `json:"wg"`
+}
+
+// ShedError reports that the owner's admission gate refused a forwarded
+// prep: the fleet is over capacity and the client should back off. The
+// proxying replica surfaces it as its own 429, preserving the owner's
+// Retry-After hint.
+type ShedError struct {
+	Peer              string
+	RetryAfterSeconds int
+}
+
+// Error implements the error interface.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("cluster: owner %s shed the forwarded prep (retry after %ds)",
+		e.Peer, e.RetryAfterSeconds)
+}
+
+// ---- context markers ----
+
+type ctxKey int
+
+const (
+	laneKey ctxKey = iota
+	peerOriginKey
+)
+
+// WithLane annotates ctx with the admission lane name ("interactive" or
+// "bulk") a forwarded prep should land in on the owner.
+func WithLane(ctx context.Context, lane string) context.Context {
+	return context.WithValue(ctx, laneKey, lane)
+}
+
+// LaneFrom returns the lane recorded by WithLane ("" when absent).
+func LaneFrom(ctx context.Context) string {
+	lane, _ := ctx.Value(laneKey).(string)
+	return lane
+}
+
+// WithPeerOrigin marks ctx as serving a request another replica
+// forwarded here. Fills under such a context never forward again —
+// the owner is the end of the line.
+func WithPeerOrigin(ctx context.Context) context.Context {
+	return context.WithValue(ctx, peerOriginKey, true)
+}
+
+// PeerOrigin reports whether ctx carries the WithPeerOrigin marker.
+func PeerOrigin(ctx context.Context) bool {
+	on, _ := ctx.Value(peerOriginKey).(bool)
+	return on
+}
+
+// ---- the cluster ----
+
+// Options configures New.
+type Options struct {
+	// Client performs peer HTTP exchanges (nil = a private client; the
+	// per-fetch deadline comes from Timeout either way).
+	Client *http.Client
+	// Timeout bounds one forwarded prep exchange (0 = 15s). It must
+	// cover the owner's compile+analyze of a cold kernel, not just the
+	// network hop.
+	Timeout time.Duration
+	// Cooldown is how long a peer stays marked down after a transport
+	// failure before it is probed again (0 = 15s).
+	Cooldown time.Duration
+}
+
+// PeerStats is the point-in-time health and traffic of one peer as kept
+// by the local replica.
+type PeerStats struct {
+	URL      string `json:"url"`
+	Self     bool   `json:"self"`
+	Healthy  bool   `json:"healthy"`
+	Forwards uint64 `json:"forwards"`
+	// ForwardHits counts forwards that came back with the owner's
+	// record; Forwards−ForwardHits−Sheds failed and fell back to local
+	// compute.
+	ForwardHits uint64 `json:"forward_hits"`
+	Sheds       uint64 `json:"sheds"`
+	Errors      uint64 `json:"errors"`
+	LastError   string `json:"last_error,omitempty"`
+}
+
+// Snapshot is the full cluster view served on GET /v2/cluster.
+type Snapshot struct {
+	Enabled     bool        `json:"enabled"`
+	Self        string      `json:"self,omitempty"`
+	RingVersion string      `json:"ring_version,omitempty"`
+	Generation  int         `json:"generation"`
+	Peers       []PeerStats `json:"peers,omitempty"`
+	// LocalFallbacks counts fills that should have been answered by a
+	// peer but computed locally because the peer was down or returned an
+	// unusable record.
+	LocalFallbacks uint64 `json:"local_fallbacks"`
+	// PrepsServed counts forwarded preps this replica answered as owner,
+	// by lane.
+	PrepsServed map[string]uint64 `json:"preps_served,omitempty"`
+}
+
+// peerState is the mutable health/traffic record of one peer.
+type peerState struct {
+	downUntil   time.Time
+	lastErr     string
+	forwards    uint64
+	forwardHits uint64
+	sheds       uint64
+	errors      uint64
+}
+
+// Cluster is one replica's view of the fleet: the ring, the peer health
+// table and the HTTP client used to fetch owner results. A zero-
+// configured Cluster (no Configure call, or a single-peer membership)
+// is valid and inert: Enabled reports false and Owner always answers
+// "self".
+type Cluster struct {
+	client   *http.Client
+	timeout  time.Duration
+	cooldown time.Duration
+
+	mu         sync.Mutex
+	self       string
+	ring       *Ring
+	peers      map[string]*peerState
+	generation int
+
+	localFallbacks atomic.Uint64
+	prepsServed    sync.Map // lane string → *atomic.Uint64
+}
+
+// New builds an unconfigured (single-node) cluster; call Configure to
+// join a fleet.
+func New(opts Options) *Cluster {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 15 * time.Second
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 15 * time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Cluster{
+		client:   client,
+		timeout:  opts.Timeout,
+		cooldown: opts.Cooldown,
+		ring:     NewRing(nil),
+		peers:    map[string]*peerState{},
+	}
+}
+
+// Configure (re)builds the ring over peers and names this replica.
+// self must be one of peers (it is added when missing, so "-peers lists
+// everyone, -self names me" and "-peers lists the others" both work).
+// Existing health state is kept for peers that survive the change.
+func (c *Cluster) Configure(self string, peers []string) error {
+	self = Normalize(self)
+	if self == "" {
+		return errors.New("cluster: self URL is required when peers are configured")
+	}
+	all := append([]string{self}, peers...)
+	ring := NewRing(all)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.self = self
+	c.ring = ring
+	c.generation++
+	next := make(map[string]*peerState, len(ring.peers))
+	for _, p := range ring.peers {
+		if st, ok := c.peers[p]; ok {
+			next[p] = st
+		} else {
+			next[p] = &peerState{}
+		}
+	}
+	c.peers = next
+	return nil
+}
+
+// Enabled reports whether the cluster has at least two members — below
+// that every key is local and forwarding never happens.
+func (c *Cluster) Enabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.self != "" && len(c.ring.peers) > 1
+}
+
+// Self returns this replica's advertised URL ("" when unconfigured).
+func (c *Cluster) Self() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.self
+}
+
+// Owner maps a prep key to its owning peer. self is true when this
+// replica owns the key (always, for an unconfigured cluster).
+func (c *Cluster) Owner(key string) (peer string, self bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.ring.Owner(key)
+	if !ok || c.self == "" {
+		return c.self, true
+	}
+	return p, p == c.self
+}
+
+// PrepKey renders the fleet-wide cache identity of one prep — the same
+// triple dse.PrepCache and the artifact store key on.
+func PrepKey(k *bench.Kernel, p *device.Platform, wg int64) string {
+	return k.CacheKey() + "|" + p.Name + "|" + strconv.FormatInt(wg, 10)
+}
+
+// CountPrepServed records a forwarded prep answered by this replica as
+// owner, attributed to the admission lane it ran in.
+func (c *Cluster) CountPrepServed(lane string) {
+	v, _ := c.prepsServed.LoadOrStore(lane, new(atomic.Uint64))
+	v.(*atomic.Uint64).Add(1)
+}
+
+// Fetch asks key's owner for its prepared analysis record. It
+// implements dse.PeerFetcher:
+//
+//   - (rec, owner, nil): the owner answered; restore rec locally.
+//   - (nil, "", nil): the tier does not apply — this replica owns the
+//     key, the cluster is off, the request already came from a peer, or
+//     the owner is down/unusable. The caller computes locally.
+//   - (nil, "", err): a fleet-level refusal to propagate to the
+//     client (the owner shed the prep: *ShedError).
+//
+// Transport failures mark the peer down for the cooldown; while down,
+// its keys go straight to local compute with no network wait.
+func (c *Cluster) Fetch(ctx context.Context, k *bench.Kernel, p *device.Platform, wg int64) (*artifact.Record, string, error) {
+	if PeerOrigin(ctx) {
+		return nil, "", nil
+	}
+	owner, self := c.Owner(PrepKey(k, p, wg))
+	if self || owner == "" {
+		return nil, "", nil
+	}
+	if !c.peerUp(owner) {
+		c.localFallbacks.Add(1)
+		return nil, "", nil
+	}
+	lane := LaneFrom(ctx)
+	if lane == "" {
+		lane = "interactive"
+	}
+
+	fctx, fsp := telemetry.Start(ctx, "forward")
+	fsp.Annotate("peer", owner)
+	fsp.Annotate("lane", lane)
+	defer fsp.End()
+	rec, err := c.fetch(fctx, owner, lane, PrepRequest{Kernel: k, Platform: p.Name, WG: wg})
+	switch {
+	case err == nil:
+		c.markSuccess(owner, true)
+		fsp.Annotate("outcome", "hit")
+		return rec, owner, nil
+	default:
+		var shed *ShedError
+		if errors.As(err, &shed) {
+			c.markShed(owner)
+			fsp.Annotate("outcome", "shed")
+			return nil, "", err
+		}
+		c.markFailure(owner, err)
+		c.localFallbacks.Add(1)
+		fsp.Annotate("outcome", "error")
+		fsp.Annotate("error", err.Error())
+		return nil, "", nil
+	}
+}
+
+// fetch performs one prep exchange against owner.
+func (c *Cluster) fetch(ctx context.Context, owner, lane string, req PrepRequest) (*artifact.Record, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	body, err := encodeJSON(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+PrepPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(LaneHeader, lane)
+	hreq.Header.Set(PeerHeader, c.Self())
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		rec, err := artifact.Decode(raw)
+		if err != nil {
+			// Version skew between replicas reads as a miss, not an
+			// outage: compute locally until the fleet converges.
+			return nil, fmt.Errorf("cluster: undecodable record from %s: %w", owner, err)
+		}
+		return rec, nil
+	case http.StatusTooManyRequests:
+		secs, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if secs < 0 {
+			secs = 0
+		}
+		return nil, &ShedError{Peer: owner, RetryAfterSeconds: secs}
+	default:
+		return nil, fmt.Errorf("cluster: %s answered %d: %.200s", owner, resp.StatusCode, raw)
+	}
+}
+
+func encodeJSON(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encoding prep request: %w", err)
+	}
+	return b, nil
+}
+
+// peerUp reports whether the peer is currently considered reachable,
+// counting the forward attempt when it is.
+func (c *Cluster) peerUp(peer string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.peers[peer]
+	if !ok || !time.Now().After(st.downUntil) {
+		return false
+	}
+	st.forwards++
+	return true
+}
+
+func (c *Cluster) markSuccess(peer string, hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.peers[peer]; ok {
+		st.downUntil = time.Time{}
+		st.lastErr = ""
+		if hit {
+			st.forwardHits++
+		}
+	}
+}
+
+func (c *Cluster) markShed(peer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.peers[peer]; ok {
+		// A shed is a healthy peer protecting itself — no cooldown.
+		st.sheds++
+	}
+}
+
+func (c *Cluster) markFailure(peer string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.peers[peer]; ok {
+		st.errors++
+		st.lastErr = err.Error()
+		st.downUntil = time.Now().Add(c.cooldown)
+	}
+}
+
+// Snapshot returns the cluster view for GET /v2/cluster and the
+// metrics exporter.
+func (c *Cluster) Snapshot() Snapshot {
+	c.mu.Lock()
+	snap := Snapshot{
+		Enabled:        c.self != "" && len(c.ring.peers) > 1,
+		Self:           c.self,
+		Generation:     c.generation,
+		LocalFallbacks: c.localFallbacks.Load(),
+	}
+	if c.self != "" {
+		snap.RingVersion = c.ring.ID()
+	}
+	now := time.Now()
+	for _, p := range c.ring.peers {
+		st := c.peers[p]
+		snap.Peers = append(snap.Peers, PeerStats{
+			URL:         p,
+			Self:        p == c.self,
+			Healthy:     p == c.self || now.After(st.downUntil),
+			Forwards:    st.forwards,
+			ForwardHits: st.forwardHits,
+			Sheds:       st.sheds,
+			Errors:      st.errors,
+			LastError:   st.lastErr,
+		})
+	}
+	c.mu.Unlock()
+	c.prepsServed.Range(func(k, v any) bool {
+		if snap.PrepsServed == nil {
+			snap.PrepsServed = map[string]uint64{}
+		}
+		snap.PrepsServed[k.(string)] = v.(*atomic.Uint64).Load()
+		return true
+	})
+	return snap
+}

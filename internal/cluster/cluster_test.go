@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/model"
+)
+
+func testKernel(t *testing.T) *bench.Kernel {
+	t.Helper()
+	k := bench.Find("nn", "nn")
+	if k == nil {
+		t.Fatal("kernel nn/nn missing")
+	}
+	return k
+}
+
+// ownerFor scans the kernel's WG sweep for a size whose ring owner is
+// the given peer.
+func ownerFor(c *Cluster, k *bench.Kernel, p *device.Platform, want string) (int64, bool) {
+	for _, wg := range k.WGSizes() {
+		if owner, _ := c.Owner(PrepKey(k, p, wg)); owner == want {
+			return wg, true
+		}
+	}
+	return 0, false
+}
+
+func TestClusterUnconfiguredIsInert(t *testing.T) {
+	c := New(Options{})
+	if c.Enabled() {
+		t.Fatal("unconfigured cluster reports Enabled")
+	}
+	owner, self := c.Owner("any")
+	if !self || owner != "" {
+		t.Fatalf("unconfigured Owner = (%q, self=%v), want self", owner, self)
+	}
+	k := testKernel(t)
+	rec, _, err := c.Fetch(context.Background(), k, device.Virtex7(), k.WGSizes()[0])
+	if rec != nil || err != nil {
+		t.Fatalf("unconfigured Fetch = (%v, %v), want tier-not-applicable", rec, err)
+	}
+}
+
+func TestClusterConfigureAddsSelf(t *testing.T) {
+	c := New(Options{})
+	if err := c.Configure("http://self:1", []string{"http://peer:1"}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Enabled() {
+		t.Fatal("two-member cluster not enabled")
+	}
+	snap := c.Snapshot()
+	if len(snap.Peers) != 2 {
+		t.Fatalf("membership = %d, want 2 (self auto-added)", len(snap.Peers))
+	}
+	if err := c.Configure("", []string{"http://peer:1"}); err == nil {
+		t.Fatal("Configure with empty self did not fail")
+	}
+}
+
+// TestClusterFetchPeerOriginNeverForwards: the loop-prevention marker —
+// a fill already running on behalf of another replica must not forward
+// again even when the ring says a peer owns the key.
+func TestClusterFetchPeerOriginNeverForwards(t *testing.T) {
+	called := false
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		called = true
+	}))
+	defer srv.Close()
+	c := New(Options{})
+	if err := c.Configure("http://self:1", []string{srv.URL}); err != nil {
+		t.Fatal(err)
+	}
+	k := testKernel(t)
+	p := device.Virtex7()
+	wg, ok := ownerFor(c, k, p, Normalize(srv.URL))
+	if !ok {
+		t.Skip("no WG size owned by the peer for this kernel")
+	}
+	rec, _, err := c.Fetch(WithPeerOrigin(context.Background()), k, p, wg)
+	if rec != nil || err != nil || called {
+		t.Fatalf("peer-origin Fetch forwarded anyway (rec=%v err=%v called=%v)", rec, err, called)
+	}
+}
+
+// TestClusterFetchShedAndRecord drives Fetch against a fake owner that
+// first sheds (429 + Retry-After) and then answers with a real record:
+// the shed must surface as *ShedError with the owner's hint and no
+// cooldown, and the success must decode the record.
+func TestClusterFetchShedAndRecord(t *testing.T) {
+	k := testKernel(t)
+	p := device.Virtex7()
+
+	f, err := k.Compile(k.WGSizes()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.EnsureLoops()
+	an, err := model.Analyze(context.Background(), f, p, k.Config(k.WGSizes()[0]), model.AnalysisOptions{ProfileGroups: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := artifact.Key{Kernel: k.CacheKey(), Platform: p.Name, WG: k.WGSizes()[0]}
+	data, err := artifact.Encode(artifact.New(key, an, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shedFirst := true
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != PrepPath {
+			t.Errorf("owner hit %s, want %s", r.URL.Path, PrepPath)
+		}
+		if got := r.Header.Get(LaneHeader); got != "bulk" {
+			t.Errorf("lane header = %q, want bulk", got)
+		}
+		if got := r.Header.Get(PeerHeader); got != "http://self:1" {
+			t.Errorf("peer header = %q, want the forwarder", got)
+		}
+		if shedFirst {
+			shedFirst = false
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write(data)
+	}))
+	defer srv.Close()
+
+	c := New(Options{})
+	if err := c.Configure("http://self:1", []string{srv.URL}); err != nil {
+		t.Fatal(err)
+	}
+	wg, ok := ownerFor(c, k, p, Normalize(srv.URL))
+	if !ok {
+		t.Skip("no WG size owned by the peer for this kernel")
+	}
+	ctx := WithLane(context.Background(), "bulk")
+
+	_, _, err = c.Fetch(ctx, k, p, wg)
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("shed response surfaced as %v, want *ShedError", err)
+	}
+	if shed.RetryAfterSeconds != 7 {
+		t.Errorf("RetryAfterSeconds = %d, want the owner's 7", shed.RetryAfterSeconds)
+	}
+
+	// A shed is not a health failure: the peer must still be up and the
+	// next fetch must go through.
+	rec, owner, err := c.Fetch(ctx, k, p, wg)
+	if err != nil || rec == nil {
+		t.Fatalf("fetch after shed = (%v, %v), want the record", rec, err)
+	}
+	if owner != Normalize(srv.URL) {
+		t.Errorf("owner = %q, want %q", owner, Normalize(srv.URL))
+	}
+	snap := c.Snapshot()
+	for _, ps := range snap.Peers {
+		if ps.Self {
+			continue
+		}
+		if !ps.Healthy {
+			t.Error("peer marked unhealthy after a shed")
+		}
+		if ps.Sheds != 1 || ps.ForwardHits != 1 || ps.Forwards != 2 {
+			t.Errorf("peer stats = forwards=%d hits=%d sheds=%d, want 2/1/1",
+				ps.Forwards, ps.ForwardHits, ps.Sheds)
+		}
+	}
+}
+
+// TestClusterFetchDownPeerFallsBackLocally: a transport failure marks
+// the peer down for the cooldown; while down, Fetch reports
+// tier-not-applicable immediately (no network wait) and counts a local
+// fallback.
+func TestClusterFetchDownPeerFallsBackLocally(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead := srv.URL
+	srv.Close() // connection refused from here on
+
+	c := New(Options{Cooldown: time.Hour})
+	if err := c.Configure("http://self:1", []string{dead}); err != nil {
+		t.Fatal(err)
+	}
+	k := testKernel(t)
+	p := device.Virtex7()
+	wg, ok := ownerFor(c, k, p, Normalize(dead))
+	if !ok {
+		t.Skip("no WG size owned by the peer for this kernel")
+	}
+
+	rec, _, err := c.Fetch(context.Background(), k, p, wg)
+	if rec != nil || err != nil {
+		t.Fatalf("fetch against dead peer = (%v, %v), want silent local fallback", rec, err)
+	}
+	// Second fetch: the peer is in cooldown, so no forward is attempted.
+	if rec, _, err = c.Fetch(context.Background(), k, p, wg); rec != nil || err != nil {
+		t.Fatalf("fetch during cooldown = (%v, %v), want silent local fallback", rec, err)
+	}
+	snap := c.Snapshot()
+	if snap.LocalFallbacks != 2 {
+		t.Errorf("LocalFallbacks = %d, want 2", snap.LocalFallbacks)
+	}
+	for _, ps := range snap.Peers {
+		if !ps.Self {
+			if ps.Healthy {
+				t.Error("dead peer still marked healthy")
+			}
+			if ps.Forwards != 1 {
+				t.Errorf("Forwards = %d, want 1 (cooldown must skip the second attempt)", ps.Forwards)
+			}
+			if ps.Errors != 1 || ps.LastError == "" {
+				t.Errorf("Errors = %d LastError=%q, want the transport failure recorded", ps.Errors, ps.LastError)
+			}
+		}
+	}
+}

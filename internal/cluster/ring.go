@@ -1,0 +1,103 @@
+// Package cluster turns N flexcl-serve replicas into one logical cache:
+// a consistent-hash ring places every prep key — the
+// (bench.Kernel.CacheKey, platform, work-group size) triple the
+// dse.PrepCache and the artifact store already key on — on exactly one
+// owner replica, and non-owners fetch the owner's compile+analyze
+// result over HTTP instead of recomputing it. The fleet then performs
+// one compile+analyze per distinct kernel, not one per replica, which
+// is the difference between FlexCL's sub-second interactive latency and
+// an N-fold cold-start stampede when a corpus sweep hits every replica.
+//
+// The membership is static (the -peers flag); there is no gossip,
+// leader or rebalancing protocol. A peer that stops answering is marked
+// down for a cooldown and its keys degrade to local compute — requests
+// never fail because a peer died, the fleet only temporarily loses the
+// compile-once property for that peer's share of the ring.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// vnodes is the number of virtual points each peer contributes to the
+// ring. 128 keeps the per-peer key share within a few percent of even
+// for small fleets without making ring construction measurable.
+const vnodes = 128
+
+// Ring is an immutable consistent-hash ring over a set of peer URLs.
+// Build one with NewRing; concurrent readers need no locking.
+type Ring struct {
+	points []ringPoint
+	peers  []string // sorted, deduplicated
+	id     string   // short content hash of the membership
+}
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// NewRing builds a ring over the given peer URLs (order-insensitive;
+// duplicates and trailing slashes are folded away). An empty or
+// single-peer ring is valid: every key is then owned by that peer (or
+// by nobody — Owner reports ok=false on an empty ring).
+func NewRing(peers []string) *Ring {
+	uniq := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if p = Normalize(p); p != "" {
+			uniq[p] = true
+		}
+	}
+	r := &Ring{peers: make([]string, 0, len(uniq))}
+	for p := range uniq {
+		r.peers = append(r.peers, p)
+	}
+	sort.Strings(r.peers)
+	for _, p := range r.peers {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", p, i)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	sum := sha256.Sum256([]byte(strings.Join(r.peers, "\n")))
+	r.id = hex.EncodeToString(sum[:6])
+	return r
+}
+
+// Normalize canonicalizes a peer URL so that "http://a:8080" and
+// "http://a:8080/" name the same replica.
+func Normalize(url string) string {
+	return strings.TrimRight(strings.TrimSpace(url), "/")
+}
+
+// Owner returns the peer that owns key. ok is false only on an empty
+// ring.
+func (r *Ring) Owner(key string) (peer string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is circular
+	}
+	return r.points[i].peer, true
+}
+
+// Peers returns the sorted membership.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// ID returns a short content hash of the membership — equal IDs on two
+// replicas mean they agree on who owns what.
+func (r *Ring) ID() string { return r.id }
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

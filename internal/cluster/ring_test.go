@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOrderInsensitiveAndDeduped(t *testing.T) {
+	a := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"})
+	b := NewRing([]string{"http://c:1/", " http://a:1", "http://b:1", "http://b:1/"})
+	if a.ID() != b.ID() {
+		t.Fatalf("ring IDs differ for the same membership: %s vs %s", a.ID(), b.ID())
+	}
+	if got, want := len(b.Peers()), 3; got != want {
+		t.Fatalf("Peers() = %d entries, want %d (dedup + normalize)", got, want)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		oa, _ := a.Owner(key)
+		ob, _ := b.Owner(key)
+		if oa != ob {
+			t.Fatalf("key %q owned by %s on ring a but %s on ring b", key, oa, ob)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil)
+	if _, ok := empty.Owner("anything"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	one := NewRing([]string{"http://solo:1"})
+	for i := 0; i < 10; i++ {
+		owner, ok := one.Owner(fmt.Sprintf("k%d", i))
+		if !ok || owner != "http://solo:1" {
+			t.Fatalf("single-peer ring: owner = %q ok=%v", owner, ok)
+		}
+	}
+}
+
+// TestRingDistribution: 128 vnodes must keep each of three peers'
+// share of a large key population within a loose band of even — a
+// pathological hash would park everything on one peer and turn the
+// fleet's "one cache" into one hot replica.
+func TestRingDistribution(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(peers)
+	counts := map[string]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		owner, _ := r.Owner(fmt.Sprintf("kernelhash-%d|virtex7|64", i))
+		counts[owner]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / n
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("peer %s owns %.1f%% of keys; want a rough third", p, 100*share)
+		}
+	}
+}
+
+// TestRingStabilityUnderMembershipChange: removing one peer of three
+// must only remap keys that peer owned — consistent hashing's whole
+// point. Keys owned by survivors stay put, so a replica crash does not
+// invalidate the rest of the fleet's placement.
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	full := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"})
+	without := NewRing([]string{"http://a:1", "http://c:1"})
+	moved := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before, _ := full.Owner(key)
+		after, _ := without.Owner(key)
+		if before == "http://b:1" {
+			continue // b's keys must move somewhere
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys owned by surviving peers were remapped; consistent hashing should move none", moved)
+	}
+}

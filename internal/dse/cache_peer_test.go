@@ -1,0 +1,207 @@
+package dse
+
+// White-box tests for the prep cache's peer tier (the clustered
+// deployment's "memory → artifact → peer → compute" chain), driven by
+// a fake PeerFetcher so no HTTP is involved: a peer-answered fill must
+// count as PeerHits (never Computes), persist locally via write-behind,
+// and report its owner through AnalysisContextDetail; a peer refusal
+// must fail the fill without being negative-cached; an inapplicable
+// tier must fall through to the local compute.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/model"
+)
+
+// fakePeer is a scripted PeerFetcher.
+type fakePeer struct {
+	rec   *artifact.Record
+	owner string
+	err   error
+	calls int
+}
+
+func (f *fakePeer) Fetch(ctx context.Context, k *bench.Kernel, p *device.Platform, wg int64) (*artifact.Record, string, error) {
+	f.calls++
+	return f.rec, f.owner, f.err
+}
+
+// peerRecord computes a real analysis out-of-band and serializes it,
+// standing in for the owning replica's answer.
+func peerRecord(t *testing.T, k *bench.Kernel, p *device.Platform, wg int64) *artifact.Record {
+	t.Helper()
+	f, err := k.Compile(wg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.EnsureLoops()
+	an, err := model.Analyze(context.Background(), f, p, k.Config(wg), model.AnalysisOptions{ProfileGroups: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := artifact.Key{Kernel: k.CacheKey(), Platform: p.Name, WG: wg}
+	rec := artifact.New(key, an, 0)
+	// Round-trip through the wire encoding, exactly as a forwarded prep
+	// arrives.
+	data, err := artifact.Encode(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err = artifact.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestPrepCachePeerHit(t *testing.T) {
+	k := cacheKernel(t)
+	p := device.Virtex7()
+	wg := k.WGSizes()[0]
+
+	dir := t.TempDir()
+	store, err := artifact.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := &fakePeer{rec: peerRecord(t, k, p, wg), owner: "http://owner:1"}
+	c := NewPrepCacheOpts(PrepCacheOptions{Store: store, Peer: peer})
+
+	res, err := c.AnalysisContextDetail(context.Background(), k, p, wg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourcePeer || res.Peer != "http://owner:1" {
+		t.Fatalf("fill attribution = (%q, %q), want (peer, http://owner:1)", res.Source, res.Peer)
+	}
+	if res.An == nil {
+		t.Fatal("peer-answered fill returned nil analysis")
+	}
+	st := c.Stats()
+	if st.Computes != 0 {
+		t.Errorf("Computes = %d, want 0 (the owner did the work)", st.Computes)
+	}
+	if st.PeerHits != 1 {
+		t.Errorf("PeerHits = %d, want 1", st.PeerHits)
+	}
+	// Write-behind must persist the peer's record locally too, so a
+	// restart of this replica starts warm without re-asking the owner.
+	c.Flush()
+	if n := store.Len(); n != 1 {
+		t.Errorf("artifact store holds %d records after a peer fill, want 1", n)
+	}
+
+	// The peer-restored analysis must predict identically to a local
+	// compute.
+	local := NewPrepCache()
+	want, err := local.Analysis(k, p, wg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := model.Design{WGSize: wg, PE: 1, CU: 1}
+	if got, wantEst := res.An.Predict(d).Cycles, want.Predict(d).Cycles; got != wantEst {
+		t.Errorf("peer-restored prediction = %v cycles, local = %v", got, wantEst)
+	}
+
+	// Warm path: the second lookup is a memory hit — no new peer call.
+	if _, err := c.Analysis(k, p, wg); err != nil {
+		t.Fatal(err)
+	}
+	if peer.calls != 1 {
+		t.Errorf("peer fetched %d times, want 1 (second lookup is a memory hit)", peer.calls)
+	}
+}
+
+func TestPrepCachePeerErrorNotCached(t *testing.T) {
+	k := cacheKernel(t)
+	p := device.Virtex7()
+	wg := k.WGSizes()[0]
+
+	peer := &fakePeer{err: errors.New("owner shed the prep")}
+	c := NewPrepCacheOpts(PrepCacheOptions{Peer: peer})
+
+	if _, err := c.AnalysisContextDetail(context.Background(), k, p, wg); err == nil {
+		t.Fatal("peer refusal did not fail the fill")
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("failed entry still resident: Len = %d, want 0 (never negative-cache)", n)
+	}
+	// The refusal clears: the retry must compute locally.
+	peer.err = nil
+	res, err := c.AnalysisContextDetail(context.Background(), k, p, wg)
+	if err != nil {
+		t.Fatalf("retry after peer refusal: %v", err)
+	}
+	if res.Source != SourceCompute {
+		t.Errorf("retry source = %q, want compute", res.Source)
+	}
+	if st := c.Stats(); st.Computes != 1 || st.PeerHits != 0 {
+		t.Errorf("stats = computes=%d peerHits=%d, want 1/0", st.Computes, st.PeerHits)
+	}
+}
+
+func TestPrepCachePeerNotApplicableComputes(t *testing.T) {
+	k := cacheKernel(t)
+	p := device.Virtex7()
+	wg := k.WGSizes()[0]
+
+	peer := &fakePeer{} // (nil, "", nil): self-owned / cluster off
+	c := NewPrepCacheOpts(PrepCacheOptions{Peer: peer})
+	res, err := c.AnalysisContextDetail(context.Background(), k, p, wg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceCompute || res.Peer != "" {
+		t.Fatalf("fill attribution = (%q, %q), want (compute, \"\")", res.Source, res.Peer)
+	}
+	if st := c.Stats(); st.Computes != 1 {
+		t.Errorf("Computes = %d, want 1", st.Computes)
+	}
+	if peer.calls != 1 {
+		t.Errorf("peer consulted %d times, want 1", peer.calls)
+	}
+}
+
+// TestPrepCacheDiskBeatsPeer: the artifact store answers before the
+// peer tier is consulted — a warm local disk must not generate fleet
+// traffic.
+func TestPrepCacheDiskBeatsPeer(t *testing.T) {
+	k := cacheKernel(t)
+	p := device.Virtex7()
+	wg := k.WGSizes()[0]
+
+	dir := t.TempDir()
+	store, err := artifact.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the directory with a first cache, then reopen.
+	warm := NewPrepCacheOpts(PrepCacheOptions{Store: store})
+	if _, err := warm.Analysis(k, p, wg); err != nil {
+		t.Fatal(err)
+	}
+	warm.Flush()
+
+	store2, err := artifact.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := &fakePeer{rec: peerRecord(t, k, p, wg), owner: "http://owner:1"}
+	c := NewPrepCacheOpts(PrepCacheOptions{Store: store2, Peer: peer})
+	res, err := c.AnalysisContextDetail(context.Background(), k, p, wg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceDisk {
+		t.Fatalf("source = %q, want disk", res.Source)
+	}
+	if peer.calls != 0 {
+		t.Errorf("peer consulted %d times, want 0 (disk answered first)", peer.calls)
+	}
+}

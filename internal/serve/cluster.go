@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/artifact"
+	"repro/internal/cluster"
+	"repro/internal/device"
+	"repro/internal/dse"
+	"repro/internal/obs"
+	"repro/internal/serve/api"
+	"repro/internal/telemetry"
+)
+
+// The cluster endpoints of the v2 surface:
+//
+//	GET  /v2/cluster       — ring version, peer table, per-peer health
+//	POST /v2/cluster/prep  — replica-to-replica prep forwarding (owners
+//	                         answer with a serialized artifact record)
+//
+// The prep endpoint exists for replicas, not end users: a non-owner
+// forwards the (kernel, platform, WG) prep here and restores the
+// owner's record locally, so each distinct kernel is compiled once per
+// fleet. The owner runs the work through the same prep cache as its
+// own predictions, admitted under the lane the request originated from
+// (a batch item stays bulk), and an owner-side shed propagates 429 +
+// Retry-After back through the proxying replica.
+//
+// Forwarded preps admit through a slot pool of their own rather than
+// the predict lanes. A local predict can hold its admission slot while
+// it waits on a forward to a peer; if forwarded preps competed for
+// those same slots, every replica's slots could fill with requests
+// that are each queued on another replica — a distributed deadlock
+// (certain on a one-slot-per-replica fleet). A forwarded prep never
+// forwards again (see WithPeerOrigin below), so giving the leaves
+// their own pool keeps the wait graph acyclic.
+
+// ConfigureCluster (re)builds this replica's ring over the fleet
+// membership. self is the replica's own advertised base URL (added to
+// peers when missing). It exists as a post-construction call because
+// embedders — httptest fleets, the replay driver — learn their URLs
+// only after binding a listener; flexcl-serve calls it from flags
+// via Config.SelfURL/Peers.
+func (s *Server) ConfigureCluster(self string, peers []string) error {
+	if err := s.cluster.Configure(self, peers); err != nil {
+		return err
+	}
+	snap := s.cluster.Snapshot()
+	s.log.Info("cluster configured",
+		"self", snap.Self, "peers", len(snap.Peers), "ring", snap.RingVersion,
+		"enabled", snap.Enabled)
+	return nil
+}
+
+// Cluster exposes the replica's fleet view (tests and embedders).
+func (s *Server) Cluster() *cluster.Cluster { return s.cluster }
+
+// PrepStats exposes the prep cache's counters (the replay driver sums
+// Computes across a fleet to prove the compile-once property).
+func (s *Server) PrepStats() dse.CacheStats { return s.prep.Stats() }
+
+// platformByName resolves the platform name a peer put on the wire.
+// cluster.PrepRequest carries device.Platform.Name — the identity the
+// prep cache and artifact store key on — not the catalogue key, so
+// accept either spelling.
+func platformByName(name string) (*device.Platform, bool) {
+	cat := device.Platforms()
+	if p, ok := cat[name]; ok {
+		return p, true
+	}
+	for _, p := range cat {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// handleClusterStatus serves GET /v2/cluster.
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cluster.Snapshot())
+}
+
+// handleClusterPrep serves POST /v2/cluster/prep: run (or recall) one
+// compile+analyze as the key's owner and answer with the serialized
+// record. The fill lands in this replica's prep cache and artifact
+// store exactly like a local prediction's would.
+func (s *Server) handleClusterPrep(w http.ResponseWriter, r *http.Request) {
+	var req cluster.PrepRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeV2Err(w, api.Errf(api.CodeBadRequest, http.StatusBadRequest,
+			"bad request body: %v", err))
+		return
+	}
+	if req.Kernel == nil {
+		writeV2Err(w, api.Errf(api.CodeBadRequest, http.StatusBadRequest,
+			"prep request carries no kernel"))
+		return
+	}
+	if req.WG <= 0 {
+		writeV2Err(w, api.Errf(api.CodeBadRequest, http.StatusBadRequest,
+			"bad work-group size %d", req.WG))
+		return
+	}
+	p, ok := platformByName(req.Platform)
+	if !ok {
+		writeV2Err(w, api.Errf(api.CodeBadRequest, http.StatusBadRequest,
+			"unknown platform %q", req.Platform))
+		return
+	}
+	// The originating lane rides the forward: a batch item stays bulk on
+	// the owner, so forwarded bulk work cannot cut ahead of the owner's
+	// interactive traffic.
+	lane := laneInteractive
+	if r.Header.Get(cluster.LaneHeader) == "bulk" {
+		lane = laneBulk
+	}
+	obs.AddField(r.Context(), "lane", laneName(lane))
+	telemetry.Annotate(r.Context(), "kernel", req.Kernel.ID())
+	if peer := r.Header.Get(cluster.PeerHeader); peer != "" {
+		obs.AddField(r.Context(), "peer", peer)
+		telemetry.Annotate(r.Context(), "peer", peer)
+	}
+
+	ll := `lane="` + laneName(lane) + `"`
+	actx, asp := telemetry.Start(r.Context(), "admission")
+	asp.Annotate("lane", laneName(lane))
+	release, wait, err := s.fwdAdmit.admit(actx, lane)
+	asp.End()
+	s.reg.Histogram("forward_queue_wait_seconds", ll, obs.QueueBuckets...).
+		Observe(wait.Seconds())
+	if err != nil {
+		if errors.Is(err, errShed) {
+			s.reg.Counter("forward_shed_total", ll).Inc()
+		}
+		writeV2Err(w, s.predictErr(err, s.cfg.RequestTimeout))
+		return
+	}
+	defer release()
+	s.reg.Counter("forward_admitted_total", ll).Inc()
+
+	// WithPeerOrigin: the owner is the end of the line — a stale ring on
+	// this side must compute locally, never forward again.
+	pctx := cluster.WithPeerOrigin(r.Context())
+	pctx, psp := telemetry.Start(pctx, "prep")
+	res, err := s.prep.AnalysisContextDetail(pctx, req.Kernel, p, req.WG)
+	psp.Annotate("outcome", res.Outcome.String())
+	psp.End()
+	if err != nil {
+		writeV2Err(w, s.predictErr(err, s.cfg.RequestTimeout))
+		return
+	}
+	s.cluster.CountPrepServed(laneName(lane))
+
+	key := artifact.Key{Kernel: req.Kernel.CacheKey(), Platform: p.Name, WG: req.WG}
+	data, err := artifact.Encode(artifact.New(key, res.An, 0))
+	if err != nil {
+		writeV2Err(w, api.Errf(api.CodeInternal, http.StatusInternalServerError,
+			"encoding analysis record: %v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-flexcl-artifact")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// exportClusterMetrics folds the cluster snapshot into scrape-time
+// gauges (the flexcl_cluster_* family; see docs/OBSERVABILITY.md).
+func (s *Server) exportClusterMetrics() {
+	snap := s.cluster.Snapshot()
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	s.reg.Gauge("cluster_enabled", "").Set(b2f(snap.Enabled))
+	s.reg.Gauge("cluster_peers", "").Set(float64(len(snap.Peers)))
+	s.reg.Gauge("cluster_generation", "").Set(float64(snap.Generation))
+	s.reg.Gauge("cluster_local_fallbacks", "").Set(float64(snap.LocalFallbacks))
+	for _, p := range snap.Peers {
+		pl := obs.Label("peer", p.URL)
+		s.reg.Gauge("cluster_peer_healthy", pl).Set(b2f(p.Healthy))
+		s.reg.Gauge("cluster_forwards", pl).Set(float64(p.Forwards))
+		s.reg.Gauge("cluster_forward_hits", pl).Set(float64(p.ForwardHits))
+		s.reg.Gauge("cluster_forward_sheds", pl).Set(float64(p.Sheds))
+		s.reg.Gauge("cluster_forward_errors", pl).Set(float64(p.Errors))
+	}
+	for lane, n := range snap.PrepsServed {
+		s.reg.Gauge("cluster_preps_served", obs.Label("lane", lane)).Set(float64(n))
+	}
+}

@@ -1,0 +1,542 @@
+package serve
+
+// End-to-end fleet tests for clustered serving: several Servers, each
+// behind its own httptest listener, joined into one consistent-hash
+// ring. The acceptance bar is the ISSUE's compile-once property — a
+// randomized replay over empty caches must leave the fleet-wide
+// compute count equal to the number of distinct (kernel, platform, WG)
+// keys, with response bodies independent of which replica answered.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/device"
+	"repro/pkg/flexclclient"
+)
+
+// newTestFleet boots n servers with identical configs and joins them
+// into one ring. Every server sees the same membership list, so all
+// replicas agree on key placement.
+func newTestFleet(t *testing.T, n int, cfg Config) ([]*Server, []*httptest.Server) {
+	t.Helper()
+	servers := make([]*Server, n)
+	listeners := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range servers {
+		servers[i], listeners[i] = newTestServer(t, cfg)
+		urls[i] = listeners[i].URL
+	}
+	if n > 1 {
+		for i, s := range servers {
+			if err := s.ConfigureCluster(urls[i], urls); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return servers, listeners
+}
+
+// fleetKey is one distinct prep unit of work.
+type fleetKey struct {
+	k  *bench.Kernel
+	wg int64
+}
+
+// fleetCorpus picks n kernels spread across the corpus, one WG size
+// each.
+func fleetCorpus(t *testing.T, n int) []fleetKey {
+	t.Helper()
+	all := bench.All()
+	if len(all) < n {
+		t.Fatalf("corpus has %d kernels, need %d", len(all), n)
+	}
+	stride := len(all) / n
+	keys := make([]fleetKey, 0, n)
+	for i := 0; i < n; i++ {
+		k := all[i*stride]
+		keys = append(keys, fleetKey{k: k, wg: k.WGSizes()[0]})
+	}
+	return keys
+}
+
+func v2PredictBody(fk fleetKey) map[string]any {
+	return map[string]any{
+		"kernel": map[string]any{"id": fk.k.ID()},
+		"design": map[string]any{"wg_size": fk.wg},
+	}
+}
+
+// ownedBy scans the corpus for a key the given member owns — tests that
+// need a forward (or a local serve) pick their key by placement rather
+// than hoping the hash lands right.
+func ownedBy(t *testing.T, c *cluster.Cluster, member string) fleetKey {
+	t.Helper()
+	p := device.Virtex7()
+	for _, k := range bench.All() {
+		for _, wg := range k.WGSizes() {
+			if owner, _ := c.Owner(cluster.PrepKey(k, p, wg)); owner == cluster.Normalize(member) {
+				return fleetKey{k: k, wg: wg}
+			}
+		}
+	}
+	t.Fatalf("no corpus key owned by %s", member)
+	return fleetKey{}
+}
+
+// TestClusterSingleCompile is the headline e2e: a 3-replica fleet over
+// empty caches serves a randomized replay of the corpus sample and
+// compiles each distinct key exactly once fleet-wide, with bodies
+// byte-identical no matter which replica took the request.
+func TestClusterSingleCompile(t *testing.T) {
+	const replicas, kernels, repeats = 3, 4, 3
+	servers, listeners := newTestFleet(t, replicas, Config{})
+	keys := fleetCorpus(t, kernels)
+
+	// Randomized replay: every key hits every replica once, in a
+	// shuffled order (deterministic seed so failures reproduce).
+	type shot struct {
+		key     fleetKey
+		replica int
+	}
+	var shots []shot
+	for _, fk := range keys {
+		for r := 0; r < repeats; r++ {
+			shots = append(shots, shot{fk, r % replicas})
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	rng.Shuffle(len(shots), func(i, j int) { shots[i], shots[j] = shots[j], shots[i] })
+
+	bodies := map[string]map[int]string{} // kernel id -> replica -> normalized v2 body
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, sh := range shots {
+		wg.Add(1)
+		go func(sh shot) {
+			defer wg.Done()
+			resp, raw := postJSON(t, listeners[sh.replica].URL+"/v2/predict", v2PredictBody(sh.key))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("replica %d, %s: status %d, body %s", sh.replica, sh.key.k.ID(), resp.StatusCode, raw)
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			id := sh.key.k.ID()
+			if bodies[id] == nil {
+				bodies[id] = map[int]string{}
+			}
+			bodies[id][sh.replica] = normalizeV2(t, raw)
+		}(sh)
+	}
+	wg.Wait()
+
+	// Compile-once: fleet-wide computes == distinct keys.
+	var computes uint64
+	for _, s := range servers {
+		computes += s.PrepStats().Computes
+	}
+	if computes != kernels {
+		t.Errorf("fleet-wide computes = %d, want %d (one per distinct key)", computes, kernels)
+	}
+
+	// The forwarding actually happened: with 4 keys spread over 3
+	// owners, at least one replica answered via a peer.
+	var peerHits uint64
+	for _, s := range servers {
+		peerHits += s.PrepStats().PeerHits
+	}
+	if peerHits == 0 {
+		t.Error("no peer hits across the fleet; forwarding never engaged")
+	}
+
+	// Identical verdicts everywhere: after stripping the attribution
+	// fields (cache/served_by/forwarded legitimately differ by route),
+	// every replica's v2 body for a key must match.
+	for id, perReplica := range bodies {
+		var want string
+		for _, body := range perReplica {
+			if want == "" {
+				want = body
+			} else if body != want {
+				t.Errorf("%s: v2 bodies differ across replicas:\n%s\nvs\n%s", id, want, body)
+			}
+		}
+	}
+
+	// v1 has no attribution fields at all, so its bodies must be
+	// byte-identical across replicas.
+	for _, fk := range keys {
+		var want []byte
+		for i, ts := range listeners {
+			resp, raw := postJSON(t, ts.URL+"/v1/predict", map[string]any{
+				"bench": fk.k.Bench, "kernel": fk.k.Name,
+				"design": map[string]any{"wg_size": fk.wg},
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("v1 on replica %d: status %d, body %s", i, resp.StatusCode, raw)
+			}
+			if want == nil {
+				want = raw
+			} else if string(raw) != string(want) {
+				t.Errorf("%s: v1 bodies differ byte-for-byte:\n%s\nvs\n%s", fk.k.ID(), want, raw)
+			}
+		}
+	}
+
+	// The replay must not have triggered any extra computes: v1 replays
+	// hit warm caches.
+	var after uint64
+	for _, s := range servers {
+		after += s.PrepStats().Computes
+	}
+	if after != kernels {
+		t.Errorf("computes after v1 replay = %d, want still %d", after, kernels)
+	}
+}
+
+// normalizeV2 strips the fields that legitimately vary with routing
+// (cache tier, peer attribution) so the remaining body must be equal.
+func normalizeV2(t *testing.T, raw []byte) string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("bad v2 body: %v\n%s", err, raw)
+	}
+	delete(m, "cache")
+	delete(m, "served_by")
+	delete(m, "forwarded")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestClusterStatusEndpoint: GET /v2/cluster exposes the ring — same
+// version on every member, full peer table, self marked.
+func TestClusterStatusEndpoint(t *testing.T) {
+	servers, listeners := newTestFleet(t, 3, Config{})
+	var version string
+	for i, ts := range listeners {
+		var snap cluster.Snapshot
+		resp := getJSON(t, ts.URL+"/v2/cluster", &snap)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("replica %d: /v2/cluster status %d", i, resp.StatusCode)
+		}
+		if !snap.Enabled {
+			t.Errorf("replica %d: cluster not enabled", i)
+		}
+		if len(snap.Peers) != 3 {
+			t.Errorf("replica %d: peer table has %d entries, want 3", i, len(snap.Peers))
+		}
+		if version == "" {
+			version = snap.RingVersion
+		} else if snap.RingVersion != version {
+			t.Errorf("replica %d: ring version %q, others see %q", i, snap.RingVersion, version)
+		}
+		self := 0
+		for _, ps := range snap.Peers {
+			if ps.Self {
+				self++
+				if ps.URL != cluster.Normalize(listeners[i].URL) {
+					t.Errorf("replica %d: self = %q, want %q", i, ps.URL, listeners[i].URL)
+				}
+			}
+		}
+		if self != 1 {
+			t.Errorf("replica %d: %d peers marked self, want exactly 1", i, self)
+		}
+	}
+	// Single-node servers answer too: enabled=false, just themselves.
+	_, solo := newTestServer(t, Config{})
+	var snap cluster.Snapshot
+	getJSON(t, solo.URL+"/v2/cluster", &snap)
+	if snap.Enabled {
+		t.Error("single-node server reports a cluster")
+	}
+	_ = servers
+}
+
+// TestClusterPeerDownLocalCompute: the ISSUE's failure-mode bar — a
+// down owner degrades to local compute, never to an error.
+func TestClusterPeerDownLocalCompute(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // connection refused from here on
+
+	s, ts := newTestServer(t, Config{})
+	if err := s.ConfigureCluster(ts.URL, []string{ts.URL, deadURL}); err != nil {
+		t.Fatal(err)
+	}
+	fk := ownedBy(t, s.Cluster(), deadURL)
+
+	resp, raw := postJSON(t, ts.URL+"/v2/predict", v2PredictBody(fk))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict with dead owner: status %d, body %s", resp.StatusCode, raw)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res["served_by"] != nil || res["forwarded"] != nil {
+		t.Errorf("local-fallback response carries peer attribution: %s", raw)
+	}
+	if got := s.PrepStats().Computes; got != 1 {
+		t.Errorf("local computes = %d, want 1 (fallback computed here)", got)
+	}
+	if snap := s.Cluster().Snapshot(); snap.LocalFallbacks == 0 {
+		t.Error("LocalFallbacks not counted")
+	}
+}
+
+// TestClusterOwnerShedPropagates: when the key's owner sheds the
+// forwarded prep, the proxying replica surfaces the owner's 429 and
+// Retry-After rather than retrying or computing locally — fleet
+// over-capacity must look like over-capacity to the caller.
+func TestClusterOwnerShedPropagates(t *testing.T) {
+	proxy, proxyTS := newTestServer(t, Config{})
+	owner, ownerTS := newTestServer(t, Config{
+		MaxConcurrentPredicts: 1,
+		PredictQueueDepth:     1,
+		RetryAfter:            7 * time.Second,
+		RequestTimeout:        time.Minute,
+	})
+	urls := []string{proxyTS.URL, ownerTS.URL}
+	for i, s := range []*Server{proxy, owner} {
+		if err := s.ConfigureCluster(urls[i], urls); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fk := ownedBy(t, proxy.Cluster(), ownerTS.URL)
+
+	// Saturate the owner's forward pool: hold its only slot, park a
+	// waiter to fill the interactive queue. (Forwarded preps admit
+	// through fwdAdmit, not the predict lanes — see handleClusterPrep.)
+	release, _, err := owner.fwdAdmit.admit(context.Background(), laneInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	defer cancelWaiter()
+	go func() {
+		if rel, _, err := owner.fwdAdmit.admit(waiterCtx, laneInteractive); err == nil {
+			rel()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		q, _ := owner.fwdAdmit.depths()
+		if q[laneInteractive] == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued on the owner")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, raw := postJSON(t, proxyTS.URL+"/v2/predict", v2PredictBody(fk))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 propagated from the owner; body %s", resp.StatusCode, raw)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Errorf("Retry-After = %q, want the owner's \"7\"", ra)
+	}
+	if !strings.Contains(string(raw), "shed the forwarded prep") {
+		t.Errorf("shed body does not name the fleet condition: %s", raw)
+	}
+	if got := proxy.PrepStats().Computes; got != 0 {
+		t.Errorf("proxy computed %d preps during fleet shed, want 0", got)
+	}
+}
+
+// TestClusterForwardsBypassPredictLanes: the deadlock-freedom
+// property. A local predict holds its admission slot while it waits on
+// a forward, so forwarded preps must not compete for those slots — an
+// owner whose predict lanes are saturated still answers forwards. (On
+// a one-slot-per-replica fleet, sharing the pool deadlocks the whole
+// fleet; TestClusterSingleCompile exercises that end to end.)
+func TestClusterForwardsBypassPredictLanes(t *testing.T) {
+	proxy, proxyTS := newTestServer(t, Config{})
+	owner, ownerTS := newTestServer(t, Config{MaxConcurrentPredicts: 1, RequestTimeout: time.Minute})
+	urls := []string{proxyTS.URL, ownerTS.URL}
+	for i, s := range []*Server{proxy, owner} {
+		if err := s.ConfigureCluster(urls[i], urls); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fk := ownedBy(t, proxy.Cluster(), ownerTS.URL)
+
+	// The owner's only predict slot is taken for the whole test.
+	release, _, err := owner.admit.admit(context.Background(), laneInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	resp, raw := postJSON(t, proxyTS.URL+"/v2/predict", v2PredictBody(fk))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forward with saturated owner predict lanes: status %d, body %s", resp.StatusCode, raw)
+	}
+	if got := owner.PrepStats().Computes; got != 1 {
+		t.Errorf("owner computes = %d, want 1 (the forward ran despite busy predict lanes)", got)
+	}
+}
+
+// TestClusterForwardLaneAttribution: a batch item forwarded to the
+// owner runs in the owner's bulk lane, an interactive predict in the
+// interactive lane — admission class survives the hop.
+func TestClusterForwardLaneAttribution(t *testing.T) {
+	servers, listeners := newTestFleet(t, 2, Config{})
+	proxy, owner := servers[0], servers[1]
+	fk := ownedBy(t, proxy.Cluster(), listeners[1].URL)
+
+	resp, raw := postJSON(t, listeners[0].URL+"/v2/predict:batch", map[string]any{
+		"items": []any{v2PredictBody(fk)},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d, body %s", resp.StatusCode, raw)
+	}
+	snap := owner.Cluster().Snapshot()
+	if snap.PrepsServed["bulk"] != 1 {
+		t.Errorf("owner bulk preps = %d, want 1 (batch item forwarded into the bulk lane); served=%v",
+			snap.PrepsServed["bulk"], snap.PrepsServed)
+	}
+
+	fk2 := ownedBy(t, proxy.Cluster(), listeners[1].URL)
+	// Warm keys are memory hits and never forward; find a second key the
+	// owner holds that the batch didn't already fill.
+	if fk2.k.ID() == fk.k.ID() && fk2.wg == fk.wg {
+		p := device.Virtex7()
+	scan:
+		for _, k := range bench.All() {
+			for _, wgSize := range k.WGSizes() {
+				o, _ := proxy.Cluster().Owner(cluster.PrepKey(k, p, wgSize))
+				if o == cluster.Normalize(listeners[1].URL) && !(k.ID() == fk.k.ID() && wgSize == fk.wg) {
+					fk2 = fleetKey{k: k, wg: wgSize}
+					break scan
+				}
+			}
+		}
+	}
+	resp, raw = postJSON(t, listeners[0].URL+"/v2/predict", v2PredictBody(fk2))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: status %d, body %s", resp.StatusCode, raw)
+	}
+	snap = owner.Cluster().Snapshot()
+	if snap.PrepsServed["interactive"] != 1 {
+		t.Errorf("owner interactive preps = %d, want 1; served=%v",
+			snap.PrepsServed["interactive"], snap.PrepsServed)
+	}
+}
+
+// TestClusterHedgedPairSingleCompute: a client hedging across two
+// replicas sends the same key twice; owner-side singleflight plus ring
+// routing must still compile it exactly once fleet-wide.
+func TestClusterHedgedPairSingleCompute(t *testing.T) {
+	servers, listeners := newTestFleet(t, 2, Config{})
+	cl := flexclclient.New(listeners[0].URL, nil,
+		flexclclient.WithPeers(listeners[0].URL, listeners[1].URL),
+		flexclclient.WithHedge(flexclclient.HedgePolicy{Delay: time.Nanosecond}))
+
+	fk := fleetCorpus(t, 1)[0]
+	res, err := cl.Predict(context.Background(), flexclclient.PredictRequest{
+		Kernel: flexclclient.KernelRef{ID: fk.k.ID()},
+		Design: flexclclient.Design{WGSize: fk.wg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel != fk.k.ID() {
+		t.Errorf("result kernel = %q, want %q", res.Kernel, fk.k.ID())
+	}
+	// Let the hedged loser's forwarded fill finish before counting.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var computes uint64
+		for _, s := range servers {
+			computes += s.PrepStats().Computes
+		}
+		if computes == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet computes = %d after hedged pair, want exactly 1", computes)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestV1DeprecationHeaders: every /v1 response advertises the sunset
+// and its /v2 successor; /v2 responses carry neither.
+func TestV1DeprecationHeaders(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp := getJSON(t, ts.URL+"/v1/kernels", nil)
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Error("/v1/kernels: missing Deprecation: true")
+	}
+	if link := resp.Header.Get("Link"); link != `</v2/kernels>; rel="successor-version"` {
+		t.Errorf("/v1/kernels: Link = %q", link)
+	}
+
+	// POST endpoints carry it too, including error responses.
+	resp, _ = postJSON(t, ts.URL+"/v1/predict", map[string]any{"bench": "nope", "kernel": "nope"})
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Error("/v1/predict error response: missing Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "/v2/predict") {
+		t.Errorf("/v1/predict: Link = %q, want the /v2 successor", link)
+	}
+
+	for _, path := range []string{"/v2/kernels", "/healthz"} {
+		resp := getJSON(t, ts.URL+path, nil)
+		if resp.Header.Get("Deprecation") != "" {
+			t.Errorf("%s: spurious Deprecation header", path)
+		}
+	}
+}
+
+// TestClusterMetricsExported: the flexcl_cluster_* family lands on
+// /metrics once clustering is on.
+func TestClusterMetricsExported(t *testing.T) {
+	servers, listeners := newTestFleet(t, 2, Config{})
+	fk := ownedBy(t, servers[0].Cluster(), listeners[1].URL)
+	if resp, raw := postJSON(t, listeners[0].URL+"/v2/predict", v2PredictBody(fk)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: status %d, body %s", resp.StatusCode, raw)
+	}
+
+	resp, err := http.Get(listeners[0].URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, metric := range []string{
+		"flexcl_cluster_enabled 1",
+		"flexcl_cluster_peers 2",
+		"flexcl_cluster_forwards",
+		"flexcl_cluster_forward_hits",
+		"flexcl_prep_cache_peer_hits 1",
+	} {
+		if !strings.Contains(text, metric) {
+			t.Errorf("/metrics missing %q", metric)
+		}
+	}
+}

@@ -12,6 +12,8 @@
 //	POST /v2/explore        — enqueue an async design-space exploration job
 //	GET  /v2/jobs/{id}      — poll an exploration job
 //	GET  /v2/kernels        — list the bundled Rodinia/PolyBench corpus
+//	GET  /v2/cluster        — fleet view: ring version, peer health
+//	POST /v2/cluster/prep   — replica-to-replica prep forwarding
 //	POST /v1/predict        — legacy predict (flat bench/kernel fields)
 //	POST /v1/explore        — legacy explore
 //	GET  /v1/jobs/{id}      — legacy job poll
@@ -30,6 +32,13 @@
 // (504 on expiry) propagated as context.Context through compile →
 // analyze → predict, and SIGTERM drains in-flight work before the
 // process exits. See docs/API.md for the wire reference.
+//
+// With Config.Peers set, N replicas form a consistent-hash fleet
+// (internal/cluster): each prep key has one owning replica, non-owners
+// fetch the owner's record through the prep cache's peer tier, and the
+// fleet compiles each distinct kernel once. The /v1 surface is frozen
+// and deprecated: every /v1 response carries Deprecation and Link
+// (successor-version) headers pointing at its /v2 equivalent.
 package serve
 
 import (
@@ -50,6 +59,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/device"
 	"repro/internal/dse"
 	"repro/internal/model"
@@ -92,6 +102,20 @@ type Config struct {
 	// (and other replicas sharing the directory) start warm. Corrupt or
 	// stale files degrade to recompute, never errors.
 	ArtifactDir string
+	// SelfURL is this replica's advertised base URL in a clustered
+	// deployment (e.g. "http://replica-0:8080"); required when Peers is
+	// non-empty. Embedders that learn their URL only after binding a
+	// listener (httptest fleets) may instead call ConfigureCluster.
+	SelfURL string
+	// Peers lists the fleet's replica base URLs (with or without
+	// SelfURL — it is added when missing). Empty, or fewer than two
+	// distinct members, leaves clustering off and the single-node
+	// behavior unchanged.
+	Peers []string
+	// PeerTimeout bounds one forwarded prep exchange against a peer
+	// (0 = 15 s). It must cover the owner's cold compile+analyze, not
+	// just the network hop.
+	PeerTimeout time.Duration
 	// RequestTimeout is the synchronous-endpoint deadline
 	// (0 = 10 s); expired requests answer 504.
 	RequestTimeout time.Duration
@@ -183,8 +207,10 @@ type Server struct {
 	prep      *dse.PrepCache
 	pred      *dse.PredCache
 	artifacts *artifact.Store
+	cluster   *cluster.Cluster
 	pool      *jobPool
 	admit     *admitter
+	fwdAdmit  *admitter
 	tracer    *telemetry.Tracer
 
 	mu sync.Mutex
@@ -206,14 +232,34 @@ func New(cfg Config) *Server {
 			store = nil
 		}
 	}
+	// The cluster is the prep cache's peer tier; unconfigured (the
+	// single-node default) it is inert and every key is local.
+	cl := cluster.New(cluster.Options{Timeout: cfg.PeerTimeout})
 	s := &Server{
 		cfg:       cfg,
 		log:       cfg.Logger,
 		reg:       obs.NewRegistry(cfg.Namespace),
-		prep:      dse.NewPrepCacheOpts(dse.PrepCacheOptions{Capacity: cfg.PrepCacheSize, Store: store}),
+		prep:      dse.NewPrepCacheOpts(dse.PrepCacheOptions{Capacity: cfg.PrepCacheSize, Store: store, Peer: cl}),
 		pred:      dse.NewPredCache(cfg.PredCacheSize),
 		artifacts: store,
+		cluster:   cl,
 		admit:     newAdmitter(cfg.MaxConcurrentPredicts, cfg.PredictQueueDepth),
+		// Forwarded preps admit through their own slot pool, disjoint
+		// from the predict lanes. A forwarded prep is a leaf of the
+		// fleet's wait graph (the owner never forwards again), while a
+		// local predict may hold its slot across a forward to a peer —
+		// sharing one pool lets every replica's slots fill with requests
+		// that are all waiting on each other's queues, a distributed
+		// deadlock that a single-CPU fleet (one slot per replica) hits
+		// almost immediately.
+		fwdAdmit:  newAdmitter(cfg.MaxConcurrentPredicts, cfg.PredictQueueDepth),
+	}
+	if len(cfg.Peers) > 0 {
+		if err := s.ConfigureCluster(cfg.SelfURL, cfg.Peers); err != nil {
+			// A misconfigured fleet must not keep the service down — it
+			// only loses the compile-once property.
+			cfg.Logger.Warn("clustering disabled", "err", err)
+		}
 	}
 	s.tracer = telemetry.New(telemetry.Options{
 		Capacity:    cfg.TraceCapacity,
@@ -236,6 +282,20 @@ func New(cfg Config) *Server {
 	s.reg.Help("prep_cache_coalesced", "Lookups that joined an in-flight compile+analyze instead of duplicating it.")
 	s.reg.Help("prep_cache_evictions", "Completed prep-cache entries dropped by the capacity bound.")
 	s.reg.Help("prep_cache_disk_hits", "Prep-cache fills answered by the artifact store instead of a compile+analyze.")
+	s.reg.Help("prep_cache_peer_hits", "Prep-cache fills answered by the key's owning replica instead of a local compile+analyze.")
+	s.reg.Help("cluster_enabled", "1 when this replica is part of a multi-member fleet.")
+	s.reg.Help("cluster_peers", "Fleet membership size, including this replica.")
+	s.reg.Help("cluster_generation", "Membership reconfigurations applied to the ring since start.")
+	s.reg.Help("cluster_local_fallbacks", "Peer-owned keys computed locally because the owner was down or returned an unusable record.")
+	s.reg.Help("cluster_peer_healthy", "1 when the peer is outside its failure cooldown, by peer.")
+	s.reg.Help("cluster_forwards", "Prep fetches attempted against each peer.")
+	s.reg.Help("cluster_forward_hits", "Forwards that returned the owner's record, by peer.")
+	s.reg.Help("cluster_forward_sheds", "Forwards the owner refused with 429, by peer.")
+	s.reg.Help("cluster_forward_errors", "Forwards that failed in transport or decoding, by peer.")
+	s.reg.Help("cluster_preps_served", "Forwarded preps this replica answered as owner, by admission lane.")
+	s.reg.Help("forward_queue_wait_seconds", "Time forwarded preps spent queued for the forward slot pool, by lane.")
+	s.reg.Help("forward_shed_total", "Forwarded preps shed (429) because a forward lane was full.")
+	s.reg.Help("forward_admitted_total", "Forwarded preps admitted to the owner's compute path, by lane.")
 	s.reg.Help("artifact_hits", "Artifact-store loads that returned a valid record.")
 	s.reg.Help("artifact_misses", "Artifact-store loads that fell through to recompute (absent or invalid file).")
 	s.reg.Help("artifact_writes", "Analysis records persisted to the artifact store.")
@@ -265,6 +325,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v2/explore", s.handleV2Explore)
 	mux.HandleFunc("GET /v2/jobs/{id}", s.handleV2Job)
 	mux.HandleFunc("GET /v2/kernels", s.handleKernels)
+	mux.HandleFunc("GET /v2/cluster", s.handleClusterStatus)
+	mux.HandleFunc("POST "+cluster.PrepPath, s.handleClusterPrep)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -272,7 +334,23 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/traces", s.tracer.HandleList)
 	mux.HandleFunc("GET /debug/traces/{id}", s.tracer.HandleGet)
-	return obs.AccessLog(s.log, s.trace(s.instrument(s.deadline(mux))))
+	return obs.AccessLog(s.log, s.trace(s.instrument(s.deadline(deprecateV1(mux)))))
+}
+
+// deprecateV1 stamps every /v1 response with the standard deprecation
+// headers (RFC 8594 family): Deprecation marks the surface as frozen,
+// and Link names the /v2 successor of the exact resource requested.
+// Bodies are untouched — v1 responses stay byte-identical; only headers
+// announce the migration path (docs/API.md, "v1 deprecation").
+func deprecateV1(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link",
+				fmt.Sprintf("</v2%s>; rel=\"successor-version\"", strings.TrimPrefix(r.URL.Path, "/v1")))
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // deadline attaches the per-request timeout to the request context —
@@ -488,22 +566,38 @@ func decodeStrict(r io.Reader, v any) error {
 // obtained.
 type predictOutcome struct {
 	est *model.Estimate
-	// cache ∈ {"pred", "prep", "coalesced", "miss"}; see
+	// cache ∈ {"pred", "prep", "coalesced", "peer", "miss"}; see
 	// api.PredictResult.Cache.
 	cache string
 	// wait is the time spent queued for admission.
 	wait time.Duration
+	// servedBy names the replica whose compile+analyze produced the
+	// analysis when the prep crossed a replica boundary ("" otherwise);
+	// forwarded mirrors it as a boolean.
+	servedBy  string
+	forwarded bool
 }
 
 // predictErr maps a prediction-path failure to a typed API error. shed
 // responses carry the Retry-After hint; context expiry is a deadline
 // (timeout names the budget that expired, for the message only).
 func (s *Server) predictErr(err error, timeout time.Duration) *api.Error {
+	var shed *cluster.ShedError
 	switch {
 	case errors.Is(err, errShed):
 		e := api.Errf(api.CodeShed, http.StatusTooManyRequests,
 			"prediction queue full, retry after %v", s.cfg.RetryAfter)
 		e.RetryAfterSeconds = int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		return e
+	case errors.As(err, &shed):
+		// The key's owner shed the forwarded prep: surface the fleet's
+		// over-capacity signal with the owner's own backoff hint.
+		e := api.Errf(api.CodeShed, http.StatusTooManyRequests,
+			"fleet over capacity: %s shed the forwarded prep", shed.Peer)
+		e.RetryAfterSeconds = shed.RetryAfterSeconds
+		if e.RetryAfterSeconds <= 0 {
+			e.RetryAfterSeconds = int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		}
 		return e
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return api.Errf(api.CodeDeadline, http.StatusGatewayTimeout,
@@ -549,28 +643,43 @@ func (s *Server) predictCore(ctx context.Context, lane int, k *bench.Kernel, p *
 	defer release()
 	s.reg.Counter("predict_admitted_total", ll).Inc()
 
-	pctx, psp := telemetry.Start(ctx, "prep")
-	an, outcome, err := s.prep.AnalysisContext(pctx, k, p, d.WGSize)
-	psp.Annotate("outcome", outcome.String())
+	// The lane rides the context into the fill: if this fill forwards to
+	// the key's owner, the work lands in the same admission lane there.
+	pctx, psp := telemetry.Start(cluster.WithLane(ctx, laneName(lane)), "prep")
+	res, err := s.prep.AnalysisContextDetail(pctx, k, p, d.WGSize)
+	psp.Annotate("outcome", res.Outcome.String())
+	if res.Source != "" {
+		psp.Annotate("source", res.Source)
+	}
 	psp.End()
 	if err != nil {
 		return predictOutcome{wait: wait}, err
 	}
 	_, msp := telemetry.Start(ctx, "model")
-	est := an.Predict(d)
+	est := res.An.Predict(d)
 	msp.End()
 	s.pred.Put(key, est)
 	cache := "miss"
-	switch outcome {
-	case dse.PrepCoalesced:
+	switch {
+	case res.Outcome == dse.PrepCoalesced:
 		cache = "coalesced"
-	case dse.PrepCached:
+	case res.Outcome == dse.PrepCached:
 		cache = "prep"
+	case res.Source == dse.SourcePeer:
+		cache = "peer"
 	}
 	telemetry.Annotate(ctx, "cache", cache)
 	obs.AddField(ctx, "cache", cache)
 	s.reg.Counter("predict_source_total", fmt.Sprintf(`source="%s"`, cache)).Inc()
-	return predictOutcome{est: est, cache: cache, wait: wait}, nil
+	out := predictOutcome{est: est, cache: cache, wait: wait}
+	// A prep the fleet answered (this request led the forward, or it
+	// coalesced onto a fill that did) is attributed to its owner; once
+	// the entry is warm in this replica's memory, later requests are
+	// purely local and carry no attribution.
+	if res.Source == dse.SourcePeer && res.Outcome != dse.PrepCached {
+		out.servedBy, out.forwarded = res.Peer, true
+	}
+	return out, nil
 }
 
 // ---- v1 handlers (thin adapters over the v2 envelope) ----
@@ -641,6 +750,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge("prep_cache_coalesced", "").Set(float64(qs.Coalesced))
 	s.reg.Gauge("prep_cache_evictions", "").Set(float64(qs.Evictions))
 	s.reg.Gauge("prep_cache_disk_hits", "").Set(float64(qs.DiskHits))
+	s.reg.Gauge("prep_cache_peer_hits", "").Set(float64(qs.PeerHits))
 	if s.artifacts != nil {
 		as := s.artifacts.Stats()
 		s.reg.Gauge("artifact_hits", "").Set(float64(as.Hits))
@@ -651,6 +761,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.admit.exportMetrics(s.reg)
 	s.pool.exportMetrics(s.reg)
+	s.exportClusterMetrics()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)

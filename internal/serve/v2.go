@@ -40,6 +40,8 @@ func (s *Server) v2Predict(r *http.Request, req api.PredictRequest, lane int, ti
 		NPE:           est.NPE,
 		NCU:           est.NCU,
 		Cache:         out.cache,
+		ServedBy:      out.servedBy,
+		Forwarded:     out.forwarded,
 	}, nil
 }
 

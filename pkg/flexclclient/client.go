@@ -12,6 +12,21 @@
 //	if errors.Is(err, flexclclient.ErrShed) {
 //	    backoff(flexclclient.RetryAfter(err))
 //	}
+//
+// Construction takes functional options. A clustered deployment is
+// addressed by listing its replicas and, optionally, hedging slow
+// requests against a second replica:
+//
+//	c := flexclclient.New("http://replica-0:8080", nil,
+//	    flexclclient.WithPeers("http://replica-1:8080", "http://replica-2:8080"),
+//	    flexclclient.WithHedge(flexclclient.HedgePolicy{Delay: 30 * time.Millisecond}),
+//	    flexclclient.WithRetry(flexclclient.RetryPolicy{MaxAttempts: 4}))
+//
+// Stateless calls (Predict, PredictBatch, Kernels) rotate across the
+// replica set and fail over when a replica is unreachable; job-scoped
+// calls (Explore, Job, WaitJob) and Cluster stick to the primary
+// replica, because exploration jobs live on the replica that accepted
+// them.
 package flexclclient
 
 import (
@@ -25,11 +40,13 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"slices"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve/api"
 )
 
@@ -59,6 +76,10 @@ type (
 	JobView = api.JobView
 	// KernelList is the corpus listing.
 	KernelList = api.KernelList
+	// ClusterSnapshot is one replica's fleet view (GET /v2/cluster).
+	ClusterSnapshot = cluster.Snapshot
+	// PeerStats is one peer's health/traffic row in a ClusterSnapshot.
+	PeerStats = cluster.PeerStats
 )
 
 // Job states, as reported in JobView.State.
@@ -180,40 +201,127 @@ func (p RetryPolicy) delay(attempt int, err error) time.Duration {
 	return d
 }
 
-// Client talks to one flexcl-serve instance. The zero value is not
-// usable; construct with New.
+// HedgePolicy makes a client launch a second, identical request
+// against another replica when the first has not answered within
+// Delay, racing the two and keeping whichever answers first (the loser
+// is cancelled through its context). At most one hedge is ever in
+// flight per call, and only stateless calls hedge — job submissions
+// never run twice. Hedging needs at least two replicas (WithPeers);
+// with one it is a no-op.
+type HedgePolicy struct {
+	// Delay is the latency threshold before the hedge launches
+	// (0 disables hedging).
+	Delay time.Duration
+}
+
+// Client talks to a flexcl-serve deployment — one replica, or a
+// replica set via WithPeers. The zero value is not usable; construct
+// with New.
 type Client struct {
-	base  string
+	base  string   // primary replica (New's baseURL)
+	peers []string // full replica set, primary first
 	http  *http.Client
 	retry RetryPolicy
+	hedge HedgePolicy
+	// rr is the shared round-robin cursor for spread calls (a pointer,
+	// so deprecated-style copies like WithRetry share the rotation).
+	rr *atomic.Uint64
 	// sleep is swapped out by tests; nil means a real timer wait.
 	sleep func(ctx context.Context, d time.Duration) error
 }
 
+// Option customizes a Client at construction; see New.
+type Option func(*Client)
+
+// WithRetry makes the client retry shed requests (ErrShed, 429) under
+// the given policy.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithPeers adds replica base URLs to the client's set. The primary
+// (New's baseURL) is always a member and stays first; duplicates and
+// trailing slashes are folded away. Stateless calls rotate across the
+// set and fail over past unreachable replicas.
+func WithPeers(urls ...string) Option {
+	return func(c *Client) {
+		for _, u := range urls {
+			u = strings.TrimRight(strings.TrimSpace(u), "/")
+			if u != "" && !slices.Contains(c.peers, u) {
+				c.peers = append(c.peers, u)
+			}
+		}
+	}
+}
+
+// WithHedge enables latency hedging for stateless calls (see
+// HedgePolicy).
+func WithHedge(p HedgePolicy) Option {
+	return func(c *Client) { c.hedge = p }
+}
+
+// WithTransport sets the http.Client used for every exchange (nil is
+// ignored, keeping the default).
+func WithTransport(h *http.Client) Option {
+	return func(c *Client) {
+		if h != nil {
+			c.http = h
+		}
+	}
+}
+
 // New returns a client for the service at baseURL (e.g.
-// "http://localhost:8080"). httpClient may be nil (http.DefaultClient).
-func New(baseURL string, httpClient *http.Client) *Client {
+// "http://localhost:8080"). httpClient may be nil (http.DefaultClient;
+// WithTransport is the options-style spelling). Additional behavior —
+// retries, replica awareness, hedging — is layered on with options.
+func New(baseURL string, httpClient *http.Client, opts ...Option) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: httpClient,
+		rr:   new(atomic.Uint64),
+	}
+	c.peers = []string{c.base}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // WithRetry returns a copy of the client that retries shed requests
-// under the given policy. The receiver is unchanged, so existing
-// callers keep the historical fail-fast behaviour unless they opt in:
+// under the given policy. The receiver is unchanged.
 //
-//	c := flexclclient.New(url, nil).WithRetry(flexclclient.RetryPolicy{MaxAttempts: 4})
+// Deprecated: pass the package-level WithRetry option to New instead:
+//
+//	c := flexclclient.New(url, nil, flexclclient.WithRetry(flexclclient.RetryPolicy{MaxAttempts: 4}))
 func (c *Client) WithRetry(p RetryPolicy) *Client {
 	cp := *c
 	cp.retry = p
 	return &cp
 }
 
+// Peers returns the client's replica set, primary first.
+func (c *Client) Peers() []string { return append([]string(nil), c.peers...) }
+
+// routing classifies a call's relationship to the replica set.
+type routing int
+
+const (
+	// sticky calls address the primary replica only: job state lives on
+	// the replica that accepted the job, and submissions must not run
+	// twice.
+	sticky routing = iota
+	// spread calls are stateless and idempotent: any replica answers
+	// identically, so they rotate, fail over and hedge.
+	spread
+)
+
 // Predict runs one synchronous prediction.
 func (c *Client) Predict(ctx context.Context, req PredictRequest) (*PredictResult, error) {
 	var out PredictResult
-	if err := c.do(ctx, http.MethodPost, "/v2/predict", req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v2/predict", req, &out, spread); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -224,26 +332,38 @@ func (c *Client) Predict(ctx context.Context, req PredictRequest) (*PredictResul
 // non-nil only when the batch envelope itself was rejected.
 func (c *Client) PredictBatch(ctx context.Context, req BatchPredictRequest) (*BatchPredictResponse, error) {
 	var out BatchPredictResponse
-	if err := c.do(ctx, http.MethodPost, "/v2/predict:batch", req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v2/predict:batch", req, &out, spread); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // Explore submits an asynchronous exploration job; poll it with Job or
-// WaitJob.
+// WaitJob. Submissions go to the primary replica and are never hedged
+// or failed over — a retried submission would create a second job.
 func (c *Client) Explore(ctx context.Context, req ExploreRequest) (*JobAccepted, error) {
 	var out JobAccepted
-	if err := c.do(ctx, http.MethodPost, "/v2/explore", req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v2/explore", req, &out, sticky); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// Job fetches the current state of an exploration job.
+// Job fetches the current state of an exploration job (from the
+// primary replica — jobs live where they were submitted).
 func (c *Client) Job(ctx context.Context, id string) (*JobView, error) {
 	var out JobView
-	if err := c.do(ctx, http.MethodGet, "/v2/jobs/"+id, nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v2/jobs/"+id, nil, &out, sticky); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Cluster fetches the primary replica's fleet view: ring version, peer
+// table, per-peer health and forward counters.
+func (c *Client) Cluster(ctx context.Context) (*ClusterSnapshot, error) {
+	var out ClusterSnapshot
+	if err := c.do(ctx, http.MethodGet, "/v2/cluster", nil, &out, sticky); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -277,7 +397,7 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*J
 // Kernels lists the bundled benchmark corpus.
 func (c *Client) Kernels(ctx context.Context) (*KernelList, error) {
 	var out KernelList
-	if err := c.do(ctx, http.MethodGet, "/v2/kernels", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v2/kernels", nil, &out, spread); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -299,24 +419,146 @@ func newRequestID() string {
 	return fmt.Sprintf("cli-%s-%d", reqPrefix, reqSeq.Add(1))
 }
 
-// do performs the exchange, retrying shed responses when the client
-// carries a RetryPolicy (see WithRetry). Each attempt is a fresh
-// request with its own X-Request-ID.
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+// do performs one logical API exchange: encode the body, route it
+// across the replica set per mode, retry shed responses when the
+// client carries a RetryPolicy. Each attempt is a fresh request with
+// its own X-Request-ID.
+func (c *Client) do(ctx context.Context, method, path string, body, out any, mode routing) error {
+	var buf []byte
+	if body != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("flexclclient: encoding request: %w", err)
+		}
+	}
 	attempts := c.retry.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
 	}
 	policy := c.retry.withDefaults()
 	for attempt := 0; ; attempt++ {
-		err := c.do1(ctx, method, path, body, out)
-		if err == nil || !errors.Is(err, ErrShed) || attempt+1 >= attempts {
+		raw, err := c.exchange(ctx, method, path, buf, mode)
+		if err == nil {
+			if out == nil {
+				return nil
+			}
+			if uerr := json.Unmarshal(raw, out); uerr != nil {
+				return fmt.Errorf("flexclclient: decoding %s %s response: %w", method, path, uerr)
+			}
+			return nil
+		}
+		if !errors.Is(err, ErrShed) || attempt+1 >= attempts {
 			return err
 		}
 		if serr := c.wait(ctx, policy.delay(attempt, err)); serr != nil {
 			// Context expired mid-backoff: surface the shed error (it
 			// names the request id) wrapped with the context cause.
 			return fmt.Errorf("flexclclient: giving up during retry backoff: %w (last error: %v)", serr, err)
+		}
+	}
+}
+
+// exchange routes one attempt across the replica set. Sticky calls go
+// to the primary replica, full stop. Spread calls walk the rotated set
+// — hedged when a HedgePolicy is armed and a second replica exists,
+// sequential with failover otherwise.
+func (c *Client) exchange(ctx context.Context, method, path string, body []byte, mode routing) ([]byte, error) {
+	if mode == sticky {
+		return c.sequential(ctx, method, path, body, c.peers[:1], false)
+	}
+	bases := c.rotation()
+	if c.hedge.Delay > 0 && len(bases) > 1 {
+		return c.hedged(ctx, method, path, body, bases)
+	}
+	return c.sequential(ctx, method, path, body, bases, true)
+}
+
+// rotation returns the replica set starting at the round-robin cursor:
+// spread calls distribute load across the fleet while each call still
+// sees every replica as a failover or hedge candidate.
+func (c *Client) rotation() []string {
+	if len(c.peers) <= 1 {
+		return c.peers
+	}
+	start := int((c.rr.Add(1) - 1) % uint64(len(c.peers)))
+	out := make([]string, 0, len(c.peers))
+	for i := range c.peers {
+		out = append(out, c.peers[(start+i)%len(c.peers)])
+	}
+	return out
+}
+
+// sequential tries bases in order. A server verdict — success or a
+// typed API error — ends the walk; transport errors fall through to
+// the next replica when failover is on.
+func (c *Client) sequential(ctx context.Context, method, path string, body []byte, bases []string, failover bool) ([]byte, error) {
+	var lastErr error
+	for _, base := range bases {
+		raw, err := c.roundTrip(ctx, method, base+path, body)
+		var ae *APIError
+		if err == nil || errors.As(err, &ae) {
+			return raw, err
+		}
+		lastErr = err
+		if !failover || ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// hedged races the request against bases[0] and — once the hedge delay
+// passes without a verdict, or immediately when the first attempt dies
+// in transport — against bases[1]. The first server verdict (success
+// or typed API error) wins and cancels the straggler through its
+// context; the call fails only when every launched attempt failed.
+func (c *Client) hedged(ctx context.Context, method, path string, body []byte, bases []string) ([]byte, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // first-wins: reels the losing attempt in
+	type attempt struct {
+		raw []byte
+		err error
+	}
+	resc := make(chan attempt, 2)
+	start := func(base string) {
+		go func() {
+			raw, err := c.roundTrip(hctx, method, base+path, body)
+			resc <- attempt{raw, err}
+		}()
+	}
+	start(bases[0])
+	inflight, settled := 1, 0
+	timer := time.NewTimer(c.hedge.Delay)
+	defer timer.Stop()
+	timerC := timer.C
+	var lastErr error
+	for {
+		select {
+		case <-timerC:
+			timerC = nil
+			start(bases[1])
+			inflight++
+		case r := <-resc:
+			settled++
+			var ae *APIError
+			if r.err == nil || errors.As(r.err, &ae) {
+				return r.raw, r.err
+			}
+			lastErr = r.err
+			if ctx.Err() != nil {
+				return nil, lastErr
+			}
+			if inflight < 2 {
+				// The first attempt died before the hedge timer fired:
+				// promote the hedge immediately.
+				timerC = nil
+				start(bases[1])
+				inflight++
+			} else if settled == inflight {
+				return nil, lastErr
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
 	}
 }
@@ -336,21 +578,17 @@ func (c *Client) wait(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// do1 performs one round trip: JSON-encode body (when non-nil), stamp an
-// X-Request-ID for server-side correlation, send, map non-2xx responses
-// to *APIError (carrying the request id), decode 2xx bodies into out.
-func (c *Client) do1(ctx context.Context, method, path string, body, out any) error {
+// roundTrip performs one HTTP exchange: stamp a fresh X-Request-ID for
+// server-side correlation, send, map non-2xx responses to *APIError
+// (carrying the request id), return the raw 2xx body.
+func (c *Client) roundTrip(ctx context.Context, method, url string, body []byte) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
-			return fmt.Errorf("flexclclient: encoding request: %w", err)
-		}
-		rd = bytes.NewReader(buf)
+		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
-		return fmt.Errorf("flexclclient: building request: %w", err)
+		return nil, fmt.Errorf("flexclclient: building request: %w", err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -359,19 +597,17 @@ func (c *Client) do1(ctx context.Context, method, path string, body, out any) er
 	req.Header.Set("X-Request-ID", reqID)
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("flexclclient: %s %s: %w", method, path, err)
+		return nil, fmt.Errorf("flexclclient: %s %s: %w", method, url, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return decodeError(resp, reqID)
+		return nil, decodeError(resp, reqID)
 	}
-	if out == nil {
-		return nil
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("flexclclient: reading %s %s response: %w", method, url, err)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("flexclclient: decoding %s %s response: %w", method, path, err)
-	}
-	return nil
+	return raw, nil
 }
 
 // decodeError maps an error response to *APIError. v2 bodies carry

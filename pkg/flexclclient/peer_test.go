@@ -1,0 +1,194 @@
+package flexclclient_test
+
+// Replica-awareness tests: peer list normalization, spread-path
+// failover, bounded hedging, and the sticky routes that must never
+// leave the primary. These run against scripted httptest backends so
+// latency and failure are exact.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/pkg/flexclclient"
+)
+
+// fakeReplica answers /v2/predict with a canned result after an
+// optional delay, counting the requests it saw.
+func fakeReplica(t *testing.T, name string, delay time.Duration) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		// Drain the body so the server's background read can deliver the
+		// client's first-wins cancellation to r.Context().
+		io.Copy(io.Discard, r.Body)
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+				return // hedging winner cancelled us
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"kernel":"hotspot/hotspot","cycles":42,"cache":"` + name + `"}`))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func predictReq() flexclclient.PredictRequest {
+	return flexclclient.PredictRequest{Kernel: flexclclient.KernelRef{ID: "hotspot/hotspot"}}
+}
+
+func TestWithPeersDedupNormalize(t *testing.T) {
+	c := flexclclient.New("http://a:1/", nil,
+		flexclclient.WithPeers("http://a:1", "http://b:1/", " http://b:1", "http://c:1"))
+	got := c.Peers()
+	want := []string{"http://a:1", "http://b:1", "http://c:1"}
+	if len(got) != len(want) {
+		t.Fatalf("Peers() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Peers() = %v, want %v (primary first, deduped, normalized)", got, want)
+		}
+	}
+}
+
+func TestClientFailoverOnDeadPrimary(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+	alive, hits := fakeReplica(t, "alive", 0)
+
+	c := flexclclient.New(deadURL, nil, flexclclient.WithPeers(deadURL, alive.URL))
+	res, err := c.Predict(context.Background(), predictReq())
+	if err != nil {
+		t.Fatalf("spread route did not fail over: %v", err)
+	}
+	if res.Cycles != 42 || hits.Load() == 0 {
+		t.Fatalf("failover answer = %+v (replica hits %d)", res, hits.Load())
+	}
+}
+
+func TestClientStickyNeverFailsOver(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+	alive, hits := fakeReplica(t, "alive", 0)
+
+	c := flexclclient.New(deadURL, nil, flexclclient.WithPeers(deadURL, alive.URL))
+	if _, err := c.Job(context.Background(), "job-1"); err == nil {
+		t.Fatal("sticky route succeeded against a dead primary — it must not fail over")
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("sticky route touched a secondary replica %d times", hits.Load())
+	}
+}
+
+func TestClientHedgeWinsOnSlowPrimary(t *testing.T) {
+	slow, _ := fakeReplica(t, "slow", 2*time.Second)
+	fast, fastHits := fakeReplica(t, "fast", 0)
+
+	c := flexclclient.New(slow.URL, nil,
+		flexclclient.WithPeers(slow.URL, fast.URL),
+		flexclclient.WithHedge(flexclclient.HedgePolicy{Delay: 10 * time.Millisecond}))
+	t0 := time.Now()
+	res, err := c.Predict(context.Background(), predictReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(t0); elapsed > time.Second {
+		t.Fatalf("hedged predict took %v; the fast replica's answer should have won", elapsed)
+	}
+	if res.Cache != "fast" {
+		t.Errorf("winner = %q, want the hedge's answer", res.Cache)
+	}
+	if fastHits.Load() != 1 {
+		t.Errorf("hedge replica hits = %d, want 1", fastHits.Load())
+	}
+}
+
+// TestClientHedgePromotedOnTransportError: a refused connection must
+// launch the hedge immediately instead of burning the full delay.
+func TestClientHedgePromotedOnTransportError(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+	alive, _ := fakeReplica(t, "alive", 0)
+
+	c := flexclclient.New(deadURL, nil,
+		flexclclient.WithPeers(deadURL, alive.URL),
+		flexclclient.WithHedge(flexclclient.HedgePolicy{Delay: 30 * time.Second}))
+	t0 := time.Now()
+	res, err := c.Predict(context.Background(), predictReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Fatalf("hedge waited %v after a transport error; promotion should be immediate", elapsed)
+	}
+	if res.Cycles != 42 {
+		t.Fatalf("bad hedged answer: %+v", res)
+	}
+}
+
+// TestClientHedgeVerdictWins: a typed API error from the first replica
+// is a verdict — the client returns it rather than waiting out the
+// hedge, and the retry policy stays in charge of sheds.
+func TestClientHedgeVerdictWins(t *testing.T) {
+	notFound := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":{"code":"not_found","message":"unknown kernel"}}`))
+	}))
+	t.Cleanup(notFound.Close)
+	slow, slowHits := fakeReplica(t, "slow", 2*time.Second)
+
+	c := flexclclient.New(notFound.URL, nil,
+		flexclclient.WithPeers(notFound.URL, slow.URL),
+		flexclclient.WithHedge(flexclclient.HedgePolicy{Delay: time.Hour}))
+	_, err := c.Predict(context.Background(), predictReq())
+	var apiErr *flexclclient.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("err = %v, want the primary's 404 verdict", err)
+	}
+	if slowHits.Load() != 0 {
+		t.Errorf("hedge launched %d times despite an immediate verdict", slowHits.Load())
+	}
+}
+
+func TestClientHedgeSingleReplicaNoop(t *testing.T) {
+	only, hits := fakeReplica(t, "only", 0)
+	c := flexclclient.New(only.URL, nil,
+		flexclclient.WithHedge(flexclclient.HedgePolicy{Delay: time.Millisecond}))
+	res, err := c.Predict(context.Background(), predictReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 42 || hits.Load() != 1 {
+		t.Fatalf("single-replica hedge: res=%+v hits=%d, want plain request", res, hits.Load())
+	}
+}
+
+// TestClientSpreadRotation: successive spread-path calls rotate their
+// first-choice replica so read load spreads across the fleet.
+func TestClientSpreadRotation(t *testing.T) {
+	a, aHits := fakeReplica(t, "a", 0)
+	b, bHits := fakeReplica(t, "b", 0)
+	c := flexclclient.New(a.URL, nil, flexclclient.WithPeers(a.URL, b.URL))
+	for i := 0; i < 4; i++ {
+		if _, err := c.Predict(context.Background(), predictReq()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if aHits.Load() != 2 || bHits.Load() != 2 {
+		t.Errorf("rotation split = %d/%d over 4 calls, want 2/2", aHits.Load(), bHits.Load())
+	}
+}
